@@ -1,0 +1,30 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one paper table/figure end to end and asserts the
+reproduced *shape* (who wins, roughly by how much, where the crossovers are).
+Benchmarks share the per-process caches in :mod:`repro.experiments.common`
+(learning, derivation, DBT runs), exactly like the CLI does; the first
+benchmark to run pays the warm-up.
+
+Run:  pytest benchmarks/ --benchmark-only
+Add ``-s`` to see the reproduced tables.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def warm_suite():
+    """Pre-learn the suite so per-figure timings are comparable."""
+    from repro.experiments.common import rules_excluding, rules_full_suite
+    from repro.workloads import BENCHMARK_NAMES
+
+    rules_full_suite()
+    for name in BENCHMARK_NAMES:
+        rules_excluding(name)
+    return True
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Single-shot pedantic run (experiments are deterministic)."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,60 @@
+"""Benchmarks for Fig. 12 (coverage), Fig. 14 and Fig. 15 (factor analysis)."""
+
+from conftest import run_once
+
+from repro.experiments import EXPERIMENTS
+from repro.workloads import BENCHMARK_NAMES
+
+
+def test_bench_fig12_coverage(benchmark, warm_suite):
+    """Fig. 12: ~70% baseline coverage, >90% with parameterization."""
+    result = run_once(benchmark, EXPERIMENTS["fig12"])
+    print("\n" + result.format())
+    _, baseline, para = result.row_for("average")
+    assert 60 <= baseline <= 80, "paper: 69.7%"
+    assert para >= 90, "paper: 95.5%"
+    for name in BENCHMARK_NAMES:
+        row = result.row_for(name)
+        assert row[2] > row[1], f"{name}: parameterization must add coverage"
+
+
+def test_bench_fig14_coverage_factors(benchmark, warm_suite):
+    """Fig. 14: each factor adds coverage; benchmark idiosyncrasies hold."""
+    result = run_once(benchmark, EXPERIMENTS["fig14"])
+    print("\n" + result.format())
+    average = result.row_for("average")
+    assert list(average[1:]) == sorted(average[1:])
+    # h264ref gains little from opcode parameterization (§V-B2).
+    h264 = result.row_for("h264ref")
+    assert (h264[2] - h264[1]) < (average[2] - average[1])
+    # libquantum's big jump comes from condition-flag delegation (§V-B2).
+    libq = result.row_for("libquantum")
+    assert (libq[4] - libq[3]) > (average[4] - average[3])
+
+
+def test_bench_fig15_perf_factors(benchmark, warm_suite):
+    """Fig. 15: cumulative speedup per factor, ending near the paper's 1.29x."""
+    result = run_once(benchmark, EXPERIMENTS["fig15"])
+    print("\n" + result.format())
+    geomean = result.row_for("geomean")
+    assert list(geomean[1:]) == sorted(geomean[1:])
+    assert 1.2 <= geomean[4] <= 1.4
+
+
+def test_bench_fig16_training_size(benchmark, warm_suite):
+    """Fig. 16: para dominates w/o-para at every training-set size."""
+    result = run_once(
+        benchmark,
+        EXPERIMENTS["fig16"],
+        sizes=(1, 2, 4, 6, 8),
+        repetitions=3,
+        eval_limit=3,
+    )
+    print("\n" + result.format())
+    for size, baseline, para in result.rows:
+        assert para > baseline, f"size {size}: para must dominate"
+    # Baseline coverage grows with training-set size; para starts high.
+    baselines = result.column("w/o para.")
+    assert baselines[-1] > baselines[0]
+    paras = result.column("para.")
+    assert min(paras) > 85

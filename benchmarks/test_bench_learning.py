@@ -1,0 +1,28 @@
+"""Benchmarks for Fig. 2 (rule growth) and Table I (learning funnel)."""
+
+from conftest import run_once
+
+from repro.experiments import EXPERIMENTS
+
+
+def test_bench_fig02_rule_growth(benchmark, warm_suite):
+    """Fig. 2: unique learned rules vs training-set size (growth flattens)."""
+    result = run_once(benchmark, EXPERIMENTS["fig02"])
+    print("\n" + result.format())
+    counts = result.column("unique rules")
+    assert counts == sorted(counts), "rule count must grow monotonically"
+    early = counts[5] - counts[0]
+    late = counts[11] - counts[6]
+    assert late < early, "growth must flatten after ~6 benchmarks (paper Fig. 2)"
+
+
+def test_bench_table1_learning_stats(benchmark, warm_suite):
+    """Table I: statements -> candidates -> learned -> unique."""
+    result = run_once(benchmark, EXPERIMENTS["table1"])
+    print("\n" + result.format())
+    percent = result.row_for("Percent%")
+    candidates = float(percent[2].rstrip("%"))
+    learned = float(percent[3].rstrip("%"))
+    # paper: 53.8% / 22.6%
+    assert 40 <= candidates <= 65
+    assert 12 <= learned <= 32

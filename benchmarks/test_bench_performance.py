@@ -1,0 +1,91 @@
+"""Benchmarks for Fig. 11 (speedup), Fig. 13 (ratio) and Table II."""
+
+from conftest import run_once
+
+from repro.experiments import EXPERIMENTS
+
+
+def test_bench_fig11_speedup(benchmark, warm_suite):
+    """Fig. 11: para ~1.29x over QEMU, clearly above the learning baseline."""
+    result = run_once(benchmark, EXPERIMENTS["fig11"])
+    print("\n" + result.format())
+    _, qemu, baseline, para = result.row_for("geomean")
+    assert qemu == 1.0
+    assert 1.2 <= para <= 1.4, "paper: ~1.29x"
+    assert para > baseline > 1.0
+    for row in result.rows[:-1]:
+        assert row[3] > row[2], f"{row[0]}: para must beat the baseline"
+
+
+def test_bench_fig13_ratio(benchmark, warm_suite):
+    """Fig. 13: host-per-guest instruction ratio, QEMU > w/o para > para."""
+    result = run_once(benchmark, EXPERIMENTS["fig13"])
+    print("\n" + result.format())
+    _, qemu, baseline, para = result.row_for("average")
+    assert qemu > baseline > para
+    # paper relative shape: para/qemu = 5.66/8.18 = 0.69
+    assert 0.5 <= para / qemu <= 0.8
+
+
+def test_bench_table2_host_insns(benchmark, warm_suite):
+    """Table II: category breakdown; rule-translated far below QEMU-translated."""
+    result = run_once(benchmark, EXPERIMENTS["table2"])
+    print("\n" + result.format())
+    row = result.row_for("Average")
+    _, rule_t, qemu_t, data, control, rule_total, qemu_total = row
+    assert rule_t < qemu_t / 1.8, "paper: 0.97 vs 3.49"
+    assert data > 0 and control > 0
+    assert abs(rule_total - (rule_t + data + control)) < 0.05
+    assert qemu_total > rule_total
+
+
+def test_bench_translation_overhead(benchmark, warm_suite):
+    """§V-B1: parameterized-rule application adds little translation-time
+    overhead ("guest instruction parameterization and matched rule
+    instantiation ... incur very little additional overhead").
+
+    Measures wall-clock translation time (no execution) of every block of
+    three benchmarks under the QEMU, baseline and full configurations.
+    """
+    import time
+
+    from repro.dbt import BlockMap, BlockTranslator
+    from repro.experiments.common import setup_excluding
+    from repro.workloads import compiled_benchmark
+
+    names = ("gcc", "perlbench", "xalancbmk")
+
+    def translate_all(stage):
+        started = time.perf_counter()
+        blocks = 0
+        for name in names:
+            pair = compiled_benchmark(name)
+            setup = setup_excluding(name)
+            blockmap = BlockMap(pair.guest)
+            translator = BlockTranslator(
+                pair.guest, blockmap, setup.configs[stage]
+            )
+            for block in blockmap.blocks:
+                translator.translate(block)
+                blocks += 1
+        return time.perf_counter() - started, blocks
+
+    def run():
+        for name in names:  # warm rule derivation outside the timings
+            setup_excluding(name)
+        return {stage: translate_all(stage) for stage in ("qemu", "wopara", "condition")}
+
+    timings = run_once(benchmark, run)
+    qemu_time, blocks = timings["qemu"]
+    print(f"\ntranslation time over {blocks} blocks:")
+    for stage, (elapsed, _) in timings.items():
+        print(f"  {stage:10s} {1000 * elapsed:8.1f} ms "
+              f"({1e6 * elapsed / blocks:6.0f} us/block)")
+    # The paper's claim is about the *incremental* overhead of applying
+    # parameterized rules over the learned-rule baseline ("only two
+    # additional simple steps ... very little additional overhead", §IV-D):
+    # parameterized lookup + instantiation must stay close to the baseline
+    # translator's time.  (Both rule translators are slower than the pure
+    # TCG path in this interpreted prototype — that comparison is about
+    # Python dictionary machinery, not the paper's claim.)
+    assert timings["condition"][0] < timings["wopara"][0] * 1.8

@@ -1,0 +1,179 @@
+"""Benchmarks for Table III (rule counts) and the ablation studies.
+
+Ablations beyond the paper's tables:
+
+* the manual-rules extension for the residual seven instructions
+  (paper §V-B2's closing note: 100% coverage);
+* the contribution of multi-instruction (sequence) rules, which the paper
+  keeps for the baseline but deliberately does not parameterize (§V-D).
+"""
+
+from conftest import run_once
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.common import mean, run_benchmark
+from repro.workloads import BENCHMARK_NAMES
+
+
+def test_bench_table3_rule_counts(benchmark, warm_suite):
+    """Table III: parameterized-rule merge + instantiation expansion."""
+    result = run_once(benchmark, EXPERIMENTS["table3"])
+    print("\n" + result.format())
+    learned = result.row_for("learned rules")[1]
+    opcode = result.row_for("after opcode parameterization")[1]
+    addrmode = result.row_for("after addressing-mode parameterization")[1]
+    instantiated = result.row_for("instantiated (applicable) rules")[1]
+    assert learned > opcode > addrmode, "merging must shrink the rule count"
+    assert instantiated > 10 * learned, "paper: 2,724 -> 86,423 (~32x)"
+
+
+def test_bench_ablation_manual_rules(benchmark, warm_suite):
+    """Extension: manual rules for push/pop/b/bl/mla/umlal/clz -> ~100%."""
+
+    def run():
+        return {
+            name: run_benchmark(name, "manual").coverage
+            for name in BENCHMARK_NAMES
+        }
+
+    coverages = run_once(benchmark, run)
+    average = 100 * mean(list(coverages.values()))
+    print(f"\nmanual-rules coverage average: {average:.2f}%")
+    assert average > 99.5, "paper: 100% coverage with manual residual rules"
+
+
+def test_bench_ablation_sequence_rules(benchmark, warm_suite):
+    """Sequence rules (multi-insn learned rules) help the baseline.
+
+    The paper parameterizes only single-instruction rules (§V-D) but the
+    baseline rule set includes sequences; removing them must not increase
+    baseline cost-model performance.
+    """
+    from repro.dbt import DBTEngine, check_against_reference
+    from repro.dbt.translator import TranslationConfig
+    from repro.experiments.common import rules_excluding
+    from repro.learning import RuleSet
+    from repro.workloads import compiled_benchmark
+
+    names = ("mcf", "gobmk", "astar")
+
+    def run():
+        out = {}
+        for name in names:
+            full = rules_excluding(name)
+            singles_only = RuleSet()
+            singles_only.extend(r for r in full if r.guest_length == 1)
+            costs = {}
+            for label, rules in (("with-seq", full), ("singles", singles_only)):
+                pair = compiled_benchmark(name)
+                engine = DBTEngine(pair.guest, TranslationConfig(label, rules=rules))
+                result = engine.run()
+                ok, message = check_against_reference(pair.guest, result)
+                assert ok, message
+                costs[label] = result.metrics.cost()
+            out[name] = costs
+        return out
+
+    costs = run_once(benchmark, run)
+    for name, entry in costs.items():
+        print(f"\n{name}: with sequences {entry['with-seq']:.0f}, "
+              f"singles only {entry['singles']:.0f}")
+        assert entry["with-seq"] <= entry["singles"] * 1.02
+
+
+def test_bench_ablation_sequence_parameterization(benchmark, warm_suite):
+    """Extension (§V-D future work): parameterizing instruction sequences.
+
+    Derives verified sequence rules (condition-code and opcode variants of
+    multi-instruction learned rules) and measures their marginal effect on
+    top of the full system.  Finding on this suite: the single-instruction
+    delegation machinery already covers the same windows at equal cost, so
+    the marginal coverage/cost effect is ~0 — the value is the extra
+    applicable rules, which we count.
+    """
+    from repro.experiments.common import rules_excluding
+    from repro.param.seqderive import derive_sequence_rules
+
+    names = ("gobmk", "libquantum", "mcf")
+
+    def run():
+        out = {}
+        for name in names:
+            learned = rules_excluding(name)
+            seq = derive_sequence_rules(learned)
+            condition = run_benchmark(name, "condition")
+            seqparam = run_benchmark(name, "seqparam")
+            out[name] = (len(seq), condition.coverage, seqparam.coverage,
+                         condition.cost(), seqparam.cost())
+        return out
+
+    data = run_once(benchmark, run)
+    for name, (count, cov_c, cov_s, cost_c, cost_s) in data.items():
+        print(f"\n{name}: +{count} sequence rules, coverage "
+              f"{100*cov_c:.2f}% -> {100*cov_s:.2f}%, cost {cost_c:.0f} -> {cost_s:.0f}")
+        assert count > 20, "sequence derivation must produce rules"
+        assert cov_s >= cov_c
+        assert cost_s <= cost_c * 1.01
+
+
+def test_bench_ablation_block_chaining(benchmark, warm_suite):
+    """Extension: QEMU-style block chaining (the paper's "beyond scope"
+    optimization, §V-B1).
+
+    Chaining removes the dispatch overhead shared by all configurations, so
+    it *amplifies* the parameterized system's advantage: once dispatch is
+    gone, the host-instruction-count gap is the whole story.
+    """
+    from repro.dbt import DBTEngine, check_against_reference
+    from repro.dbt.metrics import speedup
+    from repro.experiments.common import geomean, setup_excluding
+    from repro.workloads import compiled_benchmark
+
+    names = ("mcf", "gobmk", "h264ref")
+
+    def run():
+        out = {}
+        for chaining in (False, True):
+            gains = []
+            for name in names:
+                pair = compiled_benchmark(name)
+                setup = setup_excluding(name)
+                qemu = DBTEngine(
+                    pair.guest, setup.configs["qemu"], chaining=chaining
+                ).run()
+                para = DBTEngine(
+                    pair.guest, setup.configs["condition"], chaining=chaining
+                ).run()
+                ok, message = check_against_reference(pair.guest, para)
+                assert ok, message
+                if chaining:
+                    assert para.metrics.chain_rate > 0.9
+                gains.append(speedup(qemu.metrics, para.metrics))
+            out[chaining] = geomean(gains)
+        return out
+
+    gains = run_once(benchmark, run)
+    print(f"\npara-over-QEMU geomean: unchained {gains[False]:.2f}x, "
+          f"chained {gains[True]:.2f}x")
+    assert gains[True] > gains[False]
+
+
+def test_bench_attribution_derived_share(benchmark, warm_suite):
+    """Runtime restatement of the paper's thesis: a large share of dynamic
+    translation goes through rules that were never in any training set."""
+    from repro.analysis import derived_share
+    from repro.experiments.common import mean, run_benchmark
+    from repro.workloads import BENCHMARK_NAMES
+
+    def run():
+        return {
+            name: derived_share(run_benchmark(name, "condition"))
+            for name in BENCHMARK_NAMES
+        }
+
+    shares = run_once(benchmark, run)
+    average = 100 * mean(list(shares.values()))
+    print(f"\naverage derived-rule share of dynamic instructions: {average:.1f}%")
+    for name, share in sorted(shares.items(), key=lambda kv: -kv[1])[:3]:
+        print(f"  {name}: {100 * share:.1f}%")
+    assert average > 10, "derived rules must carry a substantial share"

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""A tour of rule parameterization — the paper's figures 3, 6, 7 and 8.
+
+Starting from one learned ``add`` rule, shows what opcode parameterization,
+the complex-sibling fixups, and the dependency-pattern auxiliaries derive:
+
+* fig. 3 — generalizing the opcode (``add`` -> ``eor``);
+* fig. 6 — the mov-prefixed template with its auxiliary instruction;
+* fig. 7 — extending a simple instruction (``orr``) to a complex sibling
+  (``bic``) via auxiliary host instructions;
+* fig. 8 — preserving register-dependency patterns with a copy auxiliary.
+
+Run:  python examples/parameterization_tour.py
+"""
+
+from repro.isa.arm import ARM, assemble as arm
+from repro.isa.x86 import X86
+from repro.isa.x86.assembler import format_instruction
+from repro.learning import learn_pair
+from repro.lang import compile_pair
+from repro.param import derive_rules
+from repro.verify import check_equivalence
+
+TRAINING_SOURCE = """
+global out[8];
+func main() {
+  var a, b, c, r;
+  a = 100; b = 17; c = 3;
+  r = a + b;        // learns the three-operand add rule
+  r = r + c;        // learns the accumulating add rule
+  r = r | 1;        // learns an orr rule
+  out[0] = r;
+  return r;
+}
+"""
+
+
+def show_rule(title, rule) -> None:
+    print(f"--- {title}")
+    if rule is None:
+        print("    (no rule)")
+        return
+    for insn in rule.guest:
+        print(f"    guest: {insn}")
+    for insn in rule.host:
+        print(f"    host : {format_instruction(insn)}")
+    if rule.host_temps:
+        print(f"    scratch registers: {', '.join(rule.host_temps)}")
+    if rule.constraints:
+        print(f"    constraints: {', '.join(rule.constraints)}")
+    mismatches = [f for f, s in rule.flag_status if s == "mismatch"]
+    if mismatches:
+        print(f"    flag mismatches (delegation-gated): {', '.join(mismatches)}")
+    print(f"    origin: {rule.origin}")
+    print()
+
+
+def main() -> None:
+    pair = compile_pair("tour", TRAINING_SOURCE)
+    learned = learn_pair(pair).rules
+    print(f"learned {len(learned)} rules from the training program\n")
+
+    show_rule("learned rule (fig. 6 shape: mov-prefixed three-operand add)",
+              learned.lookup(arm("add r0, r1, r2")))
+
+    derived = derive_rules(learned).derived
+    print(f"derivation produced {len(derived)} new verified rules\n")
+
+    show_rule("fig. 3: opcode generalization add -> eor (same addressing mode)",
+              derived.lookup(arm("eor r0, r1, r2")))
+
+    show_rule("rsc was never in any training set; derived with swapped sources",
+              derived.lookup(arm("rsc r0, r1, r2")))
+
+    show_rule("fig. 7: complex sibling bic derived with invert auxiliaries",
+              derived.lookup(arm("bic r0, r0, r1")))
+
+    show_rule("commutativity lets add rd, rn, rd collapse to the destructive form",
+              derived.lookup(arm("add r0, r1, r0")))
+
+    show_rule("fig. 8: non-commutative sub with rd == rm needs scratch auxiliaries",
+              derived.lookup(arm("sub r0, r1, r0")))
+
+    show_rule("addressing-mode generalization: register -> immediate source",
+              derived.lookup(arm("eor r0, r1, #42")))
+
+    # Every derived rule passed the same symbolic verification as learned
+    # rules — demonstrate on one of them explicitly.
+    rule = derived.lookup(arm("bic r0, r0, r1"))
+    result = check_equivalence(
+        ARM, X86, rule.guest, rule.host, allow_temps=len(rule.host_temps)
+    )
+    print(f"re-verification of the derived bic rule: equivalent={result.equivalent}, "
+          f"mapping={result.reg_mapping}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Leave-one-out coverage on the synthetic SPEC CINT 2006 stand-ins.
+
+For a few benchmarks: learn rules from the *other eleven* programs (the
+paper's protocol, §V-A), then translate and execute the held-out benchmark
+under each configuration, reporting dynamic coverage and the host/guest
+instruction ratio — a miniature of the paper's figures 12-14.
+
+Run:  python examples/spec_coverage.py [benchmark ...]
+"""
+
+import sys
+
+from repro.experiments.common import run_benchmark
+from repro.param import STAGES
+from repro.workloads import BENCHMARK_NAMES
+
+DEFAULT = ("mcf", "libquantum", "h264ref")
+
+
+def main() -> None:
+    names = sys.argv[1:] or list(DEFAULT)
+    unknown = [n for n in names if n not in BENCHMARK_NAMES]
+    if unknown:
+        raise SystemExit(f"unknown benchmarks: {unknown}; pick from {BENCHMARK_NAMES}")
+
+    header = f"{'benchmark':12s} {'stage':10s} {'coverage':>9s} {'ratio':>7s} {'cost':>10s}"
+    print(header)
+    print("-" * len(header))
+    for name in names:
+        for stage in STAGES:
+            metrics = run_benchmark(name, stage)
+            print(
+                f"{name:12s} {stage:10s} {100 * metrics.coverage:8.1f}% "
+                f"{metrics.total_ratio:7.2f} {metrics.cost():10.0f}"
+            )
+        print()
+    print("notes:")
+    print(" - w/o para corresponds to the enhanced learning baseline [16]")
+    print(" - the condition stage is the full parameterized system (paper: 95.5%)")
+    print(" - the manual stage adds hand-written rules for the residual seven")
+    print("   instructions (paper: 100% coverage)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+The offline environment lacks the ``wheel`` package, so PEP-517 editable
+installs fail with ``invalid command 'bdist_wheel'``.  With this shim and no
+``[build-system]`` table in pyproject.toml, ``pip install -e .`` takes the
+legacy ``setup.py develop`` path, which works without wheel.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,17 @@
+"""repro — a reproduction of "More with Less" (MICRO 2020).
+
+A learning-based dynamic binary translator with rule parameterization:
+
+* :mod:`repro.isa` — ARM-like guest and x86-like host ISA models
+* :mod:`repro.symir` / :mod:`repro.verify` — symbolic verification substrate
+* :mod:`repro.lang` — mini compiler producing paired guest/host binaries
+* :mod:`repro.learning` — translation-rule learning pipeline
+* :mod:`repro.param` — the paper's parameterization framework
+* :mod:`repro.dbt` — the DBT engine (QEMU-like baseline + rule translators)
+* :mod:`repro.workloads` — synthetic SPEC CINT 2006 stand-ins
+* :mod:`repro.experiments` — one harness per paper table/figure
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,246 @@
+"""Command-line interface.
+
+Usage::
+
+    repro list                      # available experiments
+    repro run fig12                 # reproduce one table/figure
+    repro run all                   # reproduce everything
+    repro suite                     # workload suite summary
+    repro rules [--benchmark NAME] [--out FILE]   # learn + dump rules
+    repro translate NAME [--stage condition]      # run one benchmark's DBT
+
+Every experiment prints the same rows the paper reports, with a note giving
+the paper's numbers for comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+
+def _cmd_list(_args) -> int:
+    from repro.experiments import EXPERIMENTS
+
+    print("available experiments:")
+    for ident, runner in EXPERIMENTS.items():
+        doc = (runner.__module__.split(".")[-1]).replace("_", " ")
+        print(f"  {ident:8s} {doc}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.experiments import EXPERIMENTS
+    from repro.experiments.charts import render_chart
+
+    idents = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [i for i in idents if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for ident in idents:
+        started = time.time()
+        result = EXPERIMENTS[ident]()
+        if args.chart and ident == "fig16":
+            from repro.experiments.charts import render_series
+
+            print(
+                render_series(
+                    result.title,
+                    xs=[row[0] for row in result.rows],
+                    series={
+                        "w/o para.": [row[1] for row in result.rows],
+                        "para.": [row[2] for row in result.rows],
+                    },
+                )
+            )
+        elif args.chart and ident.startswith("fig"):
+            print(render_chart(result))
+        else:
+            print(result.format())
+        print(f"[{ident} completed in {time.time() - started:.1f}s]")
+        print()
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    """Verify a rule candidate given guest and host assembly."""
+    from repro.isa.arm import assemble as arm_assemble
+    from repro.isa.arm.opcodes import ARM
+    from repro.isa.x86 import assemble as x86_assemble
+    from repro.isa.x86.opcodes import X86
+    from repro.verify import check_equivalence
+
+    guest = arm_assemble(args.guest.replace(";", "\n"))
+    host = x86_assemble(args.host.replace(";", "\n"))
+    result = check_equivalence(ARM, X86, guest, host, allow_temps=args.temps)
+    print(f"equivalent      : {result.equivalent}")
+    print(f"dataflow ok     : {result.dataflow_ok}")
+    if result.reg_mapping is not None:
+        print(f"register mapping: {result.reg_mapping}")
+        print(f"scratch regs    : {list(result.host_temps)}")
+        print(f"flag status     : {result.flag_status}")
+    else:
+        print(f"rejected        : {result.reason}")
+    return 0 if result.equivalent else 1
+
+
+def _cmd_suite(_args) -> int:
+    from repro.experiments.report import format_table
+    from repro.workloads import suite_summary
+
+    rows = [
+        (name, info["statements"], info["guest_instructions"], info["host_instructions"])
+        for name, info in suite_summary().items()
+    ]
+    print(
+        format_table(
+            "Synthetic SPEC CINT 2006 suite",
+            ("benchmark", "statements", "guest insns", "host insns"),
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_rules(args) -> int:
+    from repro.experiments.common import benchmark_learning, rules_full_suite
+    from repro.learning import dump_rules
+
+    if args.benchmark:
+        rules = benchmark_learning(args.benchmark).rules
+    else:
+        rules = rules_full_suite()
+    text = dump_rules(rules)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {len(rules)} rules to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_losses(_args) -> int:
+    """Aggregate learning-funnel loss reasons across the suite (§II-B)."""
+    from repro.experiments.common import suite_stats
+    from repro.experiments.report import format_table
+
+    extraction: dict = {}
+    verification: dict = {}
+    for stats in suite_stats():
+        for reason, count in stats.extraction_losses.items():
+            extraction[reason] = extraction.get(reason, 0) + count
+        for reason, count in stats.verification_losses.items():
+            verification[reason] = verification.get(reason, 0) + count
+    rows = [("extraction", r, c) for r, c in sorted(extraction.items(), key=lambda kv: -kv[1])]
+    rows += [("verification", r, c) for r, c in sorted(verification.items(), key=lambda kv: -kv[1])]
+    print(
+        format_table(
+            "Learning-funnel losses (whole suite)",
+            ("stage", "reason", "statements"),
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis import origin_attribution, ruleset_stats, top_rules
+    from repro.experiments.common import run_benchmark, setup_excluding
+
+    metrics = run_benchmark(args.benchmark, args.stage)
+    print(origin_attribution(metrics).format())
+    print()
+    print(top_rules(metrics, count=args.top).format())
+    if args.ruleset:
+        print()
+        setup = setup_excluding(args.benchmark)
+        print(ruleset_stats(setup.configs[args.stage].rules).format())
+    return 0
+
+
+def _cmd_translate(args) -> int:
+    from repro.experiments.common import run_benchmark
+
+    metrics = run_benchmark(args.benchmark, args.stage)
+    print(f"benchmark          : {args.benchmark}")
+    print(f"configuration      : {args.stage}")
+    print(f"guest instructions : {metrics.guest_dynamic}")
+    print(f"dynamic coverage   : {100 * metrics.coverage:.2f}%")
+    print(f"host/guest ratio   : {metrics.total_ratio:.2f}")
+    for category in ("rule", "tcg", "data", "control"):
+        print(f"  {category:16s} : {metrics.ratio(category):.2f}")
+    print(f"blocks translated  : {metrics.blocks_translated}")
+    print(f"block executions   : {metrics.block_executions}")
+    print(f"simulated cost     : {metrics.cost():.0f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'More with Less' (MICRO 2020): "
+        "learning-based DBT with rule parameterization.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(fn=_cmd_list)
+
+    run = sub.add_parser("run", help="reproduce a paper table/figure")
+    run.add_argument("experiment", help="experiment id (e.g. fig12) or 'all'")
+    run.add_argument("--chart", action="store_true",
+                     help="render figures as ASCII bar charts")
+    run.set_defaults(fn=_cmd_run)
+
+    verify = sub.add_parser(
+        "verify", help="verify a rule candidate (guest vs host assembly)"
+    )
+    verify.add_argument("guest", help="guest assembly; ';' separates lines")
+    verify.add_argument("host", help="host assembly; ';' separates lines")
+    verify.add_argument("--temps", type=int, default=0,
+                        help="allowed host scratch registers")
+    verify.set_defaults(fn=_cmd_verify)
+
+    sub.add_parser("suite", help="workload suite summary").set_defaults(fn=_cmd_suite)
+
+    rules = sub.add_parser("rules", help="learn and dump translation rules")
+    rules.add_argument("--benchmark", help="learn from one benchmark only")
+    rules.add_argument("--out", help="write JSON to a file")
+    rules.set_defaults(fn=_cmd_rules)
+
+    sub.add_parser(
+        "losses", help="learning-funnel loss reasons (paper §II-B)"
+    ).set_defaults(fn=_cmd_losses)
+
+    analyze = sub.add_parser(
+        "analyze", help="rule-usage and coverage-attribution report"
+    )
+    analyze.add_argument("benchmark")
+    analyze.add_argument("--stage", default="condition")
+    analyze.add_argument("--top", type=int, default=15)
+    analyze.add_argument("--ruleset", action="store_true",
+                         help="also print rule-set composition")
+    analyze.set_defaults(fn=_cmd_analyze)
+
+    translate = sub.add_parser("translate", help="run one benchmark under the DBT")
+    translate.add_argument("benchmark")
+    from repro.param import STAGES
+
+    translate.add_argument("--stage", default="condition", choices=STAGES)
+    translate.set_defaults(fn=_cmd_translate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # e.g. `repro run all | head`
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""DBT engine: TCG baseline, rule-based translation, execution, metrics."""
+
+from repro.dbt.block import Block, BlockMap
+from repro.dbt.engine import DBTEngine, DBTRunResult, check_against_reference
+from repro.dbt.guest_interp import GuestInterpreter, RunResult
+from repro.dbt.loader import unit_from_assembly
+from repro.dbt.metrics import DISPATCH_COST, RunMetrics, speedup
+from repro.dbt.translator import (
+    BlockTranslator,
+    TranslatedBlock,
+    TranslationConfig,
+)
+
+__all__ = [
+    "Block",
+    "BlockMap",
+    "DBTEngine",
+    "DBTRunResult",
+    "check_against_reference",
+    "GuestInterpreter",
+    "RunResult",
+    "RunMetrics",
+    "DISPATCH_COST",
+    "speedup",
+    "unit_from_assembly",
+    "BlockTranslator",
+    "TranslatedBlock",
+    "TranslationConfig",
+]

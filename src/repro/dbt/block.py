@@ -1,0 +1,74 @@
+"""Guest basic-block discovery.
+
+Blocks are built over the *real* (label-free) instruction index space.
+Leaders are: function entries, every label target, and every instruction
+following a branch or a call.  A block ends at its terminator branch or just
+before the next leader.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.isa.arm.opcodes import ARM
+from repro.lang.program import CompiledUnit
+
+
+@dataclass(frozen=True)
+class Block:
+    """A guest basic block: instruction indices [start, end)."""
+
+    start: int
+    end: int
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+
+class BlockMap:
+    """All blocks of a compiled unit, indexed by start address."""
+
+    def __init__(self, unit: CompiledUnit) -> None:
+        self.unit = unit
+        instructions = unit.real_instructions
+        n = len(instructions)
+        leaders = {0} | set(unit.labels.values())
+        for i, insn in enumerate(instructions):
+            defn = ARM.defn(insn)
+            if defn.is_branch and i + 1 < n:
+                leaders.add(i + 1)
+        ordered = sorted(index for index in leaders if index < n)
+        self.blocks: List[Block] = []
+        self._block_at: Dict[int, Block] = {}
+        for i, start in enumerate(ordered):
+            end = ordered[i + 1] if i + 1 < len(ordered) else n
+            block = Block(start, end)
+            self.blocks.append(block)
+            self._block_at[start] = block
+
+    def block_at(self, index: int) -> Block:
+        block = self._block_at.get(index)
+        if block is None:
+            raise KeyError(f"no basic block starts at instruction index {index}")
+        return block
+
+    def instructions(self, block: Block) -> Tuple:
+        return self.unit.real_instructions[block.start : block.end]
+
+    def live_in_flags(self) -> frozenset:
+        """Flags read before being set in any block (cross-block flag use).
+
+        The mini compiler keeps flags block-local, so this is normally
+        empty; the translator uses it as a safety net for hand-written
+        guest code that carries flags across block boundaries.
+        """
+        live = set()
+        for block in self.blocks:
+            written = set()
+            for insn in self.instructions(block):
+                defn = ARM.defn(insn)
+                live |= defn.flags_read - written
+                written |= defn.flags_set
+        return frozenset(live)

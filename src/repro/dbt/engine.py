@@ -1,0 +1,172 @@
+"""The DBT engine: code cache + dispatch loop + correctness checking.
+
+``DBTEngine`` emulates a compiled guest program the way user-mode QEMU
+does: discover the basic block at the current guest PC, translate it (once —
+translations are cached), execute the translated host code, read the next
+guest PC from the environment, repeat until control reaches the halt
+address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.dbt.block import BlockMap
+from repro.dbt.executor import HostExecutor
+from repro.dbt.guest_interp import GuestInterpreter
+from repro.dbt.metrics import RunMetrics
+from repro.dbt.runtime import (
+    ENV_BASE,
+    HALT_ADDRESS,
+    env_flag_addr,
+    env_reg_addr,
+    is_env_address,
+)
+from repro.dbt.translator import BlockTranslator, TranslatedBlock, TranslationConfig
+from repro.errors import ExecutionError
+from repro.lang.program import STACK_BASE, CompiledUnit
+from repro.semantics.state import ConcreteState
+
+DEFAULT_MAX_BLOCKS = 2_000_000
+
+
+@dataclass
+class DBTRunResult:
+    metrics: RunMetrics
+    state: ConcreteState
+
+    def guest_reg(self, name: str) -> int:
+        return self.state.load(env_reg_addr(name))
+
+    def guest_flag(self, name: str) -> int:
+        return self.state.load(env_flag_addr(name))
+
+    def guest_memory(self) -> Dict[int, int]:
+        """Guest-visible memory (environment slots excluded)."""
+        return {
+            word_addr: value
+            for word_addr, value in self.state.memory.items()
+            if not is_env_address(word_addr * 4) and value
+        }
+
+
+def _initial_state() -> ConcreteState:
+    state = ConcreteState()
+    state.reset_flags()
+    for i in range(13):
+        state.store(env_reg_addr(f"r{i}"), 0)
+    state.store(env_reg_addr("sp"), STACK_BASE)
+    state.store(env_reg_addr("lr"), HALT_ADDRESS)
+    state.store(env_reg_addr("pc"), 0)
+    for flag in ("N", "Z", "C", "V"):
+        state.store(env_flag_addr(flag), 0)
+    return state
+
+
+class DBTEngine:
+    """Dynamic binary translator for one guest binary + one configuration.
+
+    ``chaining=True`` enables QEMU-style block chaining: once a control-flow
+    edge between two translated blocks has been taken, its exit stub is
+    patched to jump directly to the successor, skipping the dispatch loop.
+    The paper treats chaining as a complementary optimization outside its
+    scope (§V-B1); it is modelled here as an engine option so its effect can
+    be measured (see ``benchmarks/test_bench_rules.py``).
+    """
+
+    def __init__(
+        self,
+        unit: CompiledUnit,
+        config: TranslationConfig,
+        chaining: bool = False,
+    ) -> None:
+        self.unit = unit
+        self.config = config
+        self.chaining = chaining
+        self.blockmap = BlockMap(unit)
+        self.translator = BlockTranslator(unit, self.blockmap, config)
+        self.code_cache: Dict[int, TranslatedBlock] = {}
+        self._chained_edges: set = set()
+
+    def _translated(self, index: int, metrics: RunMetrics) -> TranslatedBlock:
+        tb = self.code_cache.get(index)
+        if tb is None:
+            tb = self.translator.translate(self.blockmap.block_at(index))
+            self.code_cache[index] = tb
+            metrics.blocks_translated += 1
+        return tb
+
+    def run(
+        self,
+        entry: str = "fn_main",
+        max_blocks: int = DEFAULT_MAX_BLOCKS,
+        state: Optional[ConcreteState] = None,
+        on_block=None,
+    ) -> DBTRunResult:
+        """Run to completion.
+
+        ``on_block(tb, state)`` — if given — is invoked after every block
+        execution with the translated block and the live machine state: an
+        execution-trace hook for debugging and tooling.
+        """
+        state = state or _initial_state()
+        metrics = RunMetrics(name=self.config.name)
+        executor = HostExecutor(state)
+        entry_label = self.unit.func_labels.get(entry, entry)
+        pc_index = self.unit.labels[entry_label]
+        pc_addr_word = env_reg_addr("pc") // 4
+
+        while True:
+            if metrics.block_executions >= max_blocks:
+                raise ExecutionError(f"exceeded {max_blocks} block executions")
+            tb = self._translated(pc_index, metrics)
+            executor.run_block(tb, metrics.host_counts)
+            metrics.block_executions += 1
+            metrics.guest_dynamic += tb.guest_count
+            metrics.covered_dynamic += sum(tb.covered)
+            for rule, length in tb.applied:
+                metrics.rule_hits[rule] = metrics.rule_hits.get(rule, 0) + length
+            if on_block is not None:
+                on_block(tb, state)
+            next_addr = state.memory.get(pc_addr_word, 0)
+            if next_addr == HALT_ADDRESS:
+                break
+            if next_addr % 4:
+                raise ExecutionError(f"misaligned guest PC {next_addr:#x}")
+            next_index = next_addr // 4
+            if self.chaining:
+                edge = (pc_index, next_index)
+                if edge in self._chained_edges:
+                    metrics.chained_executions += 1
+                else:
+                    self._chained_edges.add(edge)
+            pc_index = next_index
+        return DBTRunResult(metrics=metrics, state=state)
+
+
+def check_against_reference(
+    unit: CompiledUnit, result: DBTRunResult, entry: str = "fn_main"
+) -> Tuple[bool, str]:
+    """Compare a DBT run's final state with the reference interpreter.
+
+    Compares general-purpose registers and guest-visible memory.  Condition
+    flags are excluded: the translated code may legitimately leave dead
+    guest flags unmaterialized.
+    """
+    reference = GuestInterpreter(unit).run(entry=entry)
+    for i in range(13):
+        name = f"r{i}"
+        if reference.state.regs[name] != result.guest_reg(name):
+            return False, (
+                f"register {name}: reference {reference.state.regs[name]:#x} "
+                f"!= DBT {result.guest_reg(name):#x}"
+            )
+    ref_memory = {
+        addr: value for addr, value in reference.state.memory.items() if value
+    }
+    dbt_memory = result.guest_memory()
+    if ref_memory != dbt_memory:
+        delta = set(ref_memory.items()) ^ set(dbt_memory.items())
+        return False, f"memory mismatch ({len(delta)} differing entries)"
+    return True, "ok"

@@ -1,0 +1,75 @@
+"""Host-code executor: runs translated blocks against a concrete state.
+
+The executor is the "hardware" of the host machine: it interprets the
+translated host instructions (including the virtual ``g_*`` block registers
+and the environment memory) and accounts executed instructions per category.
+Control returns to the engine when a block exit jumps to the dispatch label.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.dbt.runtime import DISPATCH_LABEL
+from repro.dbt.translator import TranslatedBlock
+from repro.errors import ExecutionError
+from repro.isa.operands import Label
+from repro.isa.x86.opcodes import X86
+from repro.semantics.state import ConcreteState
+
+#: Instruction-count weights: helpers stand for out-of-line code sequences.
+WEIGHTS: Dict[str, int] = {"helper_umlal": 8, "helper_clz": 6}
+
+_MAX_BLOCK_STEPS = 100_000
+
+
+class HostExecutor:
+    """Interprets translated blocks; shared state across blocks."""
+
+    def __init__(self, state: ConcreteState) -> None:
+        self.state = state
+        self._defs_cache: Dict[int, Tuple] = {}
+
+    def _defs(self, tb: TranslatedBlock):
+        cached = self._defs_cache.get(id(tb))
+        if cached is None:
+            cached = tuple(X86.defn(insn) for insn in tb.host)
+            self._defs_cache[id(tb)] = cached
+        return cached
+
+    def run_block(self, tb: TranslatedBlock, counts: Dict[str, int]) -> None:
+        """Execute one translated block to its dispatch exit.
+
+        ``counts`` maps category -> weighted executed host instructions and
+        is updated in place.
+        """
+        state = self.state
+        host = tb.host
+        cats = tb.categories
+        defs = self._defs(tb)
+        labels = tb.labels
+        index = 0
+        steps = 0
+        while True:
+            if steps > _MAX_BLOCK_STEPS:
+                raise ExecutionError("runaway translated block")
+            steps += 1
+            insn = host[index]
+            defn = defs[index]
+            counts[cats[index]] = counts.get(cats[index], 0) + WEIGHTS.get(
+                insn.mnemonic, 1
+            )
+            if defn.is_branch:
+                target = insn.operands[0]
+                assert isinstance(target, Label)
+                if target.name == DISPATCH_LABEL:
+                    return
+                state.clear_branch()
+                defn.semantics(state, insn)
+                if state.branch_taken:
+                    index = labels[target.name]
+                else:
+                    index += 1
+                continue
+            defn.semantics(state, insn)
+            index += 1

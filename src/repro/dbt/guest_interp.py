@@ -1,0 +1,109 @@
+"""Reference interpreter for compiled guest (ARM) programs.
+
+This is the correctness oracle: the DBT engine's translated execution must
+produce the same final architectural state as this interpreter.  It also
+doubles as the profiler that reports dynamic instruction counts per site,
+which the coverage metrics are weighted by.
+
+Addressing convention: the instruction at index ``i`` lives at byte address
+``i * 4``.  Reading the PC yields ``i*4 + 8`` (the classic ARM pipeline
+offset); ``bl`` stores the return address ``(i+1)*4`` into ``lr``; ``bx``
+jumps to the byte address in its register operand.  Execution halts when
+control transfers to :data:`HALT_ADDRESS`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ExecutionError
+from repro.isa.arm.opcodes import ARM
+from repro.lang.program import STACK_BASE, CompiledUnit
+from repro.semantics.state import ConcreteState
+
+HALT_ADDRESS = 0xFFFF_FFF0
+DEFAULT_MAX_STEPS = 5_000_000
+
+
+@dataclass
+class RunResult:
+    """Outcome of one guest program execution."""
+
+    state: ConcreteState
+    steps: int
+    #: dynamic execution count per instruction index.
+    site_counts: Dict[int, int] = field(default_factory=dict)
+
+    def dynamic_mnemonic_counts(self, instructions) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for index, count in self.site_counts.items():
+            mnemonic = instructions[index].mnemonic
+            counts[mnemonic] = counts.get(mnemonic, 0) + count
+        return counts
+
+
+def initial_state() -> ConcreteState:
+    state = ConcreteState()
+    state.reset_flags()
+    for i in range(13):
+        state.regs[f"r{i}"] = 0
+    state.regs["sp"] = STACK_BASE
+    state.regs["lr"] = HALT_ADDRESS
+    state.regs["pc"] = 0
+    return state
+
+
+class GuestInterpreter:
+    """Direct interpreter over a compiled guest unit."""
+
+    def __init__(self, unit: CompiledUnit) -> None:
+        self.unit = unit
+        self.instructions = unit.real_instructions
+        self.labels = unit.labels
+        self.defs = tuple(ARM.defn(insn) for insn in self.instructions)
+
+    def run(
+        self,
+        entry: str = "fn_main",
+        max_steps: int = DEFAULT_MAX_STEPS,
+        state: Optional[ConcreteState] = None,
+        count_sites: bool = True,
+    ) -> RunResult:
+        if state is None:
+            state = initial_state()
+        index = self.labels[self.unit.func_labels.get(entry, entry)]
+        instructions = self.instructions
+        defs = self.defs
+        labels = self.labels
+        site_counts: Dict[int, int] = {}
+        steps = 0
+        n = len(instructions)
+
+        while 0 <= index < n:
+            if steps >= max_steps:
+                raise ExecutionError(f"exceeded {max_steps} steps (runaway program?)")
+            insn = instructions[index]
+            defn = defs[index]
+            state.regs["pc"] = index * 4 + 8
+            state.clear_branch()
+            defn.semantics(state, insn)
+            steps += 1
+            if count_sites:
+                site_counts[index] = site_counts.get(index, 0) + 1
+
+            if defn.is_call:
+                state.regs["lr"] = (index + 1) * 4
+            if state.branch_taken is not None and state.branch_taken:
+                if state.branch_target is not None:
+                    index = labels[state.branch_target]
+                else:  # bx: target address in the register operand
+                    address = state.get_reg(insn.operands[0].name)
+                    if address == HALT_ADDRESS:
+                        break
+                    if address % 4:
+                        raise ExecutionError(f"misaligned branch target {address:#x}")
+                    index = address // 4
+            else:
+                index += 1
+        return RunResult(state=state, steps=steps, site_counts=site_counts)

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class UnknownInstructionError(ReproError):
+    """An instruction mnemonic or operand shape is not defined by the ISA."""
+
+
+class AssemblyError(ReproError):
+    """Malformed assembly text."""
+
+
+class ParseError(ReproError):
+    """Malformed mini-language source."""
+
+
+class CodegenError(ReproError):
+    """The code generator cannot lower a construct."""
+
+
+class VerificationError(ReproError):
+    """The symbolic verifier was asked an ill-formed question."""
+
+
+class ExecutionError(ReproError):
+    """Runtime failure inside an interpreter or the DBT engine."""
+
+
+class RuleError(ReproError):
+    """A translation rule is malformed or cannot be instantiated."""

@@ -1,0 +1,96 @@
+"""ASCII bar/series rendering for the figure experiments.
+
+The paper's figures are bar charts (per-benchmark series) and one line
+chart (fig. 16).  ``render_chart`` draws an :class:`ExperimentResult` as
+horizontal grouped bars in plain text, so ``repro run fig12 --chart`` gives
+an at-a-glance visual without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.experiments.report import ExperimentResult
+
+_FULL = "█"
+_TICKS = (" ", "▏", "▎", "▍", "▌", "▋", "▊", "▉")
+_SERIES_MARKS = "▌▒░█▚▞"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    if scale <= 0:
+        return ""
+    cells = max(0.0, value) / scale * width
+    whole = int(cells)
+    frac = int((cells - whole) * 8)
+    bar = _FULL * whole
+    if frac and whole < width:
+        bar += _TICKS[frac]
+    return bar
+
+
+def render_chart(result: ExperimentResult, width: int = 48) -> str:
+    """Render a result as horizontal grouped bars (one group per row)."""
+    numeric_columns = [
+        i
+        for i in range(1, len(result.headers))
+        if all(isinstance(row[i], (int, float)) for row in result.rows)
+    ]
+    if not numeric_columns:
+        return result.format()
+
+    peak = max(
+        float(row[i]) for row in result.rows for i in numeric_columns
+    )
+    label_width = max(len(str(row[0])) for row in result.rows)
+    series_width = max(len(result.headers[i]) for i in numeric_columns)
+
+    lines: List[str] = [result.title, "-" * len(result.title)]
+    for row in result.rows:
+        lines.append(str(row[0]))
+        for slot, i in enumerate(numeric_columns):
+            value = float(row[i])
+            mark = _SERIES_MARKS[slot % len(_SERIES_MARKS)]
+            bar = _bar(value, peak, width).replace(_FULL, mark)
+            lines.append(
+                f"  {result.headers[i]:>{series_width}s} |{bar:<{width}s}| "
+                f"{value:.2f}"
+            )
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    xs: Sequence[float],
+    series: dict,
+    height: int = 12,
+    width: int = 60,
+) -> str:
+    """Render named y-series over shared x values as a dot plot (fig. 16)."""
+    all_values = [v for values in series.values() for v in values]
+    if not all_values:
+        return title
+    lo, hi = min(all_values), max(all_values)
+    span = (hi - lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    marks = {}
+    for index, (name, values) in enumerate(series.items()):
+        mark = str(index + 1)
+        marks[name] = mark
+        for x_index, value in enumerate(values):
+            col = int(x_index / max(1, len(xs) - 1) * (width - 1))
+            row = height - 1 - int((value - lo) / span * (height - 1))
+            grid[row][col] = mark
+    lines = [title, "-" * len(title)]
+    for row_index, row in enumerate(grid):
+        level = hi - span * row_index / (height - 1)
+        lines.append(f"{level:7.1f} |" + "".join(row))
+    lines.append(" " * 9 + "".join("^" if i in
+                 {int(k / max(1, len(xs) - 1) * (width - 1)) for k in range(len(xs))}
+                 else " " for i in range(width)))
+    lines.append(" " * 9 + f"x: {', '.join(str(x) for x in xs)}")
+    for name, mark in marks.items():
+        lines.append(f"  [{mark}] {name}")
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Shared experiment machinery: the leave-one-out protocol and caches.
+
+The paper's protocol (§V-A): rules learned from 11 benchmarks are applied
+to the 12th, repeated for each benchmark.  Everything expensive — per-
+benchmark learning, rule derivation, DBT runs — is cached per process, and
+every DBT run is checked against the reference interpreter before its
+metrics are trusted.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+from repro.dbt import DBTEngine, RunMetrics, check_against_reference
+from repro.errors import ExecutionError
+from repro.learning import LearnStats, PairLearning, RuleSet, Verifier, learn_pair
+from repro.param import STAGES, SystemSetup, build_setup
+from repro.workloads import BENCHMARK_NAMES, compiled_benchmark
+
+_SHARED_VERIFIER = Verifier()
+
+
+@lru_cache(maxsize=None)
+def benchmark_learning(name: str) -> PairLearning:
+    """Learn rules from one benchmark (shared verification cache)."""
+    return learn_pair(compiled_benchmark(name), _SHARED_VERIFIER)
+
+
+@lru_cache(maxsize=None)
+def suite_stats() -> Tuple[LearnStats, ...]:
+    return tuple(benchmark_learning(name).stats for name in BENCHMARK_NAMES)
+
+
+def rules_from(names: Sequence[str]) -> RuleSet:
+    """Merged unique rules learned from the given benchmarks."""
+    merged = RuleSet()
+    for name in names:
+        merged.extend(benchmark_learning(name).rules.rules)
+    return merged
+
+
+@lru_cache(maxsize=None)
+def rules_excluding(name: str) -> RuleSet:
+    return rules_from(tuple(n for n in BENCHMARK_NAMES if n != name))
+
+
+@lru_cache(maxsize=None)
+def rules_full_suite() -> RuleSet:
+    return rules_from(BENCHMARK_NAMES)
+
+
+@lru_cache(maxsize=None)
+def setup_excluding(name: str) -> SystemSetup:
+    """Leave-one-out system setup (learned + derived rules, all stages)."""
+    return build_setup(rules_excluding(name))
+
+
+@lru_cache(maxsize=None)
+def full_suite_setup() -> SystemSetup:
+    return build_setup(rules_full_suite())
+
+
+@lru_cache(maxsize=None)
+def run_benchmark(name: str, stage: str) -> RunMetrics:
+    """Run one benchmark under one configuration (leave-one-out rules).
+
+    The final architectural state is validated against the reference
+    interpreter; a mismatch is an error, not a data point.
+    """
+    if stage not in STAGES:
+        raise ValueError(f"unknown stage {stage!r}; expected one of {STAGES}")
+    pair = compiled_benchmark(name)
+    setup = setup_excluding(name)
+    engine = DBTEngine(pair.guest, setup.configs[stage])
+    result = engine.run()
+    ok, message = check_against_reference(pair.guest, result)
+    if not ok:
+        raise ExecutionError(f"{name}/{stage}: translated execution diverged: {message}")
+    return result.metrics
+
+
+def run_stage_metrics(stage: str) -> Dict[str, RunMetrics]:
+    return {name: run_benchmark(name, stage) for name in BENCHMARK_NAMES}
+
+
+def geomean(values: Sequence[float]) -> float:
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0

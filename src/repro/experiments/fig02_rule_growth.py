@@ -1,0 +1,30 @@
+"""Figure 2: learned-rule count vs number of training benchmarks.
+
+The paper adds one randomly-selected benchmark at a time (perlbench first)
+and counts the merged unique learned rules; growth flattens after ~6
+benchmarks.  We reproduce the same cumulative-merge protocol over the suite
+order (perlbench is first in it, as in the paper's illustration).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import benchmark_learning, rules_from
+from repro.experiments.report import ExperimentResult
+from repro.workloads import BENCHMARK_NAMES
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        ident="fig02",
+        title="Fig. 2 — unique learned rules vs training-set size",
+        headers=("benchmarks", "added", "unique rules"),
+    )
+    for count in range(1, len(BENCHMARK_NAMES) + 1):
+        names = BENCHMARK_NAMES[:count]
+        merged = rules_from(names)
+        result.add(count, names[-1], len(merged))
+    result.note(
+        "paper shape: growth slows sharply after ~6 benchmarks "
+        "(2,724 rules at 12 for real SPEC)"
+    )
+    return result

@@ -1,0 +1,31 @@
+"""Figure 11: performance normalized to QEMU 4.1.
+
+Paper: parameterization reaches 1.29x over QEMU on average (geomean),
+1.24x over the enhanced learning baseline.
+"""
+
+from __future__ import annotations
+
+from repro.dbt.metrics import speedup
+from repro.experiments.common import geomean, run_benchmark
+from repro.experiments.report import ExperimentResult
+from repro.workloads import BENCHMARK_NAMES
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        ident="fig11",
+        title="Fig. 11 — speedup over QEMU (cost model)",
+        headers=("benchmark", "qemu", "w/o para.", "para."),
+    )
+    baseline_speedups, para_speedups = [], []
+    for name in BENCHMARK_NAMES:
+        qemu = run_benchmark(name, "qemu")
+        wopara = speedup(qemu, run_benchmark(name, "wopara"))
+        para = speedup(qemu, run_benchmark(name, "condition"))
+        baseline_speedups.append(wopara)
+        para_speedups.append(para)
+        result.add(name, 1.0, wopara, para)
+    result.add("geomean", 1.0, geomean(baseline_speedups), geomean(para_speedups))
+    result.note("paper geomeans: w/o para ~1.04x, para ~1.29x over QEMU")
+    return result

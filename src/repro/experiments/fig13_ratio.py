@@ -1,0 +1,34 @@
+"""Figure 13: host instructions per guest instruction.
+
+Paper averages: QEMU 8.18, w/o para 7.51, para 5.66.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import mean, run_benchmark
+from repro.experiments.report import ExperimentResult
+from repro.workloads import BENCHMARK_NAMES
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        ident="fig13",
+        title="Fig. 13 — host instructions per guest instruction",
+        headers=("benchmark", "qemu", "w/o para.", "para."),
+    )
+    columns = {"qemu": [], "wopara": [], "condition": []}
+    for name in BENCHMARK_NAMES:
+        ratios = {
+            stage: run_benchmark(name, stage).total_ratio for stage in columns
+        }
+        for stage, value in ratios.items():
+            columns[stage].append(value)
+        result.add(name, ratios["qemu"], ratios["wopara"], ratios["condition"])
+    result.add(
+        "average",
+        mean(columns["qemu"]),
+        mean(columns["wopara"]),
+        mean(columns["condition"]),
+    )
+    result.note("paper averages: QEMU 8.18, w/o para 7.51, para 5.66")
+    return result

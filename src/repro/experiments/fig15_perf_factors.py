@@ -1,0 +1,34 @@
+"""Figure 15: performance contribution of each parameterization factor.
+
+Cumulative speedups over QEMU.  Paper geomeans: 1.04 -> 1.13 -> 1.22 ->
+1.29.
+"""
+
+from __future__ import annotations
+
+from repro.dbt.metrics import speedup
+from repro.experiments.common import geomean, run_benchmark
+from repro.experiments.report import ExperimentResult
+from repro.workloads import BENCHMARK_NAMES
+
+STAGE_COLUMNS = ("wopara", "opcode", "addrmode", "condition")
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        ident="fig15",
+        title="Fig. 15 — speedup over QEMU by parameterization factor",
+        headers=("benchmark", "w/o para.", "opcode", "addr mode", "condition"),
+    )
+    columns = {stage: [] for stage in STAGE_COLUMNS}
+    for name in BENCHMARK_NAMES:
+        qemu = run_benchmark(name, "qemu")
+        values = []
+        for stage in STAGE_COLUMNS:
+            gain = speedup(qemu, run_benchmark(name, stage))
+            columns[stage].append(gain)
+            values.append(gain)
+        result.add(name, *values)
+    result.add("geomean", *(geomean(columns[stage]) for stage in STAGE_COLUMNS))
+    result.note("paper geomeans: 1.04 / 1.13 / 1.22 / 1.29")
+    return result

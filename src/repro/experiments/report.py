@@ -1,0 +1,64 @@
+"""Experiment result schema and table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple, Union
+
+Cell = Union[str, int, float]
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure, as rows of data."""
+
+    ident: str  # e.g. "fig12"
+    title: str
+    headers: Tuple[str, ...]
+    rows: List[Tuple[Cell, ...]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, *cells: Cell) -> None:
+        self.rows.append(cells)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def column(self, header: str) -> List[Cell]:
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def row_for(self, key: Cell) -> Tuple[Cell, ...]:
+        for row in self.rows:
+            if row[0] == key:
+                return row
+        raise KeyError(f"no row {key!r} in {self.ident}")
+
+    def format(self) -> str:
+        return format_table(self.title, self.headers, self.rows, self.notes)
+
+
+def _fmt(cell: Cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    notes: Sequence[str] = (),
+) -> str:
+    table = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    lines = [title, "-" * len(title)]
+    for row_index, row in enumerate(table):
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+        if row_index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    for note in notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Table II: host-instruction breakdown per guest instruction.
+
+Columns (paper §V-B1):
+
+* *Rule translated* — host instructions emitted for guest instructions in
+  the parameterized system (rule path + residual emulation);
+* *QEMU translated* — the same quantity for the pure-TCG system;
+* *Data transfer* — per-block guest-register loads/stores;
+* *Control code* — block-exit stubs;
+* totals.  Paper averages: 0.97 / 3.49 / 2.02 / 2.68 / 5.66 / 8.18.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import mean, run_benchmark
+from repro.experiments.report import ExperimentResult
+from repro.workloads import BENCHMARK_NAMES
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        ident="table2",
+        title="Table II — host instructions per guest instruction, by category",
+        headers=(
+            "benchmark",
+            "rule translated",
+            "qemu translated",
+            "data transfer",
+            "control code",
+            "rule total",
+            "qemu total",
+        ),
+    )
+    sums = {key: [] for key in ("rt", "qt", "dt", "cc", "rtot", "qtot")}
+    for name in BENCHMARK_NAMES:
+        para = run_benchmark(name, "condition")
+        qemu = run_benchmark(name, "qemu")
+        row = {
+            "rt": para.translated_ratio,
+            "qt": qemu.translated_ratio,
+            "dt": para.ratio("data"),
+            "cc": para.ratio("control"),
+            "rtot": para.total_ratio,
+            "qtot": qemu.total_ratio,
+        }
+        for key, value in row.items():
+            sums[key].append(value)
+        result.add(name, row["rt"], row["qt"], row["dt"], row["cc"], row["rtot"], row["qtot"])
+    result.add(
+        "Average",
+        *(mean(sums[key]) for key in ("rt", "qt", "dt", "cc", "rtot", "qtot")),
+    )
+    result.note("paper averages: 0.97 / 3.49 / 2.02 / 2.68 / 5.66 / 8.18")
+    return result

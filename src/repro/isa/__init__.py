@@ -1,0 +1,26 @@
+"""ISA models: shared operand/instruction abstractions plus the two ISAs."""
+
+from repro.isa.flags import ALL_FLAGS, CONDITION_FLAG_USES, FLAG_NAMES, condition_holds
+from repro.isa.instruction import DataType, Instruction, InstructionDef, Subgroup
+from repro.isa.isa import ISA, resolve_labels
+from repro.isa.operands import Imm, Label, Mem, Operand, OperandKind, Reg, RegList
+
+__all__ = [
+    "Instruction",
+    "InstructionDef",
+    "Subgroup",
+    "DataType",
+    "ISA",
+    "resolve_labels",
+    "Operand",
+    "OperandKind",
+    "Reg",
+    "Imm",
+    "Mem",
+    "Label",
+    "RegList",
+    "FLAG_NAMES",
+    "ALL_FLAGS",
+    "CONDITION_FLAG_USES",
+    "condition_holds",
+]

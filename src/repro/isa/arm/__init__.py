@@ -1,0 +1,7 @@
+"""ARM-like guest ISA."""
+
+from repro.isa.arm.assembler import assemble, disassemble, parse_line
+from repro.isa.arm.opcodes import ARM
+from repro.isa.arm.registers import ALL_REGISTERS, ALLOCATABLE, R
+
+__all__ = ["ARM", "assemble", "disassemble", "parse_line", "ALL_REGISTERS", "ALLOCATABLE", "R"]

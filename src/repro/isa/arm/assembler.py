@@ -1,0 +1,136 @@
+"""Text assembler / disassembler for the ARM-like guest ISA.
+
+Accepted syntax (one instruction per line, ``@`` starts a comment)::
+
+    .L0:
+        add   r0, r1, r2
+        adds  r0, r1, #5
+        ldr   r0, [r1, #4]
+        ldr   r0, [r1, r2]
+        str   r0, [r1]
+        push  {r4, r5, lr}
+        bne   .L0
+
+Label definitions become ``.label`` pseudo-instructions, resolved by
+:func:`repro.isa.isa.resolve_labels`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.errors import AssemblyError, UnknownInstructionError
+from repro.isa.arm.opcodes import ARM
+from repro.isa.arm.registers import ALL_REGISTERS
+from repro.isa.instruction import Instruction
+from repro.isa.operands import Imm, Label, Mem, Operand, Reg, RegList
+
+_IMM_RE = re.compile(r"^#(-?(?:0x[0-9a-fA-F]+|\d+))$")
+_LABEL_DEF_RE = re.compile(r"^(\.?[A-Za-z_][\w.]*):$")
+
+
+def _parse_int(text: str) -> int:
+    return int(text, 0)
+
+
+def parse_operand(text: str) -> Operand:
+    """Parse a single ARM operand."""
+    text = text.strip()
+    if text in ALL_REGISTERS:
+        return Reg(text)
+    match = _IMM_RE.match(text)
+    if match:
+        return Imm(_parse_int(match.group(1)))
+    if text.startswith("[") and text.endswith("]"):
+        return _parse_mem(text[1:-1])
+    if text.startswith("{") and text.endswith("}"):
+        regs = tuple(Reg(part.strip()) for part in text[1:-1].split(","))
+        for entry in regs:
+            if entry.name not in ALL_REGISTERS:
+                raise AssemblyError(f"unknown register in list: {entry.name!r}")
+        return RegList(regs)
+    if re.match(r"^\.?[A-Za-z_][\w.]*$", text):
+        return Label(text)
+    raise AssemblyError(f"cannot parse operand {text!r}")
+
+
+def _parse_mem(inner: str) -> Mem:
+    parts = [part.strip() for part in inner.split(",")]
+    if not parts or not parts[0]:
+        raise AssemblyError(f"empty memory operand [{inner}]")
+    if parts[0] not in ALL_REGISTERS:
+        raise AssemblyError(f"memory base must be a register, got {parts[0]!r}")
+    base = Reg(parts[0])
+    if len(parts) == 1:
+        return Mem(base=base)
+    if len(parts) == 2:
+        second = parts[1]
+        match = _IMM_RE.match(second)
+        if match:
+            return Mem(base=base, disp=_parse_int(match.group(1)))
+        if second in ALL_REGISTERS:
+            return Mem(base=base, index=Reg(second))
+        raise AssemblyError(f"cannot parse memory offset {second!r}")
+    raise AssemblyError(f"too many parts in memory operand [{inner}]")
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split an operand field on commas not inside brackets/braces."""
+    parts: List[str] = []
+    depth = 0
+    current = []
+    for char in text:
+        if char in "[{":
+            depth += 1
+        elif char in "]}":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current))
+    return [part.strip() for part in parts if part.strip()]
+
+
+def parse_line(line: str) -> Instruction | None:
+    """Parse one line; returns None for blank/comment-only lines."""
+    line = line.split("@", 1)[0].strip()
+    if not line:
+        return None
+    match = _LABEL_DEF_RE.match(line)
+    if match:
+        return Instruction(".label", (Label(match.group(1)),))
+    fields = line.split(None, 1)
+    mnemonic = fields[0]
+    operand_text = fields[1] if len(fields) > 1 else ""
+    operands = tuple(parse_operand(part) for part in _split_operands(operand_text))
+    insn = Instruction(mnemonic, operands)
+    ARM.validate(insn)
+    return insn
+
+
+def assemble(source: str) -> Tuple[Instruction, ...]:
+    """Assemble a multi-line ARM listing (labels kept as pseudo-ops)."""
+    instructions: List[Instruction] = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        try:
+            insn = parse_line(line)
+        except (AssemblyError, UnknownInstructionError) as exc:
+            raise AssemblyError(f"line {lineno}: {exc}") from exc
+        if insn is not None:
+            instructions.append(insn)
+    return tuple(instructions)
+
+
+def disassemble(instructions: Tuple[Instruction, ...]) -> str:
+    """Render instructions back to canonical text."""
+    lines = []
+    for insn in instructions:
+        if insn.mnemonic == ".label":
+            lines.append(f"{insn.operands[0]}:")
+        else:
+            lines.append(f"    {insn}")
+    return "\n".join(lines)

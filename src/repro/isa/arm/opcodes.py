@@ -1,0 +1,253 @@
+"""Instruction definitions for the ARM-like guest ISA.
+
+Classification follows paper §IV-A: integer instructions fall into five
+subgroups — (1) arithmetic and logic, (2) data transfer memory→register
+(``mov``/``mvn``/``ldr``...), (3) data transfer register→memory (``str``...),
+(4) compare, (5) everything else (branches, stack, ISA-special).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.arm import semantics as sem
+from repro.isa.arm.registers import ALL_REGISTERS, ALLOCATABLE, PC, SP
+from repro.isa.flags import CONDITION_FLAG_USES, NZ, NZCV
+from repro.isa.instruction import InstructionDef, Subgroup
+from repro.isa.isa import ISA
+from repro.isa.operands import OperandKind as K
+
+_R3 = ((K.REG, K.REG, K.REG), (K.REG, K.REG, K.IMM))
+_R3_REG_ONLY = ((K.REG, K.REG, K.REG),)
+_R2 = ((K.REG, K.REG), (K.REG, K.IMM))
+_LOAD_SIG = ((K.REG, K.REG), (K.REG, K.IMM), (K.REG, K.MEM))
+_STORE_SIG = ((K.REG, K.MEM),)
+_CMP_SIG = ((K.REG, K.REG), (K.REG, K.IMM))
+
+
+def _alu3(mnemonic, fn, *, flags=frozenset(), reads=frozenset(), commutative=False, sigs=_R3):
+    return InstructionDef(
+        mnemonic=mnemonic,
+        signatures=sigs,
+        subgroup=Subgroup.ALU,
+        semantics=fn,
+        flags_set=flags,
+        flags_read=reads,
+        dest_index=0,
+        source_indices=(1, 2),
+        commutative=commutative,
+    )
+
+
+def _move(mnemonic, fn, *, flags=frozenset(), sigs=_R2):
+    return InstructionDef(
+        mnemonic=mnemonic,
+        signatures=sigs,
+        subgroup=Subgroup.LOAD,
+        semantics=fn,
+        flags_set=flags,
+        dest_index=0,
+        source_indices=(1,),
+    )
+
+
+def build_defs() -> List[InstructionDef]:
+    defs: List[InstructionDef] = []
+    carry = frozenset({"C"})
+
+    # (1) Arithmetic and logic.
+    for name, kind in (("add", "add"), ("sub", "sub"), ("rsb", "rsb")):
+        commutative = kind == "add"
+        defs.append(_alu3(name, sem.make_arith(kind, False, False), commutative=commutative))
+        defs.append(
+            _alu3(
+                name + "s",
+                sem.make_arith(kind, True, False),
+                flags=NZCV,
+                commutative=commutative,
+            )
+        )
+    for name, kind in (("adc", "add"), ("sbc", "sub"), ("rsc", "rsb")):
+        commutative = kind == "add"
+        defs.append(
+            _alu3(name, sem.make_arith(kind, False, True), reads=carry, commutative=commutative)
+        )
+        defs.append(
+            _alu3(
+                name + "s",
+                sem.make_arith(kind, True, True),
+                flags=NZCV,
+                reads=carry,
+                commutative=commutative,
+            )
+        )
+    for name in ("and", "orr", "eor", "bic"):
+        commutative = name != "bic"
+        defs.append(_alu3(name, sem.make_logical(name, False), commutative=commutative))
+        defs.append(
+            _alu3(name + "s", sem.make_logical(name, True), flags=NZ, commutative=commutative)
+        )
+    for name in ("lsl", "lsr", "asr"):
+        defs.append(_alu3(name, sem.make_shift(name, False)))
+        defs.append(_alu3(name + "s", sem.make_shift(name, True), flags=NZ))
+    defs.append(_alu3("mul", sem.make_mul(False), commutative=True, sigs=_R3_REG_ONLY))
+    defs.append(
+        _alu3("muls", sem.make_mul(True), flags=NZ, commutative=True, sigs=_R3_REG_ONLY)
+    )
+
+    # (2) Data transfer, memory/register/immediate -> register.
+    defs.append(_move("mov", sem.make_move(False, False)))
+    defs.append(_move("movs", sem.make_move(False, True), flags=NZ))
+    defs.append(_move("mvn", sem.make_move(True, False)))
+    defs.append(_move("mvns", sem.make_move(True, True), flags=NZ))
+    for name, size in (("ldr", 4), ("ldrb", 1), ("ldrh", 2)):
+        defs.append(
+            InstructionDef(
+                mnemonic=name,
+                signatures=((K.REG, K.MEM),),
+                subgroup=Subgroup.LOAD,
+                semantics=sem.make_load(size),
+                dest_index=0,
+                source_indices=(1,),
+            )
+        )
+
+    # (3) Data transfer, register -> memory.
+    for name, size in (("str", 4), ("strb", 1), ("strh", 2)):
+        defs.append(
+            InstructionDef(
+                mnemonic=name,
+                signatures=_STORE_SIG,
+                subgroup=Subgroup.STORE,
+                semantics=sem.make_store(size),
+                dest_index=1,
+                source_indices=(0,),
+            )
+        )
+
+    # (4) Compare.
+    for name, fn, flags, commutative in (
+        ("cmp", sem.sem_cmp, NZCV, False),
+        ("cmn", sem.sem_cmn, NZCV, True),
+        ("tst", sem.sem_tst, NZ, True),
+        ("teq", sem.sem_teq, NZ, True),
+    ):
+        defs.append(
+            InstructionDef(
+                mnemonic=name,
+                signatures=_CMP_SIG,
+                subgroup=Subgroup.COMPARE,
+                semantics=fn,
+                flags_set=flags,
+                source_indices=(0, 1),
+                commutative=commutative,
+            )
+        )
+
+    # (5) Remaining: branches, calls, stack, ISA-special.
+    defs.append(
+        InstructionDef(
+            mnemonic="b",
+            signatures=((K.LABEL,),),
+            subgroup=Subgroup.OTHER,
+            semantics=sem.make_branch(None),
+            is_branch=True,
+        )
+    )
+    for cond, reads in CONDITION_FLAG_USES.items():
+        defs.append(
+            InstructionDef(
+                mnemonic=f"b{cond}",
+                signatures=((K.LABEL,),),
+                subgroup=Subgroup.OTHER,
+                semantics=sem.make_branch(cond),
+                flags_read=reads,
+                is_branch=True,
+                cond=cond,
+            )
+        )
+    defs.append(
+        InstructionDef(
+            mnemonic="bl",
+            signatures=((K.LABEL,),),
+            subgroup=Subgroup.OTHER,
+            semantics=sem.sem_bl,
+            is_branch=True,
+            is_call=True,
+        )
+    )
+    defs.append(
+        InstructionDef(
+            mnemonic="bx",
+            signatures=((K.REG,),),
+            subgroup=Subgroup.OTHER,
+            semantics=sem.sem_bx,
+            is_branch=True,
+            is_return=True,
+            source_indices=(0,),
+        )
+    )
+    defs.append(
+        InstructionDef(
+            mnemonic="push",
+            signatures=((K.REGLIST,),),
+            subgroup=Subgroup.OTHER,
+            semantics=sem.sem_push,
+            source_indices=(0,),
+        )
+    )
+    defs.append(
+        InstructionDef(
+            mnemonic="pop",
+            signatures=((K.REGLIST,),),
+            subgroup=Subgroup.OTHER,
+            semantics=sem.sem_pop,
+            dest_index=0,
+        )
+    )
+    defs.append(
+        InstructionDef(
+            mnemonic="mla",
+            signatures=((K.REG, K.REG, K.REG, K.REG),),
+            subgroup=Subgroup.OTHER,
+            semantics=sem.sem_mla,
+            dest_index=0,
+            source_indices=(1, 2, 3),
+        )
+    )
+    defs.append(
+        InstructionDef(
+            mnemonic="umlal",
+            signatures=((K.REG, K.REG, K.REG, K.REG),),
+            subgroup=Subgroup.OTHER,
+            semantics=sem.sem_umlal,
+            dest_index=0,
+            source_indices=(0, 1, 2, 3),
+        )
+    )
+    defs.append(
+        InstructionDef(
+            mnemonic="clz",
+            signatures=((K.REG, K.REG),),
+            subgroup=Subgroup.OTHER,
+            semantics=sem.sem_clz,
+            dest_index=0,
+            source_indices=(1,),
+        )
+    )
+    return defs
+
+
+def build_isa() -> ISA:
+    isa = ISA(
+        name="arm",
+        registers=ALL_REGISTERS,
+        pc_register=PC,
+        sp_register=SP,
+        allocatable=ALLOCATABLE,
+    )
+    isa.add_all(build_defs())
+    return isa
+
+
+ARM = build_isa()

@@ -1,0 +1,26 @@
+"""ARM-like register file: r0-r12 general purpose, sp, lr, pc."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.isa.operands import Reg
+
+GPR_NAMES: Tuple[str, ...] = tuple(f"r{i}" for i in range(13))
+SP = "sp"
+LR = "lr"
+PC = "pc"
+
+ALL_REGISTERS: Tuple[str, ...] = GPR_NAMES + (SP, LR, PC)
+
+#: Registers the mini-compiler's allocator may use for temporaries.
+ALLOCATABLE: Tuple[str, ...] = GPR_NAMES
+
+
+def reg(name: str) -> Reg:
+    if name not in ALL_REGISTERS:
+        raise ValueError(f"unknown ARM register {name!r}")
+    return Reg(name)
+
+
+R = {name: Reg(name) for name in ALL_REGISTERS}

@@ -1,0 +1,285 @@
+"""Executable semantics for the ARM-like guest ISA.
+
+Each function takes ``(state, insn)`` and manipulates the state through the
+value-domain protocol, so the same code runs concretely (interpreter) and
+symbolically (verifier).  Instructions whose behaviour cannot be expressed
+as straight-line dataflow over the domain (``push``/``pop``/``bl``/``bx``,
+the 64-bit ``umlal``) raise :class:`VerificationError` under the symbolic
+domain — exactly the instructions the paper reports as unlearnable.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VerificationError
+from repro.isa.instruction import Instruction
+from repro.isa.operands import Label, RegList
+from repro.semantics.domain import WORD_MASK
+
+
+def _bit_not(st, value):
+    """1-bit logical not."""
+    return st.d.xor(value, st.d.const(1, 1))
+
+
+def _require_concrete(st, insn: Instruction) -> None:
+    if st.d.name != "concrete":
+        raise VerificationError(
+            f"{insn.mnemonic} has ABI/width-dependent semantics and cannot be "
+            "symbolically executed"
+        )
+
+
+# -- ALU ----------------------------------------------------------------------
+
+
+def _sources3(st, insn):
+    return st.read_operand(insn.operands[1]), st.read_operand(insn.operands[2])
+
+
+def make_arith(kind: str, set_flags: bool, use_carry: bool):
+    """Build semantics for add/sub/rsb (+carry variants adc/sbc/rsc)."""
+
+    def sem(st, insn: Instruction) -> None:
+        d = st.d
+        a, b = _sources3(st, insn)
+        carry = st.get_flag("C") if use_carry else None
+        if kind == "add":
+            cin = carry if use_carry else d.const(0, 1)
+            result, c, v = d.addc(a, b, cin)
+        elif kind == "sub":
+            cin = carry if use_carry else d.const(1, 1)
+            result, c, v = d.addc(a, d.not_(b), cin)
+        elif kind == "rsb":
+            cin = carry if use_carry else d.const(1, 1)
+            result, c, v = d.addc(b, d.not_(a), cin)
+        else:  # pragma: no cover - table is closed
+            raise AssertionError(kind)
+        st.write_operand(insn.operands[0], result)
+        if set_flags:
+            st.set_nzcv(result, c, v)
+
+    return sem
+
+
+def make_logical(kind: str, set_flags: bool):
+    """Build semantics for and/orr/eor/bic."""
+
+    def sem(st, insn: Instruction) -> None:
+        d = st.d
+        a, b = _sources3(st, insn)
+        if kind == "and":
+            result = d.and_(a, b)
+        elif kind == "orr":
+            result = d.or_(a, b)
+        elif kind == "eor":
+            result = d.xor(a, b)
+        elif kind == "bic":
+            result = d.and_(a, d.not_(b))
+        else:  # pragma: no cover
+            raise AssertionError(kind)
+        st.write_operand(insn.operands[0], result)
+        if set_flags:
+            st.set_nz(result)
+
+    return sem
+
+
+def make_shift(kind: str, set_flags: bool):
+    def sem(st, insn: Instruction) -> None:
+        d = st.d
+        a, b = _sources3(st, insn)
+        if kind == "lsl":
+            result = d.shl(a, b)
+        elif kind == "lsr":
+            result = d.lshr(a, b)
+        elif kind == "asr":
+            result = d.ashr(a, b)
+        else:  # pragma: no cover
+            raise AssertionError(kind)
+        st.write_operand(insn.operands[0], result)
+        if set_flags:
+            st.set_nz(result)
+
+    return sem
+
+
+def make_mul(set_flags: bool):
+    def sem(st, insn: Instruction) -> None:
+        a, b = _sources3(st, insn)
+        result = st.d.mul(a, b)
+        st.write_operand(insn.operands[0], result)
+        if set_flags:
+            st.set_nz(result)
+
+    return sem
+
+
+def make_move(invert: bool, set_flags: bool):
+    """mov / mvn (2-operand)."""
+
+    def sem(st, insn: Instruction) -> None:
+        value = st.read_operand(insn.operands[1])
+        if invert:
+            value = st.d.not_(value)
+        st.write_operand(insn.operands[0], value)
+        if set_flags:
+            st.set_nz(value)
+
+    return sem
+
+
+def sem_clz(st, insn: Instruction) -> None:
+    value = st.read_operand(insn.operands[1])
+    st.write_operand(insn.operands[0], st.d.clz(value))
+
+
+def sem_mla(st, insn: Instruction) -> None:
+    d = st.d
+    rn = st.read_operand(insn.operands[1])
+    rm = st.read_operand(insn.operands[2])
+    ra = st.read_operand(insn.operands[3])
+    st.write_operand(insn.operands[0], d.add(d.mul(rn, rm), ra))
+
+
+def sem_umlal(st, insn: Instruction) -> None:
+    _require_concrete(st, insn)
+    rdlo = st.read_operand(insn.operands[0])
+    rdhi = st.read_operand(insn.operands[1])
+    rn = st.read_operand(insn.operands[2])
+    rm = st.read_operand(insn.operands[3])
+    total = ((rdhi << 32) | rdlo) + rn * rm
+    st.write_operand(insn.operands[0], total & WORD_MASK)
+    st.write_operand(insn.operands[1], (total >> 32) & WORD_MASK)
+
+
+# -- data transfer -------------------------------------------------------------
+
+
+def make_load(size: int):
+    def sem(st, insn: Instruction) -> None:
+        st.write_operand(insn.operands[0], st.read_operand(insn.operands[1], size))
+
+    return sem
+
+
+def make_store(size: int):
+    def sem(st, insn: Instruction) -> None:
+        st.write_operand(insn.operands[1], st.read_operand(insn.operands[0]), size)
+
+    return sem
+
+
+# -- compares -------------------------------------------------------------------
+
+
+def sem_cmp(st, insn: Instruction) -> None:
+    d = st.d
+    a = st.read_operand(insn.operands[0])
+    b = st.read_operand(insn.operands[1])
+    result, c, v = d.addc(a, d.not_(b), d.const(1, 1))
+    st.set_nzcv(result, c, v)
+
+
+def sem_cmn(st, insn: Instruction) -> None:
+    d = st.d
+    a = st.read_operand(insn.operands[0])
+    b = st.read_operand(insn.operands[1])
+    result, c, v = d.addc(a, b, d.const(0, 1))
+    st.set_nzcv(result, c, v)
+
+
+def sem_tst(st, insn: Instruction) -> None:
+    a = st.read_operand(insn.operands[0])
+    b = st.read_operand(insn.operands[1])
+    st.set_nz(st.d.and_(a, b))
+
+
+def sem_teq(st, insn: Instruction) -> None:
+    a = st.read_operand(insn.operands[0])
+    b = st.read_operand(insn.operands[1])
+    st.set_nz(st.d.xor(a, b))
+
+
+# -- control flow ----------------------------------------------------------------
+
+
+def condition_value(st, cond: str):
+    """Evaluate a condition code to a 1-bit domain value from state flags."""
+    d = st.d
+    n, z = st.get_flag("N"), st.get_flag("Z")
+    if cond == "eq":
+        return z
+    if cond == "ne":
+        return _bit_not(st, z)
+    c = st.flags.get("C")
+    v = st.flags.get("V")
+    if cond == "lt":
+        return d.xor(n, v)
+    if cond == "ge":
+        return _bit_not(st, d.xor(n, v))
+    if cond == "gt":
+        return d.and_(_bit_not(st, z), _bit_not(st, d.xor(n, v)))
+    if cond == "le":
+        return d.or_(z, d.xor(n, v))
+    if cond == "mi":
+        return n
+    if cond == "pl":
+        return _bit_not(st, n)
+    if cond == "cs":
+        return c
+    if cond == "cc":
+        return _bit_not(st, c)
+    if cond == "hi":
+        return d.and_(c, _bit_not(st, z))
+    if cond == "ls":
+        return d.or_(_bit_not(st, c), z)
+    if cond == "vs":
+        return v
+    if cond == "vc":
+        return _bit_not(st, v)
+    raise ValueError(f"unknown condition code {cond!r}")
+
+
+def make_branch(cond):
+    def sem(st, insn: Instruction) -> None:
+        target = insn.operands[0]
+        assert isinstance(target, Label)
+        taken = st.d.const(1, 1) if cond is None else condition_value(st, cond)
+        st.record_branch(taken, target)
+
+    return sem
+
+
+def sem_bl(st, insn: Instruction) -> None:
+    _require_concrete(st, insn)
+    target = insn.operands[0]
+    assert isinstance(target, Label)
+    st.record_branch(st.d.const(1, 1), target)
+    # The interpreter stores the return address into lr (it knows the pc).
+
+
+def sem_bx(st, insn: Instruction) -> None:
+    _require_concrete(st, insn)
+    st.record_branch(st.d.const(1, 1), None)  # target = register, interpreter resolves
+
+
+def sem_push(st, insn: Instruction) -> None:
+    _require_concrete(st, insn)
+    reglist = insn.operands[0]
+    assert isinstance(reglist, RegList)
+    sp = st.get_reg("sp")
+    for entry in reversed(reglist.regs):
+        sp = (sp - 4) & WORD_MASK
+        st.store(sp, st.get_reg(entry.name))
+    st.set_reg("sp", sp)
+
+
+def sem_pop(st, insn: Instruction) -> None:
+    _require_concrete(st, insn)
+    reglist = insn.operands[0]
+    assert isinstance(reglist, RegList)
+    sp = st.get_reg("sp")
+    for entry in reglist.regs:
+        st.set_reg(entry.name, st.load(sp))
+        sp = (sp + 4) & WORD_MASK
+    st.set_reg("sp", sp)

@@ -1,0 +1,85 @@
+"""Condition-flag model.
+
+Both ISAs expose the same four canonical flags so that condition-flag
+delegation (paper §IV-B, §IV-D) can reason about guest/host flag
+correspondence directly:
+
+======== ============= ==============
+canonical ARM (CPSR)    x86 (EFLAGS)
+======== ============= ==============
+``N``     N (negative)  SF (sign)
+``Z``     Z (zero)      ZF (zero)
+``C``     C (carry)     CF (carry)
+``V``     V (overflow)  OF (overflow)
+======== ============= ==============
+
+The carry convention for subtraction is modelled identically on both sides
+(carry = no-borrow); the real ARM/x86 disagreement on this point is a
+constant inversion that the paper's delegation machinery would fold into the
+flag mapping, so modelling them uniformly preserves the delegation behaviour
+while keeping the equivalence checker simple (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+FLAG_NAMES = ("N", "Z", "C", "V")
+
+ALL_FLAGS: FrozenSet[str] = frozenset(FLAG_NAMES)
+NZ: FrozenSet[str] = frozenset({"N", "Z"})
+NZC: FrozenSet[str] = frozenset({"N", "Z", "C"})
+NZCV: FrozenSet[str] = frozenset(FLAG_NAMES)
+NO_FLAGS: FrozenSet[str] = frozenset()
+
+#: Condition code -> the flags it reads.  Shared by both ISAs (ARM ``bne``
+#: and x86 ``jne`` both read ``Z``, etc.).
+CONDITION_FLAG_USES = {
+    "eq": frozenset({"Z"}),
+    "ne": frozenset({"Z"}),
+    "lt": frozenset({"N", "V"}),
+    "ge": frozenset({"N", "V"}),
+    "gt": frozenset({"Z", "N", "V"}),
+    "le": frozenset({"Z", "N", "V"}),
+    "mi": frozenset({"N"}),
+    "pl": frozenset({"N"}),
+    "cs": frozenset({"C"}),
+    "cc": frozenset({"C"}),
+    "hi": frozenset({"Z", "C"}),
+    "ls": frozenset({"Z", "C"}),
+    "vs": frozenset({"V"}),
+    "vc": frozenset({"V"}),
+}
+
+
+def condition_holds(cond: str, n: int, z: int, c: int, v: int) -> bool:
+    """Evaluate a condition code against concrete flag bits."""
+    if cond == "eq":
+        return z == 1
+    if cond == "ne":
+        return z == 0
+    if cond == "lt":
+        return n != v
+    if cond == "ge":
+        return n == v
+    if cond == "gt":
+        return z == 0 and n == v
+    if cond == "le":
+        return z == 1 or n != v
+    if cond == "mi":
+        return n == 1
+    if cond == "pl":
+        return n == 0
+    if cond == "cs":
+        return c == 1
+    if cond == "cc":
+        return c == 0
+    if cond == "hi":
+        return c == 1 and z == 0
+    if cond == "ls":
+        return c == 0 or z == 1
+    if cond == "vs":
+        return v == 1
+    if cond == "vc":
+        return v == 0
+    raise ValueError(f"unknown condition code: {cond}")

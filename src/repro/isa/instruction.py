@@ -1,0 +1,124 @@
+"""Instruction and instruction-definition model.
+
+An :class:`Instruction` is a mnemonic plus operands — the unit the DBT
+translates.  An :class:`InstructionDef` is the ISA's description of one
+mnemonic: its operand signatures, the subgroup it belongs to (the
+classification dimension of paper §IV-A), its flag behaviour, and its
+executable semantics.
+
+Semantics functions are written once against the value-domain protocol
+(:mod:`repro.semantics.domain`) and are reused by the concrete interpreter
+and the symbolic executor.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, Optional, Tuple
+
+from repro.isa.operands import Operand, OperandKind, operand_kinds
+
+
+class Subgroup(enum.Enum):
+    """Instruction subgroups used for classification (paper §IV-A).
+
+    Instructions in the same subgroup (for the same data type) share a
+    pseudo-opcode and therefore a parameterized rule.
+    """
+
+    ALU = "alu"  # arithmetic and logic
+    LOAD = "load"  # data transfer, memory -> register
+    STORE = "store"  # data transfer, register -> memory
+    COMPARE = "compare"  # flag-setting comparisons
+    OTHER = "other"  # branches, stack ops, ISA-specific leftovers
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class DataType(enum.Enum):
+    """Coarse data-type embedded in opcodes (paper §IV-A).
+
+    The prototype — like the paper's evaluation — exercises the integer
+    subset; the FLOAT member exists so classification logic is total.
+    """
+
+    INT = "int"
+    FLOAT = "float"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single decoded instruction: mnemonic + operand tuple."""
+
+    mnemonic: str
+    operands: Tuple[Operand, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return self.mnemonic
+        return f"{self.mnemonic} " + ", ".join(str(op) for op in self.operands)
+
+    @property
+    def kinds(self) -> Tuple[OperandKind, ...]:
+        return operand_kinds(self.operands)
+
+
+#: semantics(state, insn) -> None.  The state carries the value domain.
+SemanticsFn = Callable[["object", Instruction], None]
+
+
+@dataclass(frozen=True)
+class InstructionDef:
+    """Definition of one mnemonic in an ISA.
+
+    Attributes
+    ----------
+    mnemonic:
+        Assembly mnemonic, e.g. ``"adds"`` or ``"xorl"``.
+    signatures:
+        Allowed operand-kind shapes.  The first operand-kind tuple is the
+        canonical one used in documentation.
+    subgroup / data_type:
+        Classification per paper §IV-A.
+    flags_set / flags_read:
+        Canonical flag names written / read by the instruction.
+    semantics:
+        Executable semantics over the value-domain protocol.  ``None`` only
+        for instructions the DBT handles structurally (unreachable default).
+    dest_index:
+        Operand slot written by the instruction (``None`` for compares,
+        stores and branches, which write no register operand).
+    source_indices:
+        Operand slots read as data sources.
+    commutative:
+        Whether the *source* operands may be exchanged without changing the
+        result (drives the opcode-constraint verification of §IV-C1).
+    is_branch / cond / is_call / is_return:
+        Control-flow classification; ``cond`` is the condition code of a
+        conditional branch.
+    """
+
+    mnemonic: str
+    signatures: Tuple[Tuple[OperandKind, ...], ...]
+    subgroup: Subgroup
+    semantics: Optional[SemanticsFn]
+    data_type: DataType = DataType.INT
+    flags_set: FrozenSet[str] = frozenset()
+    flags_read: FrozenSet[str] = frozenset()
+    dest_index: Optional[int] = None
+    source_indices: Tuple[int, ...] = ()
+    commutative: bool = False
+    is_branch: bool = False
+    cond: Optional[str] = None
+    is_call: bool = False
+    is_return: bool = False
+
+    def accepts(self, kinds: Tuple[OperandKind, ...]) -> bool:
+        """Whether an operand-kind shape is a legal encoding of this def."""
+        return kinds in self.signatures
+
+    @property
+    def sets_flags(self) -> bool:
+        return bool(self.flags_set)

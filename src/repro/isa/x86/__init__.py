@@ -1,0 +1,17 @@
+"""x86-like host ISA."""
+
+from repro.isa.x86.assembler import assemble, disassemble, format_instruction, parse_line
+from repro.isa.x86.opcodes import JCC_TO_COND, X86
+from repro.isa.x86.registers import ALL_REGISTERS, ALLOCATABLE, R
+
+__all__ = [
+    "X86",
+    "assemble",
+    "disassemble",
+    "format_instruction",
+    "parse_line",
+    "JCC_TO_COND",
+    "ALL_REGISTERS",
+    "ALLOCATABLE",
+    "R",
+]

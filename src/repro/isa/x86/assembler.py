@@ -1,0 +1,164 @@
+"""Text assembler / disassembler for the x86-like host ISA (AT&T syntax).
+
+Accepted syntax (one instruction per line, ``#`` starts a comment)::
+
+    .L0:
+        movl  $5, %eax
+        addl  %ecx, %eax
+        movl  8(%ebx), %eax
+        movl  %eax, (%ebx,%ecx,4)
+        cmpl  $0, %eax
+        jne   .L0
+
+``movl`` with a memory destination is internally the STORE-subgroup
+definition ``movl_s``; the disassembler renders it back as ``movl``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.errors import AssemblyError, UnknownInstructionError
+from repro.isa.instruction import Instruction
+from repro.isa.operands import Imm, Label, Mem, Operand, OperandKind, Reg
+from repro.isa.x86.opcodes import X86
+from repro.isa.x86.registers import ALL_REGISTERS
+
+_LABEL_DEF_RE = re.compile(r"^(\.?[A-Za-z_][\w.]*):$")
+_MEM_RE = re.compile(r"^(-?(?:0x[0-9a-fA-F]+|\d+))?\(([^)]*)\)$")
+
+
+def parse_operand(text: str) -> Operand:
+    text = text.strip()
+    if text.startswith("%"):
+        name = text[1:]
+        if name not in ALL_REGISTERS:
+            raise AssemblyError(f"unknown x86 register {text!r}")
+        return Reg(name)
+    if text.startswith("$"):
+        try:
+            return Imm(int(text[1:], 0))
+        except ValueError:
+            raise AssemblyError(f"bad immediate {text!r}") from None
+    match = _MEM_RE.match(text)
+    if match:
+        return _parse_mem(match)
+    if re.match(r"^\.?[A-Za-z_][\w.]*$", text):
+        return Label(text)
+    raise AssemblyError(f"cannot parse operand {text!r}")
+
+
+def _parse_mem(match: re.Match) -> Mem:
+    disp = int(match.group(1), 0) if match.group(1) else 0
+    inner = match.group(2)
+    parts = [part.strip() for part in inner.split(",")] if inner else []
+
+    def parse_reg(text: str) -> Reg:
+        if not text.startswith("%") or text[1:] not in ALL_REGISTERS:
+            raise AssemblyError(f"bad register in memory operand: {text!r}")
+        return Reg(text[1:])
+
+    base = parse_reg(parts[0]) if parts and parts[0] else None
+    index = parse_reg(parts[1]) if len(parts) > 1 and parts[1] else None
+    scale = int(parts[2]) if len(parts) > 2 and parts[2] else 1
+    if base is None and index is None:
+        raise AssemblyError(f"memory operand needs a base or index: {match.group(0)!r}")
+    return Mem(base=base, index=index, disp=disp, scale=scale)
+
+
+def _canonical_mnemonic(mnemonic: str, operands: Tuple[Operand, ...]) -> str:
+    """Map syntactic ``movl`` to the store definition when dst is memory."""
+    if mnemonic == "movl" and len(operands) == 2 and operands[1].kind is OperandKind.MEM:
+        return "movl_s"
+    return mnemonic
+
+
+def parse_line(line: str) -> Instruction | None:
+    line = line.split("#", 1)[0].strip()
+    if not line:
+        return None
+    match = _LABEL_DEF_RE.match(line)
+    if match:
+        return Instruction(".label", (Label(match.group(1)),))
+    fields = line.split(None, 1)
+    operand_text = fields[1] if len(fields) > 1 else ""
+    operands = tuple(
+        parse_operand(part) for part in operand_text.split(",") if part.strip()
+    ) if _is_simple_split(operand_text) else tuple(
+        parse_operand(part) for part in _split_operands(operand_text)
+    )
+    mnemonic = _canonical_mnemonic(fields[0], operands)
+    insn = Instruction(mnemonic, operands)
+    X86.validate(insn)
+    return insn
+
+
+def _is_simple_split(text: str) -> bool:
+    return "(" not in text
+
+
+def _split_operands(text: str) -> List[str]:
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for char in text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current))
+    return [part.strip() for part in parts if part.strip()]
+
+
+def assemble(source: str) -> Tuple[Instruction, ...]:
+    instructions: List[Instruction] = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        try:
+            insn = parse_line(line)
+        except (AssemblyError, UnknownInstructionError) as exc:
+            raise AssemblyError(f"line {lineno}: {exc}") from exc
+        if insn is not None:
+            instructions.append(insn)
+    return tuple(instructions)
+
+
+def format_operand(operand: Operand) -> str:
+    if isinstance(operand, Reg):
+        return f"%{operand.name}"
+    if isinstance(operand, Imm):
+        return f"${operand.value}"
+    if isinstance(operand, Mem):
+        disp = str(operand.disp) if operand.disp else ""
+        inner = f"%{operand.base.name}" if operand.base else ""
+        if operand.index is not None:
+            inner += f",%{operand.index.name}"
+            if operand.scale != 1:
+                inner += f",{operand.scale}"
+        return f"{disp}({inner})"
+    if isinstance(operand, Label):
+        return operand.name
+    raise AssemblyError(f"cannot format operand {operand!r}")
+
+
+def format_instruction(insn: Instruction) -> str:
+    mnemonic = "movl" if insn.mnemonic == "movl_s" else insn.mnemonic
+    if not insn.operands:
+        return mnemonic
+    return f"{mnemonic} " + ", ".join(format_operand(op) for op in insn.operands)
+
+
+def disassemble(instructions: Tuple[Instruction, ...]) -> str:
+    lines = []
+    for insn in instructions:
+        if insn.mnemonic == ".label":
+            lines.append(f"{insn.operands[0]}:")
+        else:
+            lines.append(f"    {format_instruction(insn)}")
+    return "\n".join(lines)

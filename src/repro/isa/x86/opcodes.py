@@ -1,0 +1,319 @@
+"""Instruction definitions for the x86-like host ISA.
+
+Subgroup classification mirrors the guest side (paper §IV-A): the ALU
+subgroup holds the destructive 2-operand arithmetic/logic instructions, the
+LOAD subgroup holds register-writing ``movl``/``movzbl``/``leal``, the STORE
+subgroup the memory-writing moves, COMPARE holds ``cmpl``/``testl``, and
+everything else (jumps, stack, ``set<f>``) is OTHER.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.flags import CONDITION_FLAG_USES, NZ, NZCV
+from repro.isa.instruction import InstructionDef, Subgroup
+from repro.isa.isa import ISA
+from repro.isa.operands import OperandKind as K
+from repro.isa.x86 import semantics as sem
+from repro.isa.x86.registers import ALL_REGISTERS, ALLOCATABLE, SP
+
+#: src may be reg/imm/mem; dst may be reg/mem; not both mem.
+_ALU2 = (
+    (K.REG, K.REG),
+    (K.IMM, K.REG),
+    (K.MEM, K.REG),
+    (K.REG, K.MEM),
+    (K.IMM, K.MEM),
+)
+_ALU2_REG_DST = ((K.REG, K.REG), (K.IMM, K.REG), (K.MEM, K.REG))
+_SHIFT = ((K.IMM, K.REG), (K.REG, K.REG), (K.IMM, K.MEM))
+_ONE_OP = ((K.REG,), (K.MEM,))
+
+
+def _alu2(mnemonic, fn, *, flags=frozenset(), reads=frozenset(), commutative=False, sigs=_ALU2):
+    return InstructionDef(
+        mnemonic=mnemonic,
+        signatures=sigs,
+        subgroup=Subgroup.ALU,
+        semantics=fn,
+        flags_set=flags,
+        flags_read=reads,
+        dest_index=1,
+        source_indices=(0, 1),
+        commutative=commutative,
+    )
+
+
+_COND_TO_JCC = {
+    "eq": "je",
+    "ne": "jne",
+    "lt": "jl",
+    "ge": "jge",
+    "gt": "jg",
+    "le": "jle",
+    "mi": "js",
+    "pl": "jns",
+    # The unified no-borrow carry convention (see repro.isa.flags) means
+    # C==1 reads as "no borrow" = unsigned >=, so the carry-set jump is jae.
+    "cs": "jae",
+    "cc": "jb",
+    "hi": "ja",
+    "ls": "jbe",
+    "vs": "jo",
+    "vc": "jno",
+}
+JCC_TO_COND = {v: k for k, v in _COND_TO_JCC.items()}
+
+
+def build_defs() -> List[InstructionDef]:
+    defs: List[InstructionDef] = []
+    carry = frozenset({"C"})
+
+    # ALU.
+    defs.append(_alu2("addl", sem.make_arith2("add", False), flags=NZCV, commutative=True))
+    defs.append(
+        _alu2("adcl", sem.make_arith2("add", True), flags=NZCV, reads=carry, commutative=True)
+    )
+    defs.append(_alu2("subl", sem.make_arith2("sub", False), flags=NZCV))
+    defs.append(_alu2("sbbl", sem.make_arith2("sub", True), flags=NZCV, reads=carry))
+    defs.append(_alu2("andl", sem.make_logic2("and"), flags=NZCV, commutative=True))
+    defs.append(_alu2("orl", sem.make_logic2("or"), flags=NZCV, commutative=True))
+    defs.append(_alu2("xorl", sem.make_logic2("xor"), flags=NZCV, commutative=True))
+    defs.append(_alu2("imull", sem.sem_imull, commutative=True, sigs=_ALU2_REG_DST))
+    defs.append(_alu2("shll", sem.make_shift2("shl"), flags=NZCV, sigs=_SHIFT))
+    defs.append(_alu2("shrl", sem.make_shift2("shr"), flags=NZCV, sigs=_SHIFT))
+    defs.append(_alu2("sarl", sem.make_shift2("sar"), flags=NZCV, sigs=_SHIFT))
+    defs.append(
+        InstructionDef(
+            mnemonic="notl",
+            signatures=_ONE_OP,
+            subgroup=Subgroup.ALU,
+            semantics=sem.sem_notl,
+            dest_index=0,
+            source_indices=(0,),
+        )
+    )
+    defs.append(
+        InstructionDef(
+            mnemonic="negl",
+            signatures=_ONE_OP,
+            subgroup=Subgroup.ALU,
+            semantics=sem.sem_negl,
+            flags_set=NZCV,
+            dest_index=0,
+            source_indices=(0,),
+        )
+    )
+
+    # LOAD (register-writing data transfer).
+    defs.append(
+        InstructionDef(
+            mnemonic="movl",
+            signatures=((K.REG, K.REG), (K.IMM, K.REG), (K.MEM, K.REG)),
+            subgroup=Subgroup.LOAD,
+            semantics=sem.sem_movl,
+            dest_index=1,
+            source_indices=(0,),
+        )
+    )
+    for name, size in (("movzbl", 1), ("movzwl", 2)):
+        defs.append(
+            InstructionDef(
+                mnemonic=name,
+                signatures=((K.MEM, K.REG),),
+                subgroup=Subgroup.LOAD,
+                semantics=sem.make_mov_sized(size, is_load=True),
+                dest_index=1,
+                source_indices=(0,),
+            )
+        )
+    defs.append(
+        InstructionDef(
+            mnemonic="leal",
+            signatures=((K.MEM, K.REG),),
+            subgroup=Subgroup.LOAD,
+            semantics=sem.sem_leal,
+            dest_index=1,
+            source_indices=(0,),
+        )
+    )
+
+    # STORE (memory-writing data transfer).  ``movl reg, mem`` is a separate
+    # mnemonic-shape of movl on real x86; we give the store shape its own
+    # definition name so subgroup classification is by-definition.
+    defs.append(
+        InstructionDef(
+            mnemonic="movl_s",
+            signatures=((K.REG, K.MEM), (K.IMM, K.MEM)),
+            subgroup=Subgroup.STORE,
+            semantics=sem.sem_movl,
+            dest_index=1,
+            source_indices=(0,),
+        )
+    )
+    for name, size in (("movb", 1), ("movw", 2)):
+        defs.append(
+            InstructionDef(
+                mnemonic=name,
+                signatures=((K.REG, K.MEM),),
+                subgroup=Subgroup.STORE,
+                semantics=sem.make_mov_sized(size, is_load=False),
+                dest_index=1,
+                source_indices=(0,),
+            )
+        )
+
+    # COMPARE.
+    defs.append(
+        InstructionDef(
+            mnemonic="cmpl",
+            signatures=((K.REG, K.REG), (K.IMM, K.REG), (K.MEM, K.REG), (K.IMM, K.MEM), (K.REG, K.MEM)),
+            subgroup=Subgroup.COMPARE,
+            semantics=sem.sem_cmpl,
+            flags_set=NZCV,
+            source_indices=(0, 1),
+        )
+    )
+    defs.append(
+        InstructionDef(
+            mnemonic="testl",
+            signatures=((K.REG, K.REG), (K.IMM, K.REG), (K.IMM, K.MEM)),
+            subgroup=Subgroup.COMPARE,
+            semantics=sem.sem_testl,
+            flags_set=NZCV,
+            source_indices=(0, 1),
+            commutative=True,
+        )
+    )
+
+    # OTHER: control flow, stack, flag spill helpers.
+    defs.append(
+        InstructionDef(
+            mnemonic="jmp",
+            signatures=((K.LABEL,),),
+            subgroup=Subgroup.OTHER,
+            semantics=sem.make_jump(None),
+            is_branch=True,
+        )
+    )
+    for cond, jcc in _COND_TO_JCC.items():
+        defs.append(
+            InstructionDef(
+                mnemonic=jcc,
+                signatures=((K.LABEL,),),
+                subgroup=Subgroup.OTHER,
+                semantics=sem.make_jump(cond),
+                flags_read=CONDITION_FLAG_USES[cond],
+                is_branch=True,
+                cond=cond,
+            )
+        )
+    defs.append(
+        InstructionDef(
+            mnemonic="pushl",
+            signatures=((K.REG,), (K.IMM,)),
+            subgroup=Subgroup.OTHER,
+            semantics=sem.sem_pushl,
+            source_indices=(0,),
+        )
+    )
+    defs.append(
+        InstructionDef(
+            mnemonic="popl",
+            signatures=((K.REG,),),
+            subgroup=Subgroup.OTHER,
+            semantics=sem.sem_popl,
+            dest_index=0,
+        )
+    )
+    defs.append(
+        InstructionDef(
+            mnemonic="call",
+            signatures=((K.LABEL,),),
+            subgroup=Subgroup.OTHER,
+            semantics=sem.sem_call,
+            is_branch=True,
+            is_call=True,
+        )
+    )
+    defs.append(
+        InstructionDef(
+            mnemonic="ret",
+            signatures=((),),
+            subgroup=Subgroup.OTHER,
+            semantics=sem.sem_ret,
+            is_branch=True,
+            is_return=True,
+        )
+    )
+    for name, flag in (("setz", "Z"), ("sets", "N"), ("setc", "C"), ("seto", "V")):
+        defs.append(
+            InstructionDef(
+                mnemonic=name,
+                signatures=((K.REG,),),
+                subgroup=Subgroup.OTHER,
+                semantics=sem.make_setcc(flag),
+                flags_read=frozenset({flag}),
+                dest_index=0,
+            )
+        )
+    # Flag spill/reload (setcc+mov / sahf stand-ins; used by the DBT's
+    # condition-flag machinery) and QEMU-style out-of-line helpers.
+    for flag in ("N", "Z", "C", "V"):
+        defs.append(
+            InstructionDef(
+                mnemonic=f"st{flag.lower()}f",
+                signatures=((K.MEM,),),
+                subgroup=Subgroup.OTHER,
+                semantics=sem.make_flag_store(flag),
+                flags_read=frozenset({flag}),
+                dest_index=0,
+            )
+        )
+        defs.append(
+            InstructionDef(
+                mnemonic=f"ld{flag.lower()}f",
+                signatures=((K.MEM,),),
+                subgroup=Subgroup.OTHER,
+                semantics=sem.make_flag_load(flag),
+                flags_set=frozenset({flag}),
+                source_indices=(0,),
+            )
+        )
+    defs.append(
+        InstructionDef(
+            mnemonic="helper_umlal",
+            signatures=((K.REG, K.REG, K.REG, K.REG),),
+            subgroup=Subgroup.OTHER,
+            semantics=sem.sem_helper_umlal,
+            dest_index=0,
+            source_indices=(0, 1, 2, 3),
+        )
+    )
+    defs.append(
+        InstructionDef(
+            mnemonic="helper_clz",
+            signatures=((K.REG, K.REG),),
+            subgroup=Subgroup.OTHER,
+            semantics=sem.sem_helper_clz,
+            dest_index=0,
+            source_indices=(1,),
+        )
+    )
+    return defs
+
+
+def build_isa() -> ISA:
+    isa = ISA(
+        name="x86",
+        registers=ALL_REGISTERS,
+        pc_register=None,
+        sp_register=SP,
+        allocatable=ALLOCATABLE,
+    )
+    isa.add_all(build_defs())
+    return isa
+
+
+X86 = build_isa()

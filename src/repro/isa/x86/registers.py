@@ -1,0 +1,25 @@
+"""x86-like register file (32-bit general-purpose registers)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.isa.operands import Reg
+
+GPR_NAMES: Tuple[str, ...] = ("eax", "ecx", "edx", "ebx", "esi", "edi", "ebp")
+SP = "esp"
+
+ALL_REGISTERS: Tuple[str, ...] = GPR_NAMES + (SP,)
+
+#: Registers the compiler's allocator may use (ebp is allocatable here: the
+#: mini-compiler does not maintain frame pointers, matching -fomit-frame-pointer).
+ALLOCATABLE: Tuple[str, ...] = GPR_NAMES
+
+
+def reg(name: str) -> Reg:
+    if name not in ALL_REGISTERS:
+        raise ValueError(f"unknown x86 register {name!r}")
+    return Reg(name)
+
+
+R = {name: Reg(name) for name in ALL_REGISTERS}

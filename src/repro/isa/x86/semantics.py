@@ -1,0 +1,240 @@
+"""Executable semantics for the x86-like host ISA (AT&T operand order).
+
+Two-operand instructions are destructive: ``op src, dst`` computes
+``dst = dst OP src``.  Flag modelling (see :mod:`repro.isa.flags`):
+
+* ``addl/adcl/subl/sbbl/negl/cmpl`` set N, Z, C, V;
+* ``andl/orl/xorl/testl`` set N and Z and *clobber* C and V to zero (their
+  ARM counterparts preserve C/V — this asymmetry is what makes condition-flag
+  delegation matter, e.g. the paper's ``eors`` loop in libquantum);
+* shifts set N and Z and clobber C and V;
+* ``movl``/``leal``/``notl``/``imull``/stack ops set no flags.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VerificationError
+from repro.isa.instruction import Instruction
+from repro.isa.operands import Label
+
+
+def _src_dst(st, insn):
+    return st.read_operand(insn.operands[0]), st.read_operand(insn.operands[1])
+
+
+def _clobber_cv(st) -> None:
+    zero = st.d.const(0, 1)
+    st.set_flag("C", zero)
+    st.set_flag("V", zero)
+
+
+def make_arith2(kind: str, use_carry: bool):
+    """addl / subl / adcl / sbbl: full NZCV."""
+
+    def sem(st, insn: Instruction) -> None:
+        d = st.d
+        src, dst = _src_dst(st, insn)
+        carry = st.get_flag("C") if use_carry else None
+        if kind == "add":
+            cin = carry if use_carry else d.const(0, 1)
+            result, c, v = d.addc(dst, src, cin)
+        else:  # sub: dst - src, carry = no-borrow
+            cin = carry if use_carry else d.const(1, 1)
+            result, c, v = d.addc(dst, d.not_(src), cin)
+        st.write_operand(insn.operands[1], result)
+        st.set_nzcv(result, c, v)
+
+    return sem
+
+
+def make_logic2(kind: str):
+    """andl / orl / xorl: N,Z set; C,V cleared."""
+
+    def sem(st, insn: Instruction) -> None:
+        d = st.d
+        src, dst = _src_dst(st, insn)
+        if kind == "and":
+            result = d.and_(dst, src)
+        elif kind == "or":
+            result = d.or_(dst, src)
+        elif kind == "xor":
+            result = d.xor(dst, src)
+        else:  # pragma: no cover
+            raise AssertionError(kind)
+        st.write_operand(insn.operands[1], result)
+        st.set_nz(result)
+        _clobber_cv(st)
+
+    return sem
+
+
+def make_shift2(kind: str):
+    """shll / shrl / sarl: N,Z set; C,V cleared."""
+
+    def sem(st, insn: Instruction) -> None:
+        d = st.d
+        src, dst = _src_dst(st, insn)
+        if kind == "shl":
+            result = d.shl(dst, src)
+        elif kind == "shr":
+            result = d.lshr(dst, src)
+        elif kind == "sar":
+            result = d.ashr(dst, src)
+        else:  # pragma: no cover
+            raise AssertionError(kind)
+        st.write_operand(insn.operands[1], result)
+        st.set_nz(result)
+        _clobber_cv(st)
+
+    return sem
+
+
+def sem_imull(st, insn: Instruction) -> None:
+    src, dst = _src_dst(st, insn)
+    st.write_operand(insn.operands[1], st.d.mul(dst, src))
+
+
+def sem_movl(st, insn: Instruction) -> None:
+    st.write_operand(insn.operands[1], st.read_operand(insn.operands[0]))
+
+
+def make_mov_sized(size: int, is_load: bool):
+    """movzbl/movzwl (zero-extending loads) and movb/movw (narrow stores)."""
+
+    def sem(st, insn: Instruction) -> None:
+        if is_load:
+            st.write_operand(insn.operands[1], st.read_operand(insn.operands[0], size))
+        else:
+            st.write_operand(insn.operands[1], st.read_operand(insn.operands[0]), size)
+
+    return sem
+
+
+def sem_leal(st, insn: Instruction) -> None:
+    st.write_operand(insn.operands[1], st.addr_of(insn.operands[0]))
+
+
+def sem_notl(st, insn: Instruction) -> None:
+    value = st.read_operand(insn.operands[0])
+    st.write_operand(insn.operands[0], st.d.not_(value))
+
+
+def sem_negl(st, insn: Instruction) -> None:
+    d = st.d
+    value = st.read_operand(insn.operands[0])
+    result, c, v = d.addc(d.const(0), d.not_(value), d.const(1, 1))
+    st.write_operand(insn.operands[0], result)
+    st.set_nzcv(result, c, v)
+
+
+def sem_cmpl(st, insn: Instruction) -> None:
+    d = st.d
+    src, dst = _src_dst(st, insn)  # AT&T: cmpl b, a  computes a - b
+    result, c, v = d.addc(dst, d.not_(src), d.const(1, 1))
+    st.set_nzcv(result, c, v)
+
+
+def sem_testl(st, insn: Instruction) -> None:
+    src, dst = _src_dst(st, insn)
+    st.set_nz(st.d.and_(dst, src))
+    _clobber_cv(st)
+
+
+def make_setcc(flag: str):
+    """setz/sets/setc/seto: write a flag bit (0/1) into a register."""
+
+    def sem(st, insn: Instruction) -> None:
+        st.write_operand(insn.operands[0], st.d.ite(st.get_flag(flag), st.d.const(1), st.d.const(0)))
+
+    return sem
+
+
+def make_flag_store(flag: str):
+    """``st<f> mem`` — spill one guest-visible flag to memory.
+
+    Stand-in for the ``setcc``+``mov`` / ``lahf`` sequences a real DBT emits;
+    modelled as a single instruction (see the cost-weight table in
+    :mod:`repro.dbt.metrics`).
+    """
+
+    def sem(st, insn: Instruction) -> None:
+        d = st.d
+        value = d.ite(st.get_flag(flag), d.const(1), d.const(0))
+        st.write_operand(insn.operands[0], value)
+
+    return sem
+
+
+def make_flag_load(flag: str):
+    """``ld<f> mem`` — reload one guest flag from memory into EFLAGS."""
+
+    def sem(st, insn: Instruction) -> None:
+        d = st.d
+        value = st.read_operand(insn.operands[0])
+        st.set_flag(flag, d.bit(value, 0))
+
+    return sem
+
+
+def sem_helper_umlal(st, insn: Instruction) -> None:
+    """64-bit multiply-accumulate helper (QEMU-style out-of-line helper)."""
+    _require_concrete(st, insn)
+    lo = st.read_operand(insn.operands[0])
+    hi = st.read_operand(insn.operands[1])
+    rn = st.read_operand(insn.operands[2])
+    rm = st.read_operand(insn.operands[3])
+    total = ((hi << 32) | lo) + rn * rm
+    st.write_operand(insn.operands[0], total & 0xFFFFFFFF)
+    st.write_operand(insn.operands[1], (total >> 32) & 0xFFFFFFFF)
+
+
+def sem_helper_clz(st, insn: Instruction) -> None:
+    """Count-leading-zeros helper."""
+    value = st.read_operand(insn.operands[1])
+    st.write_operand(insn.operands[0], st.d.clz(value))
+
+
+def make_jump(cond):
+    def sem(st, insn: Instruction) -> None:
+        from repro.isa.arm.semantics import condition_value  # same flag algebra
+
+        target = insn.operands[0]
+        assert isinstance(target, Label)
+        taken = st.d.const(1, 1) if cond is None else condition_value(st, cond)
+        st.record_branch(taken, target)
+
+    return sem
+
+
+def _require_concrete(st, insn: Instruction) -> None:
+    if st.d.name != "concrete":
+        raise VerificationError(
+            f"{insn.mnemonic} has ABI-dependent semantics and cannot be "
+            "symbolically executed"
+        )
+
+
+def sem_pushl(st, insn: Instruction) -> None:
+    _require_concrete(st, insn)
+    sp = (st.get_reg("esp") - 4) & 0xFFFFFFFF
+    st.store(sp, st.read_operand(insn.operands[0]))
+    st.set_reg("esp", sp)
+
+
+def sem_popl(st, insn: Instruction) -> None:
+    _require_concrete(st, insn)
+    sp = st.get_reg("esp")
+    st.write_operand(insn.operands[0], st.load(sp))
+    st.set_reg("esp", (sp + 4) & 0xFFFFFFFF)
+
+
+def sem_call(st, insn: Instruction) -> None:
+    _require_concrete(st, insn)
+    target = insn.operands[0]
+    assert isinstance(target, Label)
+    st.record_branch(st.d.const(1, 1), target)
+
+
+def sem_ret(st, insn: Instruction) -> None:
+    _require_concrete(st, insn)
+    st.record_branch(st.d.const(1, 1), None)

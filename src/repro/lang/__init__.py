@@ -1,0 +1,15 @@
+"""Mini compiler: source language, optimizer, and the two backends."""
+
+from repro.lang.compile import compile_pair
+from repro.lang.optimizer import optimize
+from repro.lang.parser import parse
+from repro.lang.program import CompiledPair, CompiledUnit, StatementInfo
+
+__all__ = [
+    "parse",
+    "optimize",
+    "compile_pair",
+    "CompiledPair",
+    "CompiledUnit",
+    "StatementInfo",
+]

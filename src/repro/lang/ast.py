@@ -1,0 +1,352 @@
+"""AST for the mini source language.
+
+The language is deliberately statement-flat (labels + conditional gotos, one
+operation per statement) so that the statement ↔ instruction mapping that
+drives rule learning is first-class, exactly like the debug-line mapping the
+paper's pipeline extracts with GDB (§II-B).
+
+Grammar sketch::
+
+    program   := (global | func)*
+    global    := "global" NAME "[" INT "]" ";"
+    func      := "func" NAME "(" params ")" "{" stmt* "}"
+    stmt      := "var" NAME ("," NAME)* ";"
+               | NAME "=" expr ";"
+               | NAME "[" index "]" "=" atom ";"          # word store
+               | "storeb" | "storeh" forms                 # narrow stores
+               | "if" "(" cond ")" "goto" NAME ";"
+               | "iftest" "(" NAME "=" atom ")" "goto" NAME ";"   # movs+bne idiom
+               | "goto" NAME ";"
+               | NAME ":"
+               | NAME "=" "call" NAME "(" atoms ")" ";"
+               | "call" NAME "(" atoms ")" ";"
+               | "return" atom? ";"
+    expr      := atom
+               | atom BINOP atom
+               | "~" atom | "-" atom | "clz" "(" atom ")"
+               | atom "+" atom "*" atom                    # mla pattern
+               | NAME "[" index "]"                        # word load
+               | "loadb" | "loadh" forms                   # narrow loads
+    index     := atom ("+" INT)?  |  atom ":" INT          # ':4' = scaled
+    cond      := atom RELOP atom | "(" atom "&" atom ")" "!=" "0"
+               | "(" atom "^" atom ")" "==" "0"
+
+Atoms are variables or integer literals; deeper expressions are built by the
+workload generator through explicit temporaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+BINARY_OPS = ("+", "-", "*", "&", "|", "^", "<<", ">>", ">>>", "&~")
+RELOPS = ("==", "!=", "<", "<=", ">", ">=", "<u", "<=u", ">u", ">=u")
+
+#: relop -> ARM condition code (signed by default, u-suffixed unsigned).
+RELOP_TO_COND = {
+    "==": "eq",
+    "!=": "ne",
+    "<": "lt",
+    "<=": "le",
+    ">": "gt",
+    ">=": "ge",
+    "<u": "cc",
+    "<=u": "ls",
+    ">u": "hi",
+    ">=u": "cs",
+}
+
+
+# -- expressions ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConstE:
+    value: int
+
+
+@dataclass(frozen=True)
+class VarE:
+    name: str
+
+
+Atom = object  # ConstE | VarE
+
+
+@dataclass(frozen=True)
+class BinE:
+    op: str
+    lhs: Atom
+    rhs: Atom
+
+
+@dataclass(frozen=True)
+class UnE:
+    op: str  # "~", "-", "clz"
+    operand: Atom
+
+
+@dataclass(frozen=True)
+class MlaE:
+    """``addend + lhs * rhs`` — fuses to ``mla`` on the guest when the
+    destination aliases the addend."""
+
+    addend: Atom
+    lhs: Atom
+    rhs: Atom
+
+
+@dataclass(frozen=True)
+class Index:
+    """Array index: ``var`` or ``var + disp`` (byte offset) or ``var:scale``."""
+
+    base: Atom
+    disp: int = 0
+    scale: int = 1
+
+
+@dataclass(frozen=True)
+class LoadE:
+    array: str
+    index: Index
+    size: int = 4
+
+
+# -- statements ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Assign:
+    dest: str
+    expr: object
+
+
+@dataclass(frozen=True)
+class Store:
+    array: str
+    index: Index
+    value: Atom
+    size: int = 4
+
+
+@dataclass(frozen=True)
+class Cond:
+    """A branch condition."""
+
+    kind: str  # "rel" | "tst" | "teq"
+    op: str  # relop for "rel"; "!=0"/"==0" for tst/teq
+    lhs: Atom
+    rhs: Atom
+
+
+@dataclass(frozen=True)
+class IfGoto:
+    cond: Cond
+    target: str
+
+
+@dataclass(frozen=True)
+class IfTestGoto:
+    """``iftest (x = y) goto L`` — compiles to the ARM ``movs``+``bne`` idiom."""
+
+    dest: str
+    source: Atom
+    target: str
+
+
+@dataclass(frozen=True)
+class FusedAluGoto:
+    """``fuse (x op y) cond goto L`` — compute ``x = x op y`` with the
+    flag-setting instruction variant and branch on the result.
+
+    Compiles to the ARM s-variant + conditional branch (``ands``/``eors``/
+    ``adds``/... + ``b<cond>``), the fused compute-and-test idiom behind the
+    paper's condition-flags-delegation coverage (§V-B2)."""
+
+    dest: str
+    op: str
+    rhs: Atom
+    cond: str  # "ne", "eq", "mi", "pl"
+    target: str
+
+
+@dataclass(frozen=True)
+class Goto:
+    target: str
+
+
+@dataclass(frozen=True)
+class LabelStmt:
+    name: str
+
+
+@dataclass(frozen=True)
+class Call:
+    func: str
+    args: Tuple[Atom, ...]
+    dest: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Return:
+    value: Optional[Atom] = None
+
+
+@dataclass(frozen=True)
+class UmlalStmt:
+    """``umlal(lo, hi, a, b)`` — 64-bit multiply-accumulate of ``a*b`` into
+    the ``hi:lo`` register pair (maps to the ARM ``umlal`` instruction)."""
+
+    lo: str
+    hi: str
+    lhs: Atom
+    rhs: Atom
+
+
+Statement = object
+
+
+# -- program ---------------------------------------------------------------------
+
+
+@dataclass
+class Function:
+    name: str
+    params: Tuple[str, ...]
+    body: List[Statement] = field(default_factory=list)
+
+    def local_names(self) -> List[str]:
+        """All variables assigned or used in the function, params first."""
+        names: Dict[str, None] = {name: None for name in self.params}
+
+        def visit_atom(atom) -> None:
+            if isinstance(atom, VarE):
+                names.setdefault(atom.name)
+
+        for stmt in self.body:
+            if isinstance(stmt, Assign):
+                names.setdefault(stmt.dest)
+                visit_expr(stmt.expr, visit_atom)
+            elif isinstance(stmt, Store):
+                visit_atom(stmt.index.base)
+                visit_atom(stmt.value)
+            elif isinstance(stmt, IfGoto):
+                visit_atom(stmt.cond.lhs)
+                visit_atom(stmt.cond.rhs)
+            elif isinstance(stmt, IfTestGoto):
+                names.setdefault(stmt.dest)
+                visit_atom(stmt.source)
+            elif isinstance(stmt, FusedAluGoto):
+                names.setdefault(stmt.dest)
+                visit_atom(stmt.rhs)
+            elif isinstance(stmt, Call):
+                if stmt.dest is not None:
+                    names.setdefault(stmt.dest)
+                for arg in stmt.args:
+                    visit_atom(arg)
+            elif isinstance(stmt, Return) and stmt.value is not None:
+                visit_atom(stmt.value)
+            elif isinstance(stmt, UmlalStmt):
+                names.setdefault(stmt.lo)
+                names.setdefault(stmt.hi)
+                visit_atom(stmt.lhs)
+                visit_atom(stmt.rhs)
+        return list(names)
+
+
+def usage_counts(func: "Function") -> Dict[str, int]:
+    """How often each variable appears in a function (drives allocation).
+
+    Global arrays are counted as pseudo-variables ``@<name>`` so the
+    allocator can pin hot array bases into registers (compilers hoist
+    loop-invariant base addresses the same way).
+    """
+    counts: Dict[str, int] = {name: 1 for name in func.params}
+
+    def note(atom) -> None:
+        if isinstance(atom, VarE):
+            counts[atom.name] = counts.get(atom.name, 0) + 1
+
+    def note_name(name: str) -> None:
+        counts[name] = counts.get(name, 0) + 1
+
+    def note_array(array: str) -> None:
+        note_name(f"@{array}")
+
+    for stmt in func.body:
+        if isinstance(stmt, Assign):
+            note_name(stmt.dest)
+            visit_expr(stmt.expr, note)
+            if isinstance(stmt.expr, LoadE):
+                note_array(stmt.expr.array)
+        elif isinstance(stmt, Store):
+            note_array(stmt.array)
+            note(stmt.index.base)
+            note(stmt.value)
+        elif isinstance(stmt, IfGoto):
+            note(stmt.cond.lhs)
+            note(stmt.cond.rhs)
+        elif isinstance(stmt, IfTestGoto):
+            note_name(stmt.dest)
+            note(stmt.source)
+        elif isinstance(stmt, FusedAluGoto):
+            note_name(stmt.dest)
+            note(stmt.rhs)
+        elif isinstance(stmt, Call):
+            if stmt.dest is not None:
+                note_name(stmt.dest)
+            for arg in stmt.args:
+                note(arg)
+        elif isinstance(stmt, Return) and stmt.value is not None:
+            note(stmt.value)
+        elif isinstance(stmt, UmlalStmt):
+            note_name(stmt.lo)
+            note_name(stmt.hi)
+            note(stmt.lhs)
+            note(stmt.rhs)
+    return counts
+
+
+def arrays_used(func: "Function") -> List[str]:
+    """Global arrays referenced by a function, in first-use order."""
+    seen: Dict[str, None] = {}
+    for stmt in func.body:
+        if isinstance(stmt, Assign) and isinstance(stmt.expr, LoadE):
+            seen.setdefault(stmt.expr.array)
+        elif isinstance(stmt, Store):
+            seen.setdefault(stmt.array)
+    return list(seen)
+
+
+def visit_expr(expr, visit_atom) -> None:
+    """Apply *visit_atom* to every atom inside an expression."""
+    if isinstance(expr, (ConstE, VarE)):
+        visit_atom(expr)
+    elif isinstance(expr, BinE):
+        visit_atom(expr.lhs)
+        visit_atom(expr.rhs)
+    elif isinstance(expr, UnE):
+        visit_atom(expr.operand)
+    elif isinstance(expr, MlaE):
+        visit_atom(expr.addend)
+        visit_atom(expr.lhs)
+        visit_atom(expr.rhs)
+    elif isinstance(expr, LoadE):
+        visit_atom(expr.index.base)
+    else:
+        raise TypeError(f"unknown expression: {expr!r}")
+
+
+@dataclass
+class Program:
+    functions: Dict[str, Function] = field(default_factory=dict)
+    #: global arrays: name -> size in bytes.
+    globals: Dict[str, int] = field(default_factory=dict)
+
+    def add_function(self, func: Function) -> None:
+        self.functions[func.name] = func
+
+    @property
+    def main(self) -> Function:
+        return self.functions["main"]

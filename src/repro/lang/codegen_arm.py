@@ -1,0 +1,312 @@
+"""ARM backend of the mini compiler (the *guest* side).
+
+Shapes worth noting (they drive what rule learning can see):
+
+* three-operand ALU form, immediates allowed as the second source;
+* ``a = a + b*c`` fuses to ``mla`` (one of the paper's seven unlearnable
+  instructions — its x86 counterpart needs a scratch register);
+* compare+branch and the ``movs``+``bne`` move-and-test idiom keep flag
+  setters adjacent to their readers (flags never live across basic blocks);
+* global-array bases are hoisted into a register per function; under
+  ``pic=True`` the materialization is PC-relative (``add rB, pc, #off``),
+  the pattern behind the paper's fig. 9 constraint.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CodegenError
+from repro.isa.operands import Imm, Label, Mem, Operand, Reg, RegList
+from repro.lang import ast
+from repro.lang.codegen_base import CodegenBase
+
+_OP_MNEMONIC = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "&": "and",
+    "|": "orr",
+    "^": "eor",
+    "<<": "lsl",
+    ">>": "asr",
+    ">>>": "lsr",
+    "&~": "bic",
+}
+
+_LOAD_MNEMONIC = {4: "ldr", 2: "ldrh", 1: "ldrb"}
+_STORE_MNEMONIC = {4: "str", 2: "strh", 1: "strb"}
+
+#: Immediates are encodable in the second-source slot for these ops.
+_IMM_OK = {"add", "sub", "and", "orr", "eor", "bic", "lsl", "asr", "lsr"}
+
+ARG_REGS = ("r0", "r1", "r2", "r3")
+RETURN_REG = "r0"
+
+
+class ArmCodegen(CodegenBase):
+    ISA_NAME = "arm"
+    LOCAL_POOL = ("r4", "r5", "r6", "r7", "r8", "r9", "r10", "r11")
+    TEMP_POOL = ("r12", "r3", "r2", "r1", "r0")
+    DEBUG_LOSS_RATE = 0.15
+
+    # -- value access -----------------------------------------------------------
+
+    def use(self, atom, allow_imm: bool = False) -> Operand:
+        if isinstance(atom, ast.ConstE):
+            if allow_imm:
+                return Imm(atom.value)
+            reg = self.temp()
+            self.out.emit("mov", reg, Imm(atom.value))
+            return reg
+        if isinstance(atom, ast.VarE):
+            name = atom.name
+            if name in self.frame.reg_of:
+                return Reg(self.frame.reg_of[name])
+            reg = self.temp()
+            self.out.emit("ldr", reg, Mem(base=Reg("sp"), disp=self.frame.spill_of[name]))
+            return reg
+        raise CodegenError(f"cannot use atom {atom!r}")
+
+    def dest(self, var: str) -> Reg:
+        if var in self.frame.reg_of:
+            return Reg(self.frame.reg_of[var])
+        return self.temp()
+
+    def finish_dest(self, var: str, reg: Reg) -> None:
+        if var not in self.frame.reg_of:
+            self.out.emit("str", reg, Mem(base=Reg("sp"), disp=self.frame.spill_of[var]))
+
+    def global_base(self, array: str) -> Reg:
+        allocated = self.frame.reg_of.get(f"@{array}")
+        if allocated is not None:
+            return Reg(allocated)
+        # No register left for this base: materialize per use.
+        reg = self.temp()
+        index = self.out.emit("mov", reg, Imm(self.globals_layout[array]))
+        if self.pic:
+            self.out.pic_sites.append(index)
+        return reg
+
+    def emit_global_bases(self, func: ast.Function) -> None:
+        for array in ast.arrays_used(func):
+            allocated = self.frame.reg_of.get(f"@{array}")
+            if allocated is None:
+                continue
+            index = self.out.emit(
+                "mov", Reg(allocated), Imm(self.globals_layout[array]), glue=True
+            )
+            if self.pic:
+                self.out.pic_sites.append(index)
+
+    def addr_operand(self, array: str, index: ast.Index) -> Mem:
+        base = self.global_base(array)
+        if isinstance(index.base, ast.ConstE):
+            return Mem(base=base, disp=index.base.value * index.scale + index.disp)
+        ireg = self.use(index.base)
+        if index.scale not in (1, 2, 4, 8):
+            raise CodegenError(f"unsupported scale {index.scale}")
+        if index.scale != 1:
+            shifted = self.temp()
+            self.out.emit("lsl", shifted, ireg, Imm(index.scale.bit_length() - 1))
+            ireg = shifted
+        if index.disp:
+            # base + index + disp exceeds the two-component address grammar:
+            # fold base+index into a temporary and keep the displacement in
+            # the load/store itself (a [reg, #imm] addressing mode).
+            combined = self.temp()
+            self.out.emit("add", combined, base, ireg)
+            return Mem(base=combined, disp=index.disp)
+        return Mem(base=base, index=ireg)
+
+    # -- prologue / epilogue ------------------------------------------------------
+
+    def emit_prologue(self, func: ast.Function) -> None:
+        saved = tuple(Reg(r) for r in self.frame.saved_regs) + (Reg("lr"),)
+        self.out.emit("push", RegList(saved), glue=True)
+        if self.frame.frame_size:
+            self.out.emit("sub", Reg("sp"), Reg("sp"), Imm(self.frame.frame_size), glue=True)
+        for i, param in enumerate(func.params):
+            if i >= len(ARG_REGS):
+                raise CodegenError("more than 4 parameters are not supported")
+            src = Reg(ARG_REGS[i])
+            if param in self.frame.reg_of:
+                self.out.emit("mov", Reg(self.frame.reg_of[param]), src, glue=True)
+            else:
+                self.out.emit(
+                    "str", src, Mem(base=Reg("sp"), disp=self.frame.spill_of[param]), glue=True
+                )
+
+    def emit_epilogue(self, func: ast.Function) -> None:
+        if self.frame.frame_size:
+            self.out.emit("add", Reg("sp"), Reg("sp"), Imm(self.frame.frame_size), glue=True)
+        saved = tuple(Reg(r) for r in self.frame.saved_regs) + (Reg("lr"),)
+        self.out.emit("pop", RegList(saved), glue=True)
+        self.out.emit("bx", Reg("lr"), glue=True)
+
+    # -- statements ------------------------------------------------------------------
+
+    def stmt_assign(self, stmt: ast.Assign) -> None:
+        expr = stmt.expr
+        if isinstance(expr, (ast.ConstE, ast.VarE)):
+            dest = self.dest(stmt.dest)
+            self.out.emit("mov", dest, self.use(expr, allow_imm=True))
+            self.finish_dest(stmt.dest, dest)
+            return
+        if isinstance(expr, ast.BinE):
+            self._assign_binop(stmt.dest, expr)
+            return
+        if isinstance(expr, ast.UnE):
+            dest = self.dest(stmt.dest)
+            if expr.op == "~":
+                self.out.emit("mvn", dest, self.use(expr.operand, allow_imm=True))
+            elif expr.op == "-":
+                self.out.emit("rsb", dest, self.use(expr.operand), Imm(0))
+            elif expr.op == "clz":
+                self.out.emit("clz", dest, self.use(expr.operand))
+            else:
+                raise CodegenError(f"unknown unary op {expr.op!r}")
+            self.finish_dest(stmt.dest, dest)
+            return
+        if isinstance(expr, ast.MlaE):
+            self._assign_mla(stmt.dest, expr)
+            return
+        if isinstance(expr, ast.LoadE):
+            dest = self.dest(stmt.dest)
+            mem = self.addr_operand(expr.array, expr.index)
+            self.out.emit(_LOAD_MNEMONIC[expr.size], dest, mem)
+            self.finish_dest(stmt.dest, dest)
+            return
+        raise CodegenError(f"cannot compile expression {expr!r}")
+
+    def _assign_binop(self, dest_var: str, expr: ast.BinE) -> None:
+        op = _OP_MNEMONIC[expr.op]
+        lhs, rhs = expr.lhs, expr.rhs
+        dest = self.dest(dest_var)
+        if isinstance(lhs, ast.ConstE):
+            if expr.op == "-":
+                # c - b  ->  rsb rd, rb, #c
+                self.out.emit("rsb", dest, self.use(rhs), Imm(lhs.value))
+                self.finish_dest(dest_var, dest)
+                return
+            if expr.op in ("+", "&", "|", "^", "*"):
+                lhs, rhs = rhs, lhs  # commutative: put the constant second
+            else:
+                lhs = lhs  # materialized below
+        lhs_op = self.use(lhs)
+        imm_ok = op in _IMM_OK and op != "mul"
+        rhs_op = self.use(rhs, allow_imm=imm_ok)
+        self.out.emit(op, dest, lhs_op, rhs_op)
+        self.finish_dest(dest_var, dest)
+
+    def _assign_mla(self, dest_var: str, expr: ast.MlaE) -> None:
+        accumulating = isinstance(expr.addend, ast.VarE) and expr.addend.name == dest_var
+        if accumulating:
+            dest = self.dest(dest_var)
+            self.out.emit("mla", dest, self.use(expr.lhs), self.use(expr.rhs), dest)
+            self.finish_dest(dest_var, dest)
+            return
+        product = self.temp()
+        self.out.emit("mul", product, self.use(expr.lhs), self.use(expr.rhs))
+        dest = self.dest(dest_var)
+        self.out.emit("add", dest, product, self.use(expr.addend, allow_imm=True))
+        self.finish_dest(dest_var, dest)
+
+    def stmt_store(self, stmt: ast.Store) -> None:
+        value = self.use(stmt.value)
+        mem = self.addr_operand(stmt.array, stmt.index)
+        self.out.emit(_STORE_MNEMONIC[stmt.size], value, mem)
+
+    def stmt_ifgoto(self, stmt: ast.IfGoto) -> None:
+        cond = stmt.cond
+        target = Label(self.local_label(stmt.target))
+        lhs = self.use(cond.lhs)
+        rhs = self.use(cond.rhs, allow_imm=True)
+        if cond.kind == "rel":
+            self.out.emit("cmp", lhs, rhs)
+            self.out.emit(f"b{ast.RELOP_TO_COND[cond.op]}", target)
+        elif cond.kind == "tst":
+            self.out.emit("tst", lhs, rhs)
+            self.out.emit("bne" if cond.op == "!=0" else "beq", target)
+        elif cond.kind == "teq":
+            self.out.emit("teq", lhs, rhs)
+            self.out.emit("beq" if cond.op == "==0" else "bne", target)
+        else:
+            raise CodegenError(f"unknown condition kind {cond.kind!r}")
+
+    def stmt_iftest(self, stmt: ast.IfTestGoto) -> None:
+        dest = self.dest(stmt.dest)
+        self.out.emit("movs", dest, self.use(stmt.source, allow_imm=True))
+        self.finish_dest(stmt.dest, dest)
+        self.out.emit("bne", Label(self.local_label(stmt.target)))
+
+    _FUSED_MNEMONIC = {
+        "+": "adds", "-": "subs", "&": "ands", "|": "orrs", "^": "eors",
+        "&~": "bics", "<<": "lsls", ">>": "asrs", ">>>": "lsrs", "*": "muls",
+    }
+
+    def stmt_fused(self, stmt) -> None:
+        # The destination is an accumulator (read-modify-write): load it if
+        # it lives in a spill slot.
+        dest = self.use(ast.VarE(stmt.dest))
+        mnemonic = self._FUSED_MNEMONIC[stmt.op]
+        imm_ok = mnemonic[:-1] in _IMM_OK
+        self.out.emit(mnemonic, dest, dest, self.use(stmt.rhs, allow_imm=imm_ok))
+        self.finish_dest(stmt.dest, dest)
+        self.out.emit(f"b{stmt.cond}", Label(self.local_label(stmt.target)))
+
+    def stmt_goto(self, stmt: ast.Goto) -> None:
+        self.out.emit("b", Label(self.local_label(stmt.target)))
+
+    def stmt_call(self, stmt: ast.Call) -> None:
+        if len(stmt.args) > len(ARG_REGS):
+            raise CodegenError("more than 4 arguments are not supported")
+        for i, arg in enumerate(stmt.args):
+            self.out.emit("mov", Reg(ARG_REGS[i]), self.use(arg, allow_imm=True))
+        self.out.emit("bl", Label(f"fn_{stmt.func}"))
+        if stmt.dest is not None:
+            dest = self.dest(stmt.dest)
+            if dest.name != RETURN_REG:
+                self.out.emit("mov", dest, Reg(RETURN_REG))
+            self.finish_dest(stmt.dest, dest)
+
+    def stmt_return(self, stmt: ast.Return) -> None:
+        if stmt.value is not None:
+            value = self.use(stmt.value, allow_imm=True)
+            if not (isinstance(value, Reg) and value.name == RETURN_REG):
+                self.out.emit("mov", Reg(RETURN_REG), value)
+        self.emit_epilogue(None)
+
+    def stmt_umlal(self, stmt) -> None:
+        # lo/hi are accumulators: read-modify-write, so load them if spilled.
+        lo = self.use(ast.VarE(stmt.lo))
+        hi = self.use(ast.VarE(stmt.hi))
+        self.out.emit("umlal", lo, hi, self.use(stmt.lhs), self.use(stmt.rhs))
+        self.finish_dest(stmt.lo, lo)
+        self.finish_dest(stmt.hi, hi)
+
+    # -- PIC rewrite -----------------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Rewrite ``mov rB, #addr`` global-base sites into PC-relative form.
+
+        ARM reads the PC as ``index*4 + 8`` (pipeline offset); the rewrite
+        keeps the materialized address identical:
+        ``add rB, pc, #(addr - (index*4 + 8))``.
+        """
+        if not self.out.pic_sites:
+            return
+        real_index = {}
+        counter = 0
+        for i, insn in enumerate(self.out.instructions):
+            if insn.mnemonic != ".label":
+                real_index[i] = counter
+                counter += 1
+        from repro.isa.instruction import Instruction
+
+        for site in self.out.pic_sites:
+            insn = self.out.instructions[site]
+            dest, imm = insn.operands
+            pc_value = real_index[site] * 4 + 8
+            offset = (imm.value - pc_value) & 0xFFFFFFFF
+            self.out.instructions[site] = Instruction(
+                "add", (dest, Reg("pc"), Imm(offset))
+            )

@@ -1,0 +1,313 @@
+"""Shared code-generation infrastructure for the two backends.
+
+Both backends walk the same optimized statement list, assign the same
+statement ids, and tag every emitted instruction with the statement that
+produced it (or ``None`` for ABI glue) — producing the statement-aligned
+binaries rule learning feeds on.
+
+Register allocation is deliberately simple and *asymmetric* in capacity:
+locals are pinned to callee-saved registers in declaration order, and
+functions whose locals overflow the pool spill to stack slots.  The x86 pool
+is smaller than the ARM pool, so the host side spills earlier — one of the
+realistic sources of candidate loss the paper observes (§II-B).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CodegenError
+from repro.isa.instruction import Instruction
+from repro.isa.operands import Imm, Label, Operand, Reg
+from repro.lang import ast
+from repro.lang.program import GLOBALS_BASE, CompiledUnit, StatementInfo
+
+
+def layout_globals(program: ast.Program) -> Dict[str, int]:
+    """Assign each global array a base address (16-byte aligned)."""
+    layout: Dict[str, int] = {}
+    addr = GLOBALS_BASE
+    for name, size in program.globals.items():
+        layout[name] = addr
+        addr += (size + 15) & ~15
+    return layout
+
+
+@dataclass
+class FrameInfo:
+    """Per-function allocation decisions."""
+
+    reg_of: Dict[str, str]  # local var -> register name
+    spill_of: Dict[str, int]  # local var -> frame offset
+    frame_size: int
+    saved_regs: Tuple[str, ...]
+
+
+class Emitter:
+    """Instruction buffer with statement tagging."""
+
+    def __init__(self) -> None:
+        self.instructions: List[Instruction] = []
+        self.tags: List[Optional[int]] = []
+        self.current_stmt: Optional[int] = None
+        #: indices of instructions eligible for the PIC rewrite pass.
+        self.pic_sites: List[int] = []
+
+    def emit(self, mnemonic: str, *operands: Operand, glue: bool = False) -> int:
+        self.instructions.append(Instruction(mnemonic, tuple(operands)))
+        self.tags.append(None if glue else self.current_stmt)
+        return len(self.instructions) - 1
+
+    def emit_label(self, name: str) -> None:
+        self.instructions.append(Instruction(".label", (Label(name),)))
+        self.tags.append(None)
+
+
+class CodegenBase:
+    """Common backend driver: statement walking + allocation + ABI shape.
+
+    Subclasses provide the ISA-specific pieces via the ``LOCAL_POOL``,
+    ``TEMP_POOL`` class attributes and the ``stmt_*``/prologue/epilogue
+    hooks.
+    """
+
+    ISA_NAME = "?"
+    LOCAL_POOL: Tuple[str, ...] = ()
+    TEMP_POOL: Tuple[str, ...] = ()
+    #: Fraction of statements whose line mapping is lost on this backend.
+    #: Models the debug-info degradation the paper attributes to compiler
+    #: optimization (§II-B: "binaries ... mistakenly mapped to the wrong
+    #: statements, or lose the connection") — only ~53.8% of statements
+    #: yield candidates.  Deterministic per (backend, statement id).
+    DEBUG_LOSS_RATE = 0.0
+
+    def __init__(self, program: ast.Program, pic: bool = False) -> None:
+        self.program = program
+        self.pic = pic
+        self.globals_layout = layout_globals(program)
+        self.out = Emitter()
+        self.statements: Dict[int, StatementInfo] = {}
+        self._stmt_counter = 0
+        # Per-function state (reset in compile_function).
+        self.frame: FrameInfo = FrameInfo({}, {}, 0, ())
+        self._temps_free: List[str] = []
+        self._func_name = ""
+        #: global array -> register caching its base (per function).
+        self._global_base_reg: Dict[str, str] = {}
+
+    # -- public API -------------------------------------------------------------
+
+    def compile(self) -> Tuple[CompiledUnit, Dict[int, StatementInfo]]:
+        func_labels = {}
+        for func in self.program.functions.values():
+            func_labels[func.name] = f"fn_{func.name}"
+            self.compile_function(func)
+        self.finalize()
+        unit = CompiledUnit(
+            isa_name=self.ISA_NAME,
+            instructions=tuple(self.out.instructions),
+            tags=tuple(self.out.tags),
+            func_labels=func_labels,
+            globals_layout=self.globals_layout,
+        )
+        return unit, self.statements
+
+    def finalize(self) -> None:
+        """Post-processing hook (PIC rewriting on the ARM side)."""
+
+    # -- allocation ---------------------------------------------------------------
+
+    def allocate_frame(self, func: ast.Function) -> FrameInfo:
+        """Pin locals to registers by usage frequency; spill the rest.
+
+        Frequency-ordered allocation is the static stand-in for a real
+        allocator's spill heuristics: hot loop variables live in registers
+        on both ISAs, cold locals spill first (and spill earlier on the
+        smaller x86 pool).
+        """
+        names = func.local_names()
+        arrays = [f"@{a}" for a in ast.arrays_used(func)]
+        counts = ast.usage_counts(func)
+        everything = names + arrays
+        order = sorted(
+            everything, key=lambda n: (-counts.get(n, 0), everything.index(n))
+        )
+        reg_of: Dict[str, str] = {}
+        spill_of: Dict[str, int] = {}
+        pool = list(self.LOCAL_POOL)
+        offset = 0
+        for name in order:
+            if pool:
+                reg_of[name] = pool.pop(0)
+            elif not name.startswith("@"):
+                # Array bases are never spilled; a base without a register
+                # falls back to per-use materialization / absolute addressing.
+                spill_of[name] = offset
+                offset += 4
+        saved = tuple(reg_of.values())
+        return FrameInfo(reg_of, spill_of, offset, saved)
+
+    def temp(self) -> Reg:
+        if not self._temps_free:
+            raise CodegenError(f"{self.ISA_NAME}: out of scratch registers")
+        return Reg(self._temps_free.pop(0))
+
+    def reset_temps(self) -> None:
+        taken = set(self.frame.reg_of.values())
+        self._temps_free = [t for t in self.TEMP_POOL if t not in taken]
+
+    # -- statement walking -----------------------------------------------------------
+
+    def compile_function(self, func: ast.Function) -> None:
+        self.frame = self.allocate_frame(func)
+        self._func_name = func.name
+        self._global_base_reg = {}
+        self.out.emit_label(f"fn_{func.name}")
+        self.emit_prologue(func)
+        self.emit_global_bases(func)
+        for stmt in func.body:
+            if isinstance(stmt, ast.LabelStmt):
+                self.out.current_stmt = None
+                self.out.emit_label(self.local_label(stmt.name))
+                continue
+            stmt_id = self.statement_id(stmt)
+            self.out.current_stmt = None if self._line_info_lost(stmt_id) else stmt_id
+            self.reset_temps()
+            self.emit_statement(stmt)
+        self.out.current_stmt = None
+        # Fall off the end: implicit return.
+        if not func.body or not isinstance(func.body[-1], ast.Return):
+            self.emit_epilogue(func)
+
+    def statement_id(self, stmt) -> int:
+        """Stable statement ids shared across backends.
+
+        Ids are assigned in walking order, which is identical for the two
+        backends because they compile the same optimized AST.
+        """
+        key = (self._func_name, self._stmt_counter)
+        stmt_id = self._stmt_counter
+        self._stmt_counter += 1
+        self.statements[stmt_id] = StatementInfo(
+            stmt_id=stmt_id, func=key[0], text=describe_statement(stmt)
+        )
+        return stmt_id
+
+    def _line_info_lost(self, stmt_id: int) -> bool:
+        if not self.DEBUG_LOSS_RATE:
+            return False
+        digest = zlib.crc32(f"{self.ISA_NAME}:{stmt_id}".encode())
+        return (digest % 1000) < self.DEBUG_LOSS_RATE * 1000
+
+    def local_label(self, name: str) -> str:
+        return f"{self._func_name}__{name}"
+
+    # -- hooks ---------------------------------------------------------------------
+
+    def emit_prologue(self, func: ast.Function) -> None:
+        raise NotImplementedError
+
+    def emit_global_bases(self, func: ast.Function) -> None:
+        """Materialize register-allocated array bases (hoisted, like -O2)."""
+        raise NotImplementedError
+
+    def emit_epilogue(self, func: ast.Function) -> None:
+        raise NotImplementedError
+
+    def emit_statement(self, stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self.stmt_assign(stmt)
+        elif isinstance(stmt, ast.Store):
+            self.stmt_store(stmt)
+        elif isinstance(stmt, ast.IfGoto):
+            self.stmt_ifgoto(stmt)
+        elif isinstance(stmt, ast.IfTestGoto):
+            self.stmt_iftest(stmt)
+        elif isinstance(stmt, ast.FusedAluGoto):
+            self.stmt_fused(stmt)
+        elif isinstance(stmt, ast.Goto):
+            self.stmt_goto(stmt)
+        elif isinstance(stmt, ast.Call):
+            self.stmt_call(stmt)
+        elif isinstance(stmt, ast.Return):
+            self.stmt_return(stmt)
+        elif isinstance(stmt, ast.UmlalStmt):
+            self.stmt_umlal(stmt)
+        else:
+            raise CodegenError(f"cannot compile statement {stmt!r}")
+
+    def stmt_assign(self, stmt: ast.Assign) -> None:
+        raise NotImplementedError
+
+    def stmt_store(self, stmt: ast.Store) -> None:
+        raise NotImplementedError
+
+    def stmt_ifgoto(self, stmt: ast.IfGoto) -> None:
+        raise NotImplementedError
+
+    def stmt_iftest(self, stmt: ast.IfTestGoto) -> None:
+        raise NotImplementedError
+
+    def stmt_goto(self, stmt: ast.Goto) -> None:
+        raise NotImplementedError
+
+    def stmt_call(self, stmt: ast.Call) -> None:
+        raise NotImplementedError
+
+    def stmt_return(self, stmt: ast.Return) -> None:
+        raise NotImplementedError
+
+    def stmt_umlal(self, stmt: "ast.UmlalStmt") -> None:
+        raise NotImplementedError
+
+    def stmt_fused(self, stmt: "ast.FusedAluGoto") -> None:
+        raise NotImplementedError
+
+
+def describe_statement(stmt) -> str:
+    """Human-readable one-line rendering for :class:`StatementInfo`."""
+    if isinstance(stmt, ast.Assign):
+        return f"{stmt.dest} = {describe_expr(stmt.expr)}"
+    if isinstance(stmt, ast.Store):
+        return f"{stmt.array}[{describe_expr(stmt.index.base)}] = {describe_expr(stmt.value)}"
+    if isinstance(stmt, ast.IfGoto):
+        return f"if ({describe_expr(stmt.cond.lhs)} {stmt.cond.op} {describe_expr(stmt.cond.rhs)}) goto {stmt.target}"
+    if isinstance(stmt, ast.IfTestGoto):
+        return f"iftest ({stmt.dest} = {describe_expr(stmt.source)}) goto {stmt.target}"
+    if isinstance(stmt, ast.Goto):
+        return f"goto {stmt.target}"
+    if isinstance(stmt, ast.Call):
+        prefix = f"{stmt.dest} = " if stmt.dest else ""
+        return f"{prefix}call {stmt.func}(...)"
+    if isinstance(stmt, ast.Return):
+        return "return"
+    if isinstance(stmt, ast.UmlalStmt):
+        return f"umlal({stmt.lo}, {stmt.hi}, ...)"
+    if isinstance(stmt, ast.FusedAluGoto):
+        return (
+            f"fuse ({stmt.dest} {stmt.op} {describe_expr(stmt.rhs)}) "
+            f"{stmt.cond} goto {stmt.target}"
+        )
+    return repr(stmt)
+
+
+def describe_expr(expr) -> str:
+    if isinstance(expr, ast.ConstE):
+        return str(expr.value)
+    if isinstance(expr, ast.VarE):
+        return expr.name
+    if isinstance(expr, ast.BinE):
+        return f"{describe_expr(expr.lhs)} {expr.op} {describe_expr(expr.rhs)}"
+    if isinstance(expr, ast.UnE):
+        return f"{expr.op}{describe_expr(expr.operand)}"
+    if isinstance(expr, ast.MlaE):
+        return (
+            f"{describe_expr(expr.addend)} + "
+            f"{describe_expr(expr.lhs)} * {describe_expr(expr.rhs)}"
+        )
+    if isinstance(expr, ast.LoadE):
+        return f"{expr.array}[{describe_expr(expr.index.base)}]"
+    return repr(expr)

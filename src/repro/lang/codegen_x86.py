@@ -1,0 +1,424 @@
+"""x86 backend of the mini compiler (the *host* side — training data only).
+
+Host binaries are never executed; they exist to be paired with guest
+binaries for rule learning.  The backend therefore aims for *realistic
+shapes*, the ones that make learning easy or hard in the ways the paper
+reports:
+
+* destructive two-operand ALU form with a leading ``movl`` when the
+  destination differs from both sources (the rule shape of paper fig. 6);
+* ``a & ~b`` and the fused multiply-accumulate need a scratch register —
+  their candidates fail the one-to-one operand-mapping check, which is
+  precisely why ``bic``/``mla`` end up unlearnable (fig. 7 / §V-B2);
+* ``clz`` lowers to a loop, so its candidate is never straight-line;
+* global-array bases are register-cached only when a callee-saved register
+  is left over, otherwise absolute addressing is used — making array-access
+  rules learnable only from small functions (training-composition effects,
+  §II-B).
+"""
+
+from __future__ import annotations
+
+from repro.errors import CodegenError
+from repro.isa.operands import Imm, Label, Mem, Operand, Reg
+from repro.isa.x86.opcodes import _COND_TO_JCC
+from repro.lang import ast
+from repro.lang.codegen_base import CodegenBase
+
+_OP_MNEMONIC = {
+    "+": "addl",
+    "-": "subl",
+    "*": "imull",
+    "&": "andl",
+    "|": "orl",
+    "^": "xorl",
+    "<<": "shll",
+    ">>": "sarl",
+    ">>>": "shrl",
+}
+
+_COMMUTATIVE = {"+", "*", "&", "|", "^"}
+
+_LOAD_MNEMONIC = {4: "movl", 2: "movzwl", 1: "movzbl"}
+_STORE_MNEMONIC = {4: "movl_s", 2: "movw", 1: "movb"}
+
+ARG_REGS = ("eax", "edx", "ecx")
+RETURN_REG = "eax"
+
+
+class X86Codegen(CodegenBase):
+    ISA_NAME = "x86"
+    LOCAL_POOL = ("ebx", "esi", "edi", "ebp", "ecx")
+    TEMP_POOL = ("eax", "edx", "ecx")
+    DEBUG_LOSS_RATE = 0.35
+
+    def __init__(self, program: ast.Program, pic: bool = False) -> None:
+        super().__init__(program, pic)
+        self._clz_counter = 0
+
+    # -- value access -----------------------------------------------------------
+
+    def use(self, atom, allow_imm: bool = False) -> Operand:
+        if isinstance(atom, ast.ConstE):
+            if allow_imm:
+                return Imm(atom.value)
+            reg = self.temp()
+            self.out.emit("movl", Imm(atom.value), reg)
+            return reg
+        if isinstance(atom, ast.VarE):
+            name = atom.name
+            if name in self.frame.reg_of:
+                return Reg(self.frame.reg_of[name])
+            reg = self.temp()
+            self.out.emit(
+                "movl", Mem(base=Reg("esp"), disp=self.frame.spill_of[name]), reg
+            )
+            return reg
+        raise CodegenError(f"cannot use atom {atom!r}")
+
+    def _place(self, atom):
+        """Operand for an atom without consuming a scratch register
+        (x86 folds memory operands into ALU instructions)."""
+        if isinstance(atom, ast.ConstE):
+            return Imm(atom.value)
+        name = atom.name
+        if name in self.frame.reg_of:
+            return Reg(self.frame.reg_of[name])
+        return Mem(base=Reg("esp"), disp=self.frame.spill_of[name])
+
+    def _slot(self, var: str):
+        if var in self.frame.reg_of:
+            return Reg(self.frame.reg_of[var])
+        return Mem(base=Reg("esp"), disp=self.frame.spill_of[var])
+
+    def var_reg(self, var: str):
+        """Register holding *var*, or None if spilled."""
+        name = self.frame.reg_of.get(var)
+        return Reg(name) if name is not None else None
+
+    def dest(self, var: str) -> Reg:
+        reg = self.var_reg(var)
+        return reg if reg is not None else self.temp()
+
+    def finish_dest(self, var: str, reg: Reg) -> None:
+        if var not in self.frame.reg_of:
+            self.out.emit(
+                "movl_s", reg, Mem(base=Reg("esp"), disp=self.frame.spill_of[var])
+            )
+
+    def global_base(self, array: str):
+        """Register caching the array base, or None (use absolute disp)."""
+        allocated = self.frame.reg_of.get(f"@{array}")
+        return Reg(allocated) if allocated is not None else None
+
+    def emit_global_bases(self, func: ast.Function) -> None:
+        for array in ast.arrays_used(func):
+            allocated = self.frame.reg_of.get(f"@{array}")
+            if allocated is not None:
+                self.out.emit(
+                    "movl", Imm(self.globals_layout[array]), Reg(allocated), glue=True
+                )
+
+    def addr_operand(self, array: str, index: ast.Index) -> Mem:
+        base = self.global_base(array)
+        addr = self.globals_layout[array]
+        if isinstance(index.base, ast.ConstE):
+            disp = index.base.value * index.scale + index.disp
+            if base is not None:
+                return Mem(base=base, disp=disp)
+            return Mem(disp=addr + disp)  # absolute
+        ireg = self.use(index.base)
+        if base is not None:
+            return Mem(base=base, index=ireg, scale=index.scale, disp=index.disp)
+        return Mem(index=ireg, scale=index.scale, disp=addr + index.disp)
+
+    # -- prologue / epilogue ------------------------------------------------------
+
+    def emit_prologue(self, func: ast.Function) -> None:
+        for name in self.frame.saved_regs:
+            self.out.emit("pushl", Reg(name), glue=True)
+        if self.frame.frame_size:
+            self.out.emit("subl", Imm(self.frame.frame_size), Reg("esp"), glue=True)
+        for i, param in enumerate(func.params):
+            if i >= len(ARG_REGS):
+                raise CodegenError("more than 3 parameters are not supported on x86")
+            src = Reg(ARG_REGS[i])
+            if param in self.frame.reg_of:
+                self.out.emit("movl", src, Reg(self.frame.reg_of[param]), glue=True)
+            else:
+                self.out.emit(
+                    "movl_s",
+                    src,
+                    Mem(base=Reg("esp"), disp=self.frame.spill_of[param]),
+                    glue=True,
+                )
+
+    def emit_epilogue(self, func: ast.Function) -> None:
+        if self.frame.frame_size:
+            self.out.emit("addl", Imm(self.frame.frame_size), Reg("esp"), glue=True)
+        for name in reversed(self.frame.saved_regs):
+            self.out.emit("popl", Reg(name), glue=True)
+        self.out.emit("ret", glue=True)
+
+    # -- statements ------------------------------------------------------------------
+
+    def stmt_assign(self, stmt: ast.Assign) -> None:
+        expr = stmt.expr
+        if isinstance(expr, (ast.ConstE, ast.VarE)):
+            dest = self.dest(stmt.dest)
+            src = self.use(expr, allow_imm=True)
+            if src != dest:
+                self.out.emit("movl", src, dest)
+            self.finish_dest(stmt.dest, dest)
+            return
+        if isinstance(expr, ast.BinE):
+            self._assign_binop(stmt.dest, expr)
+            return
+        if isinstance(expr, ast.UnE):
+            self._assign_unop(stmt.dest, expr)
+            return
+        if isinstance(expr, ast.MlaE):
+            self._assign_mla(stmt.dest, expr)
+            return
+        if isinstance(expr, ast.LoadE):
+            dest = self.dest(stmt.dest)
+            mem = self.addr_operand(expr.array, expr.index)
+            self.out.emit(_LOAD_MNEMONIC[expr.size], mem, dest)
+            self.finish_dest(stmt.dest, dest)
+            return
+        raise CodegenError(f"cannot compile expression {expr!r}")
+
+    def _same_var(self, dest_var: str, atom) -> bool:
+        return isinstance(atom, ast.VarE) and atom.name == dest_var
+
+    def _assign_binop(self, dest_var: str, expr: ast.BinE) -> None:
+        op = expr.op
+        lhs, rhs = expr.lhs, expr.rhs
+        if isinstance(lhs, ast.ConstE) and op in _COMMUTATIVE:
+            lhs, rhs = rhs, lhs
+
+        if op == "&~":
+            self._assign_andnot(dest_var, lhs, rhs)
+            return
+
+        mnemonic = _OP_MNEMONIC[op]
+        dest_slot = self._slot(dest_var)
+        shift = op in ("<<", ">>", ">>>")
+
+        def alu_source(loc):
+            """Shift amounts cannot be memory operands; load them."""
+            if shift and isinstance(loc, Mem):
+                scratch = self.temp()
+                self.out.emit("movl", loc, scratch)
+                return scratch
+            return loc
+
+        if isinstance(lhs, ast.ConstE) and op == "-":
+            # c - b: negate-and-add (d == b) or movl $c + subl.
+            if self._same_var(dest_var, rhs) and isinstance(dest_slot, Reg):
+                self.out.emit("negl", dest_slot)
+                self.out.emit("addl", Imm(lhs.value), dest_slot)
+                return
+            dest = self.dest(dest_var)
+            self.out.emit("movl", Imm(lhs.value), dest)
+            self.out.emit("subl", alu_source(self._place(rhs)), dest)
+            self.finish_dest(dest_var, dest)
+            return
+
+        if self._same_var(dest_var, lhs):
+            # d = d op b: destructive form, folding a spilled destination.
+            src = alu_source(self._place(rhs))
+            if isinstance(src, Mem) and isinstance(dest_slot, Mem):
+                scratch = self.temp()
+                self.out.emit("movl", src, scratch)
+                src = scratch
+            self.out.emit(mnemonic, src, dest_slot)
+            return
+        if self._same_var(dest_var, rhs) and op in _COMMUTATIVE:
+            src = self._place(lhs)
+            if isinstance(src, Mem) and isinstance(dest_slot, Mem):
+                scratch = self.temp()
+                self.out.emit("movl", src, scratch)
+                src = scratch
+            self.out.emit(mnemonic, src, dest_slot)
+            return
+        if self._same_var(dest_var, rhs) and op == "-":
+            if isinstance(dest_slot, Reg):
+                self.out.emit("negl", dest_slot)
+                self.out.emit("addl", alu_source(self._place(lhs)), dest_slot)
+                return
+            scratch = self.temp()
+            self.out.emit("movl", self._place(lhs), scratch)
+            self.out.emit("subl", dest_slot, scratch)
+            self.out.emit("movl_s", scratch, dest_slot)
+            return
+        if self._same_var(dest_var, rhs):
+            # d = a <shift> d: the amount lives in d — needs a scratch.
+            scratch = self.temp()
+            amount = self.temp()
+            self.out.emit("movl", dest_slot, amount)
+            self.out.emit("movl", self._place(lhs), scratch)
+            self.out.emit(mnemonic, amount, scratch)
+            if isinstance(dest_slot, Mem):
+                self.out.emit("movl_s", scratch, dest_slot)
+            else:
+                self.out.emit("movl", scratch, dest_slot)
+            return
+
+        dest = self.dest(dest_var)
+        self.out.emit("movl", self._place(lhs), dest)
+        self.out.emit(mnemonic, alu_source(self._place(rhs)), dest)
+        self.finish_dest(dest_var, dest)
+
+    def _assign_andnot(self, dest_var: str, lhs, rhs) -> None:
+        """d = lhs & ~rhs."""
+        dest_slot = self._slot(dest_var)
+        if self._same_var(dest_var, rhs) and isinstance(dest_slot, Reg):
+            self.out.emit("notl", dest_slot)
+            self.out.emit("andl", self._place(lhs), dest_slot)
+            return
+        # The inversion needs a scratch register either way.
+        scratch = self.temp()
+        self.out.emit("movl", self._place(rhs), scratch)
+        self.out.emit("notl", scratch)
+        self.out.emit("andl", self._place(lhs), scratch)
+        if isinstance(dest_slot, Mem):
+            self.out.emit("movl_s", scratch, dest_slot)
+        else:
+            self.out.emit("movl", scratch, dest_slot)
+
+    def _assign_unop(self, dest_var: str, expr: ast.UnE) -> None:
+        dest = self.dest(dest_var)
+        if expr.op in ("~", "-"):
+            mnemonic = "notl" if expr.op == "~" else "negl"
+            src = self._place(expr.operand)
+            if src != dest:
+                self.out.emit("movl", src, dest)
+            self.out.emit(mnemonic, dest)
+        elif expr.op == "clz":
+            self._emit_clz(dest, self.use(expr.operand))
+        else:
+            raise CodegenError(f"unknown unary op {expr.op!r}")
+        self.finish_dest(dest_var, dest)
+
+    def _emit_clz(self, dest: Reg, source: Operand) -> None:
+        """Count leading zeros via a shift loop (no bsr in this ISA)."""
+        scratch = self.temp()
+        self._clz_counter += 1
+        loop = f"clz_loop_{self._clz_counter}"
+        done = f"clz_done_{self._clz_counter}"
+        self.out.emit("movl", source, scratch)
+        self.out.emit("movl", Imm(32), dest)
+        self.out.emit_label(loop)
+        self.out.emit("testl", scratch, scratch)
+        self.out.emit("je", Label(done))
+        self.out.emit("shrl", Imm(1), scratch)
+        self.out.emit("subl", Imm(1), dest)
+        self.out.emit("jmp", Label(loop))
+        self.out.emit_label(done)
+
+    def _assign_mla(self, dest_var: str, expr: ast.MlaE) -> None:
+        accumulating = self._same_var(dest_var, expr.addend)
+        if accumulating:
+            # d += l * r: the product needs a scratch register (which is why
+            # the guest mla candidate fails the one-to-one mapping check).
+            scratch = self.temp()
+            self.out.emit("movl", self._place(expr.lhs), scratch)
+            self.out.emit("imull", self._place(expr.rhs), scratch)
+            self.out.emit("addl", scratch, self._slot(dest_var))
+            return
+        dest = self.dest(dest_var)
+        self.out.emit("movl", self._place(expr.lhs), dest)
+        self.out.emit("imull", self._place(expr.rhs), dest)
+        self.out.emit("addl", self._place(expr.addend), dest)
+        self.finish_dest(dest_var, dest)
+
+    def stmt_store(self, stmt: ast.Store) -> None:
+        value = self._place(stmt.value)
+        if isinstance(value, Mem):
+            scratch = self.temp()
+            self.out.emit("movl", value, scratch)
+            value = scratch
+        mem = self.addr_operand(stmt.array, stmt.index)
+        self.out.emit(_STORE_MNEMONIC[stmt.size], value, mem)
+
+    def stmt_ifgoto(self, stmt: ast.IfGoto) -> None:
+        cond = stmt.cond
+        target = Label(self.local_label(stmt.target))
+        lhs = self.use(cond.lhs)
+        rhs = self.use(cond.rhs, allow_imm=True)
+        if cond.kind == "rel":
+            self.out.emit("cmpl", rhs, lhs)  # AT&T: cmpl b, a computes a-b
+            self.out.emit(_COND_TO_JCC[ast.RELOP_TO_COND[cond.op]], target)
+        elif cond.kind == "tst":
+            self.out.emit("testl", rhs, lhs)
+            self.out.emit("jne" if cond.op == "!=0" else "je", target)
+        elif cond.kind == "teq":
+            # (a ^ b) == 0 is a == b: cmpl matches the branch outcome (the N
+            # flag differs from the guest teq — a delegation-relevant rule).
+            self.out.emit("cmpl", rhs, lhs)
+            self.out.emit("je" if cond.op == "==0" else "jne", target)
+        else:
+            raise CodegenError(f"unknown condition kind {cond.kind!r}")
+
+    def stmt_iftest(self, stmt: ast.IfTestGoto) -> None:
+        dest = self.dest(stmt.dest)
+        src = self.use(stmt.source, allow_imm=True)
+        if src != dest:
+            self.out.emit("movl", src, dest)
+        self.out.emit("testl", dest, dest)
+        self.finish_dest(stmt.dest, dest)
+        self.out.emit("jne", Label(self.local_label(stmt.target)))
+
+    _FUSED_JCC = {"ne": "jne", "eq": "je", "mi": "js", "pl": "jns"}
+
+    def stmt_fused(self, stmt) -> None:
+        dest = self._slot(stmt.dest)  # ALU-to-memory folds if spilled
+        op = stmt.op
+        if op == "&~":
+            scratch = self.temp()
+            self.out.emit("movl", self.use(stmt.rhs), scratch)
+            self.out.emit("notl", scratch)
+            self.out.emit("andl", scratch, dest)
+        else:
+            self.out.emit(_OP_MNEMONIC[op], self.use(stmt.rhs, allow_imm=True), dest)
+        self.out.emit(self._FUSED_JCC[stmt.cond], Label(self.local_label(stmt.target)))
+
+    def stmt_goto(self, stmt: ast.Goto) -> None:
+        self.out.emit("jmp", Label(self.local_label(stmt.target)))
+
+    def stmt_call(self, stmt: ast.Call) -> None:
+        if len(stmt.args) > len(ARG_REGS):
+            raise CodegenError("more than 3 arguments are not supported on x86")
+        for i, arg in enumerate(stmt.args):
+            src = self._place(arg)
+            if src != Reg(ARG_REGS[i]):
+                self.out.emit("movl", src, Reg(ARG_REGS[i]))
+        self.out.emit("call", Label(f"fn_{stmt.func}"))
+        if stmt.dest is not None:
+            dest = self.dest(stmt.dest)
+            if dest.name != RETURN_REG:
+                self.out.emit("movl", Reg(RETURN_REG), dest)
+            self.finish_dest(stmt.dest, dest)
+
+    def stmt_umlal(self, stmt) -> None:
+        """32x32 -> 64 multiply-accumulate via half-word partial products.
+
+        A long, scratch-hungry lowering (real x86-32 would use ``mull`` with
+        its edx:eax register pair); either way the candidate cannot satisfy
+        a one-to-one operand mapping, which is why ``umlal`` is unlearnable.
+        """
+        t0 = self.temp()
+        self.out.emit("movl", self._place(stmt.lhs), t0)
+        self.out.emit("imull", self._place(stmt.rhs), t0)
+        self.out.emit("addl", t0, self._slot(stmt.lo))
+        # Carry + high-word contribution (schematic training-side code).
+        self.out.emit("shrl", Imm(16), t0)
+        self.out.emit("addl", t0, self._slot(stmt.hi))
+
+    def stmt_return(self, stmt: ast.Return) -> None:
+        if stmt.value is not None:
+            value = self.use(stmt.value, allow_imm=True)
+            if not (isinstance(value, Reg) and value.name == RETURN_REG):
+                self.out.emit("movl", value, Reg(RETURN_REG))
+        self.emit_epilogue(None)

@@ -1,0 +1,28 @@
+"""Top-level compilation driver: source text -> guest/host binary pair."""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.lang import ast
+from repro.lang.codegen_arm import ArmCodegen
+from repro.lang.codegen_x86 import X86Codegen
+from repro.lang.optimizer import optimize
+from repro.lang.parser import parse
+from repro.lang.program import CompiledPair
+
+
+def compile_pair(
+    name: str, source: Union[str, ast.Program], pic: bool = False
+) -> CompiledPair:
+    """Compile mini-language source to an (ARM guest, x86 host) pair.
+
+    Both backends compile the same optimized AST with identical statement
+    ids, giving the statement-aligned binaries that rule learning consumes.
+    """
+    program = parse(source) if isinstance(source, str) else source
+    program = optimize(program)
+    guest, guest_stmts = ArmCodegen(program, pic=pic).compile()
+    host, host_stmts = X86Codegen(program, pic=pic).compile()
+    assert set(guest_stmts) == set(host_stmts), "backends disagree on statement ids"
+    return CompiledPair(name=name, guest=guest, host=host, statements=guest_stmts)

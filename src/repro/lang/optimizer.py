@@ -1,0 +1,157 @@
+"""Source-level optimizer (shared by both backends).
+
+Runs before code generation so both ISAs compile the *same* optimized AST —
+mirroring how a production compiler's middle-end optimizations affect both
+targets.  The passes also reproduce the debug-info degradation the paper
+leans on (§II-B): statements the optimizer deletes produce no binary code
+and therefore never become rule candidates.
+
+Passes:
+
+* constant folding (``x = 3 + 4`` -> ``x = 7``);
+* algebraic identities (``x + 0``, ``x * 1``, ``x ^ 0`` ...);
+* dead-assignment elimination (function-level: a variable never read).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.lang import ast
+from repro.semantics.domain import WORD_MASK
+
+
+def _to_signed(value: int) -> int:
+    value &= WORD_MASK
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+def fold_binop(op: str, a: int, b: int) -> int:
+    a &= WORD_MASK
+    b &= WORD_MASK
+    if op == "+":
+        return (a + b) & WORD_MASK
+    if op == "-":
+        return (a - b) & WORD_MASK
+    if op == "*":
+        return (a * b) & WORD_MASK
+    if op == "&":
+        return a & b
+    if op == "|":
+        return a | b
+    if op == "^":
+        return a ^ b
+    if op == "&~":
+        return a & ~b & WORD_MASK
+    if op == "<<":
+        return (a << b) & WORD_MASK if b < 32 else 0
+    if op == ">>>":
+        return a >> b if b < 32 else 0
+    if op == ">>":
+        return (_to_signed(a) >> min(b, 31)) & WORD_MASK
+    raise ValueError(f"unknown op {op!r}")
+
+
+def fold_expr(expr):
+    """Constant folding + algebraic identities on one expression."""
+    if isinstance(expr, ast.BinE):
+        lhs, rhs = expr.lhs, expr.rhs
+        if isinstance(lhs, ast.ConstE) and isinstance(rhs, ast.ConstE):
+            return ast.ConstE(fold_binop(expr.op, lhs.value, rhs.value))
+        if isinstance(rhs, ast.ConstE):
+            if rhs.value == 0 and expr.op in ("+", "-", "|", "^", "<<", ">>", ">>>"):
+                return lhs
+            if rhs.value == 1 and expr.op == "*":
+                return lhs
+            if rhs.value == 0 and expr.op in ("&", "*"):
+                return ast.ConstE(0)
+        if isinstance(lhs, ast.ConstE):
+            if lhs.value == 0 and expr.op in ("+", "|", "^"):
+                return rhs
+            if lhs.value == 0 and expr.op in ("&", "*"):
+                return ast.ConstE(0)
+            if lhs.value == 1 and expr.op == "*":
+                return rhs
+        return expr
+    if isinstance(expr, ast.UnE) and isinstance(expr.operand, ast.ConstE):
+        value = expr.operand.value & WORD_MASK
+        if expr.op == "~":
+            return ast.ConstE(~value & WORD_MASK)
+        if expr.op == "-":
+            return ast.ConstE(-value & WORD_MASK)
+        if expr.op == "clz":
+            for i in range(31, -1, -1):
+                if value & (1 << i):
+                    return ast.ConstE(31 - i)
+            return ast.ConstE(32)
+    if isinstance(expr, ast.MlaE):
+        if isinstance(expr.lhs, ast.ConstE) and isinstance(expr.rhs, ast.ConstE):
+            product = ast.ConstE(fold_binop("*", expr.lhs.value, expr.rhs.value))
+            return fold_expr(ast.BinE("+", expr.addend, product))
+    return expr
+
+
+def _read_vars(func: ast.Function) -> Set[str]:
+    """Variables whose value is observed somewhere in the function."""
+    reads: Set[str] = set()
+
+    def note(atom) -> None:
+        if isinstance(atom, ast.VarE):
+            reads.add(atom.name)
+
+    for stmt in func.body:
+        if isinstance(stmt, ast.Assign):
+            ast.visit_expr(stmt.expr, note)
+        elif isinstance(stmt, ast.Store):
+            note(stmt.index.base)
+            note(stmt.value)
+        elif isinstance(stmt, ast.IfGoto):
+            note(stmt.cond.lhs)
+            note(stmt.cond.rhs)
+        elif isinstance(stmt, ast.IfTestGoto):
+            note(stmt.source)
+        elif isinstance(stmt, ast.FusedAluGoto):
+            reads.add(stmt.dest)
+            note(stmt.rhs)
+        elif isinstance(stmt, ast.Call):
+            for arg in stmt.args:
+                note(arg)
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            note(stmt.value)
+        elif isinstance(stmt, ast.UmlalStmt):
+            reads.add(stmt.lo)
+            reads.add(stmt.hi)
+            note(stmt.lhs)
+            note(stmt.rhs)
+    return reads
+
+
+def optimize_function(func: ast.Function) -> ast.Function:
+    body: List[object] = []
+    for stmt in func.body:
+        if isinstance(stmt, ast.Assign):
+            stmt = ast.Assign(stmt.dest, fold_expr(stmt.expr))
+        body.append(stmt)
+    func = ast.Function(func.name, func.params, body)
+
+    # Dead-assignment elimination to a fixpoint.
+    while True:
+        reads = _read_vars(func)
+        kept: List[object] = []
+        removed = 0
+        for stmt in func.body:
+            if isinstance(stmt, ast.Assign) and stmt.dest not in reads:
+                removed += 1
+                continue
+            kept.append(stmt)
+        func = ast.Function(func.name, func.params, kept)
+        if not removed:
+            break
+    return func
+
+
+def optimize(program: ast.Program) -> ast.Program:
+    optimized = ast.Program(globals=dict(program.globals))
+    for func in program.functions.values():
+        optimized.add_function(optimize_function(func))
+    return optimized

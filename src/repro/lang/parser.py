@@ -1,0 +1,346 @@
+"""Recursive-descent parser for the mini source language.
+
+See :mod:`repro.lang.ast` for the grammar.  Comments start with ``//``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.lang.ast import (
+    Assign,
+    BinE,
+    BINARY_OPS,
+    Call,
+    Cond,
+    ConstE,
+    Function,
+    Goto,
+    IfGoto,
+    IfTestGoto,
+    Index,
+    LabelStmt,
+    LoadE,
+    MlaE,
+    Program,
+    RELOPS,
+    Return,
+    FusedAluGoto,
+    Store,
+    UmlalStmt,
+    UnE,
+    VarE,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*)
+  | (?P<int>-?(?:0x[0-9a-fA-F]+|\d+))
+  | (?P<name>[A-Za-z_]\w*)
+  | (?P<op><=u|>=u|<u|>u|>>>|<<|>>|<=|>=|==|!=|&~|[-+*&|^~=<>(){}\[\],;:])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(source: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {source[pos]!r} at offset {pos}")
+        pos = match.end()
+        if match.lastgroup == "ws":
+            continue
+        tokens.append((match.lastgroup, match.group()))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Tuple[str, str]:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Tuple[str, str]:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, text: str) -> str:
+        kind, value = self.next()
+        if value != text:
+            raise ParseError(f"expected {text!r}, got {value!r}")
+        return value
+
+    def expect_kind(self, kind: str) -> str:
+        got_kind, value = self.next()
+        if got_kind != kind:
+            raise ParseError(f"expected {kind}, got {value!r}")
+        return value
+
+    def accept(self, text: str) -> bool:
+        if self.peek()[1] == text and self.peek()[0] != "eof":
+            self.pos += 1
+            return True
+        return False
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        program = Program()
+        while self.peek()[0] != "eof":
+            kind, value = self.peek()
+            if value == "global":
+                self.next()
+                name = self.expect_kind("name")
+                self.expect("[")
+                size = int(self.expect_kind("int"), 0)
+                self.expect("]")
+                self.expect(";")
+                program.globals[name] = size
+            elif value == "func":
+                program.add_function(self.parse_function())
+            else:
+                raise ParseError(f"expected 'global' or 'func', got {value!r}")
+        return program
+
+    def parse_function(self) -> Function:
+        self.expect("func")
+        name = self.expect_kind("name")
+        self.expect("(")
+        params: List[str] = []
+        if not self.accept(")"):
+            params.append(self.expect_kind("name"))
+            while self.accept(","):
+                params.append(self.expect_kind("name"))
+            self.expect(")")
+        self.expect("{")
+        body: List[object] = []
+        while not self.accept("}"):
+            stmt = self.parse_statement()
+            if stmt is not None:
+                body.append(stmt)
+        return Function(name, tuple(params), body)
+
+    def parse_statement(self):
+        kind, value = self.peek()
+        if value == "var":
+            # Declarations are informational; locals are inferred.
+            self.next()
+            self.expect_kind("name")
+            while self.accept(","):
+                self.expect_kind("name")
+            self.expect(";")
+            return None
+        if value == "goto":
+            self.next()
+            target = self.expect_kind("name")
+            self.expect(";")
+            return Goto(target)
+        if value == "if":
+            return self.parse_ifgoto()
+        if value == "fuse":
+            self.next()
+            self.expect("(")
+            dest = self.expect_kind("name")
+            op = self.next()[1]
+            if op not in BINARY_OPS:
+                raise ParseError(f"unknown fused operator {op!r}")
+            rhs = self.parse_atom()
+            self.expect(")")
+            cond = self.expect_kind("name")
+            if cond not in ("ne", "eq", "mi", "pl"):
+                raise ParseError(f"unsupported fused condition {cond!r}")
+            self.expect("goto")
+            target = self.expect_kind("name")
+            self.expect(";")
+            return FusedAluGoto(dest, op, rhs, cond, target)
+        if value == "iftest":
+            self.next()
+            self.expect("(")
+            dest = self.expect_kind("name")
+            self.expect("=")
+            source = self.parse_atom()
+            self.expect(")")
+            self.expect("goto")
+            target = self.expect_kind("name")
+            self.expect(";")
+            return IfTestGoto(dest, source, target)
+        if value == "return":
+            self.next()
+            if self.accept(";"):
+                return Return()
+            atom = self.parse_atom()
+            self.expect(";")
+            return Return(atom)
+        if value == "call":
+            self.next()
+            call = self.parse_call(dest=None)
+            self.expect(";")
+            return call
+        if value == "umlal":
+            self.next()
+            self.expect("(")
+            lo = self.expect_kind("name")
+            self.expect(",")
+            hi = self.expect_kind("name")
+            self.expect(",")
+            lhs = self.parse_atom()
+            self.expect(",")
+            rhs = self.parse_atom()
+            self.expect(")")
+            self.expect(";")
+            return UmlalStmt(lo, hi, lhs, rhs)
+        if value in ("storeb", "storeh"):
+            self.next()
+            size = 1 if value == "storeb" else 2
+            self.expect("(")
+            array = self.expect_kind("name")
+            self.expect(",")
+            index = self.parse_index()
+            self.expect(",")
+            atom = self.parse_atom()
+            self.expect(")")
+            self.expect(";")
+            return Store(array, index, atom, size)
+        if kind == "name":
+            if self.peek(1)[1] == ":":
+                label = self.expect_kind("name")
+                self.expect(":")
+                return LabelStmt(label)
+            if self.peek(1)[1] == "[":
+                # Word store: name[index] = atom ;
+                array = self.expect_kind("name")
+                self.expect("[")
+                index = self.parse_index()
+                self.expect("]")
+                self.expect("=")
+                atom = self.parse_atom()
+                self.expect(";")
+                return Store(array, index, atom, 4)
+            dest = self.expect_kind("name")
+            self.expect("=")
+            if self.peek()[1] == "call":
+                self.next()
+                call = self.parse_call(dest=dest)
+                self.expect(";")
+                return call
+            expr = self.parse_expr()
+            self.expect(";")
+            return Assign(dest, expr)
+        raise ParseError(f"cannot parse statement starting with {value!r}")
+
+    def parse_call(self, dest: Optional[str]) -> Call:
+        func = self.expect_kind("name")
+        self.expect("(")
+        args: List[object] = []
+        if not self.accept(")"):
+            args.append(self.parse_atom())
+            while self.accept(","):
+                args.append(self.parse_atom())
+            self.expect(")")
+        return Call(func, tuple(args), dest)
+
+    def parse_ifgoto(self) -> IfGoto:
+        self.expect("if")
+        self.expect("(")
+        if self.accept("("):
+            # "(a & b) != 0"  or  "(a ^ b) == 0" forms
+            lhs = self.parse_atom()
+            op = self.next()[1]
+            if op not in ("&", "^"):
+                raise ParseError(f"expected & or ^ in test condition, got {op!r}")
+            rhs = self.parse_atom()
+            self.expect(")")
+            relop = self.next()[1]
+            zero = self.expect_kind("int")
+            if zero != "0" or relop not in ("!=", "=="):
+                raise ParseError("test conditions must compare against 0")
+            cond = Cond("tst" if op == "&" else "teq", relop + "0", lhs, rhs)
+        else:
+            lhs = self.parse_atom()
+            relop = self.next()[1]
+            if relop not in RELOPS:
+                raise ParseError(f"unknown relational operator {relop!r}")
+            rhs = self.parse_atom()
+            cond = Cond("rel", relop, lhs, rhs)
+        self.expect(")")
+        self.expect("goto")
+        target = self.expect_kind("name")
+        self.expect(";")
+        return IfGoto(cond, target)
+
+    def parse_atom(self):
+        kind, value = self.next()
+        if kind == "int":
+            return ConstE(int(value, 0))
+        if kind == "name":
+            return VarE(value)
+        raise ParseError(f"expected atom, got {value!r}")
+
+    def parse_index(self) -> Index:
+        base = self.parse_atom()
+        if self.accept("+"):
+            disp = int(self.expect_kind("int"), 0)
+            return Index(base, disp=disp)
+        if self.accept(":"):
+            scale = int(self.expect_kind("int"), 0)
+            return Index(base, scale=scale)
+        return Index(base)
+
+    def parse_expr(self):
+        kind, value = self.peek()
+        if value == "~":
+            self.next()
+            return UnE("~", self.parse_atom())
+        if value == "-" and self.peek(1)[0] == "name":
+            self.next()
+            return UnE("-", self.parse_atom())
+        if value == "clz":
+            self.next()
+            self.expect("(")
+            atom = self.parse_atom()
+            self.expect(")")
+            return UnE("clz", atom)
+        if value in ("loadb", "loadh"):
+            self.next()
+            size = 1 if value == "loadb" else 2
+            self.expect("(")
+            array = self.expect_kind("name")
+            self.expect(",")
+            index = self.parse_index()
+            self.expect(")")
+            return LoadE(array, index, size)
+        if kind == "name" and self.peek(1)[1] == "[":
+            array = self.expect_kind("name")
+            self.expect("[")
+            index = self.parse_index()
+            self.expect("]")
+            return LoadE(array, index, 4)
+
+        lhs = self.parse_atom()
+        op = self.peek()[1]
+        if op not in BINARY_OPS:
+            return lhs
+        self.next()
+        rhs = self.parse_atom()
+        # mla pattern: a + b * c
+        if op == "+" and self.peek()[1] == "*":
+            self.next()
+            third = self.parse_atom()
+            return MlaE(lhs, rhs, third)
+        return BinE(op, lhs, rhs)
+
+
+def parse(source: str) -> Program:
+    """Parse mini-language source text into a :class:`Program`."""
+    return Parser(source).parse_program()

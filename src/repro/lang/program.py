@@ -1,0 +1,100 @@
+"""Compiled-program artifacts.
+
+A :class:`CompiledUnit` is the output of one backend for one program: the
+instruction list (with ``.label`` pseudo-ops), a per-instruction statement
+tag (the moral equivalent of DWARF line info — ``None`` marks compiler glue
+such as prologues and spill traffic), the label map, and the global-array
+layout.  A :class:`CompiledPair` bundles the guest and host units compiled
+from the same source — the training artifact rule learning consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instruction import Instruction
+from repro.isa.isa import resolve_labels
+
+#: Base address of the global-array region in guest memory.
+GLOBALS_BASE = 0x0010_0000
+#: Initial stack pointer (stack grows down).
+STACK_BASE = 0x007F_F000
+
+
+@dataclass
+class CompiledUnit:
+    """One program compiled for one ISA."""
+
+    isa_name: str
+    instructions: Tuple[Instruction, ...]
+    #: statement id per instruction (aligned with `instructions`); None = glue.
+    tags: Tuple[Optional[int], ...]
+    #: function name -> entry label name.
+    func_labels: Dict[str, str]
+    #: global array name -> base address.
+    globals_layout: Dict[str, int]
+
+    def __post_init__(self) -> None:
+        assert len(self.instructions) == len(self.tags)
+
+    @property
+    def labels(self) -> Dict[str, int]:
+        """Label name -> index of the next real instruction (cached)."""
+        cached = getattr(self, "_labels_cache", None)
+        if cached is None:
+            cached = dict(resolve_labels(self.instructions))
+            self._labels_cache = cached
+        return cached
+
+    @property
+    def real_instructions(self) -> Tuple[Instruction, ...]:
+        """Instructions with ``.label`` pseudo-ops removed (cached)."""
+        cached = getattr(self, "_real_cache", None)
+        if cached is None:
+            cached = tuple(i for i in self.instructions if i.mnemonic != ".label")
+            self._real_cache = cached
+        return cached
+
+    @property
+    def real_tags(self) -> Tuple[Optional[int], ...]:
+        cached = getattr(self, "_real_tags_cache", None)
+        if cached is None:
+            cached = tuple(
+                tag
+                for insn, tag in zip(self.instructions, self.tags)
+                if insn.mnemonic != ".label"
+            )
+            self._real_tags_cache = cached
+        return cached
+
+    def statement_spans(self) -> Dict[int, List[int]]:
+        """Statement id -> indices into :attr:`real_instructions`."""
+        spans: Dict[int, List[int]] = {}
+        for index, tag in enumerate(self.real_tags):
+            if tag is not None:
+                spans.setdefault(tag, []).append(index)
+        return spans
+
+
+@dataclass
+class StatementInfo:
+    """Metadata for one source statement (shared across backends)."""
+
+    stmt_id: int
+    func: str
+    text: str
+
+
+@dataclass
+class CompiledPair:
+    """Guest + host binaries compiled from the same source program."""
+
+    name: str
+    guest: CompiledUnit
+    host: CompiledUnit
+    statements: Dict[int, StatementInfo] = field(default_factory=dict)
+
+    @property
+    def statement_count(self) -> int:
+        return len(self.statements)

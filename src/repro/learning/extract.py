@@ -1,0 +1,126 @@
+"""Rule-candidate extraction from statement-aligned binary pairs.
+
+For every source statement, take the guest and host instruction spans the
+compiler attributed to it (the stand-in for GDB line maps, §II-B).  A span
+pair becomes a candidate only if it looks like a rule:
+
+* both spans are non-empty (optimized-away statements produce nothing);
+* both spans are contiguous (scattered/interleaved code is unextractable);
+* branches may only appear as the *last* instruction, and no label may
+  target the middle of a span (multi-block lowerings like the host ``clz``
+  loop are rejected);
+* spans are short (long lowerings are not rule material).
+
+When a candidate's sides have equal length, positionally-aligned
+single-instruction sub-candidates are extracted as well — the enhanced
+learning approach's finer-grained rule formats [16], and the raw material
+parameterization operates on (the paper parameterizes single-guest-
+instruction rules, §V-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.instruction import Instruction
+from repro.lang.program import CompiledPair, CompiledUnit
+
+MAX_GUEST_LEN = 4
+MAX_HOST_LEN = 6
+
+REASON_OK = "ok"
+REASON_NO_BINARY = "no-binary"
+REASON_SCATTERED = "scattered"
+REASON_MULTI_BLOCK = "multi-block"
+REASON_TOO_LONG = "too-long"
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One rule candidate: paired guest/host sequences from one statement."""
+
+    stmt_id: int
+    guest: Tuple[Instruction, ...]
+    host: Tuple[Instruction, ...]
+    #: True for positionally-decomposed single-instruction sub-candidates.
+    is_sub: bool = False
+
+
+@dataclass
+class ExtractionResult:
+    candidates: List[Candidate] = field(default_factory=list)
+    sub_candidates: List[Candidate] = field(default_factory=list)
+    #: stmt_id -> rejection reason (or "ok").
+    outcomes: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def statement_count(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def candidate_count(self) -> int:
+        return len(self.candidates)
+
+
+def _contiguous(indices: Sequence[int]) -> bool:
+    return all(b == a + 1 for a, b in zip(indices, indices[1:]))
+
+
+def _label_targets(unit: CompiledUnit) -> frozenset:
+    """Indices (into real instructions) that are branch-target entry points."""
+    return frozenset(unit.labels.values())
+
+
+def _span_ok(unit: CompiledUnit, indices: Sequence[int], isa, targets: frozenset) -> str:
+    instructions = unit.real_instructions
+    if not _contiguous(indices):
+        return REASON_SCATTERED
+    span = [instructions[i] for i in indices]
+    for i, insn in enumerate(span):
+        if isa.defn(insn).is_branch and i != len(span) - 1:
+            return REASON_MULTI_BLOCK
+    # A label targeting the middle of the span means another block jumps in.
+    for index in indices[1:]:
+        if index in targets:
+            return REASON_MULTI_BLOCK
+    return REASON_OK
+
+
+def extract(pair: CompiledPair) -> ExtractionResult:
+    """Extract candidates from one compiled pair."""
+    from repro.isa.arm.opcodes import ARM
+    from repro.isa.x86.opcodes import X86
+
+    result = ExtractionResult()
+    guest_spans = pair.guest.statement_spans()
+    host_spans = pair.host.statement_spans()
+    guest_targets = _label_targets(pair.guest)
+    host_targets = _label_targets(pair.host)
+
+    for stmt_id in sorted(pair.statements):
+        g_idx = guest_spans.get(stmt_id, [])
+        h_idx = host_spans.get(stmt_id, [])
+        if not g_idx or not h_idx:
+            result.outcomes[stmt_id] = REASON_NO_BINARY
+            continue
+        if len(g_idx) > MAX_GUEST_LEN or len(h_idx) > MAX_HOST_LEN:
+            result.outcomes[stmt_id] = REASON_TOO_LONG
+            continue
+        reason = _span_ok(pair.guest, g_idx, ARM, guest_targets)
+        if reason == REASON_OK:
+            reason = _span_ok(pair.host, h_idx, X86, host_targets)
+        result.outcomes[stmt_id] = reason
+        if reason != REASON_OK:
+            continue
+
+        guest = tuple(pair.guest.real_instructions[i] for i in g_idx)
+        host = tuple(pair.host.real_instructions[i] for i in h_idx)
+        result.candidates.append(Candidate(stmt_id, guest, host))
+
+        if len(guest) == len(host) and len(guest) > 1:
+            for g, h in zip(guest, host):
+                result.sub_candidates.append(
+                    Candidate(stmt_id, (g,), (h,), is_sub=True)
+                )
+    return result

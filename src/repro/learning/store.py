@@ -1,0 +1,65 @@
+"""Rule-set serialization (JSON).
+
+Rules round-trip through the two assemblers' text syntax, so a stored rule
+file is human-readable: each rule shows its guest and host assembly, the
+register mapping, flag verdicts, and constraints.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.isa.arm import assembler as arm_asm
+from repro.isa.x86 import assembler as x86_asm
+from repro.learning.rule import TranslationRule
+from repro.learning.ruleset import RuleSet
+
+
+def rule_to_dict(rule: TranslationRule) -> dict:
+    return {
+        "guest": [str(insn) for insn in rule.guest],
+        "host": [x86_asm.format_instruction(insn) for insn in rule.host],
+        "reg_mapping": dict(rule.reg_mapping),
+        "host_temps": list(rule.host_temps),
+        "flag_status": dict(rule.flag_status),
+        "imm_generalized": rule.imm_generalized,
+        "origin": rule.origin,
+        "constraints": list(rule.constraints),
+    }
+
+
+def rule_from_dict(data: dict) -> TranslationRule:
+    guest = tuple(arm_asm.parse_line(line) for line in data["guest"])
+    host = tuple(x86_asm.parse_line(line) for line in data["host"])
+    return TranslationRule(
+        guest=guest,
+        host=host,
+        reg_mapping=tuple(sorted(data["reg_mapping"].items())),
+        host_temps=tuple(data.get("host_temps", ())),
+        flag_status=tuple(sorted(data.get("flag_status", {}).items())),
+        imm_generalized=bool(data.get("imm_generalized", False)),
+        origin=data.get("origin", "learned"),
+        constraints=tuple(data.get("constraints", ())),
+    )
+
+
+def dump_rules(rules: RuleSet) -> str:
+    return json.dumps([rule_to_dict(rule) for rule in rules], indent=2)
+
+
+def load_rules(text: str) -> RuleSet:
+    ruleset = RuleSet()
+    for entry in json.loads(text):
+        ruleset.add(rule_from_dict(entry))
+    return ruleset
+
+
+def save_rules(rules: RuleSet, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(dump_rules(rules))
+
+
+def load_rules_file(path: str) -> RuleSet:
+    with open(path) as handle:
+        return load_rules(handle.read())

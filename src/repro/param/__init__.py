@@ -1,0 +1,30 @@
+"""Rule parameterization (the paper's contribution)."""
+
+from repro.param.classify import OPCODE_MAP, UNPARAMETERIZABLE, parameterizable_opcodes
+from repro.param.derive import ParamCounts, ParamResult, derive_rules, host_candidates
+from repro.param.engine import STAGES, SystemSetup, build_setup
+from repro.param.seqderive import derive_sequence_rules
+from repro.param.shapes import (
+    TargetShape,
+    build_guest_instruction,
+    enumerate_shapes,
+    shape_of_instruction,
+)
+
+__all__ = [
+    "OPCODE_MAP",
+    "UNPARAMETERIZABLE",
+    "parameterizable_opcodes",
+    "ParamCounts",
+    "ParamResult",
+    "derive_rules",
+    "host_candidates",
+    "STAGES",
+    "SystemSetup",
+    "build_setup",
+    "derive_sequence_rules",
+    "TargetShape",
+    "build_guest_instruction",
+    "enumerate_shapes",
+    "shape_of_instruction",
+]

@@ -1,0 +1,72 @@
+"""Parameterization orchestration: rule sets and DBT configurations.
+
+Builds the five system configurations the evaluation compares (QEMU, the
+learning baseline, and the three cumulative parameterization stages of
+figs. 14/15), from one learned rule set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.dbt.translator import TranslationConfig
+from repro.learning.ruleset import RuleSet
+from repro.param.derive import ParamCounts, ParamResult, derive_rules
+from repro.param.seqderive import derive_sequence_rules
+
+#: Configuration keys in cumulative order.
+STAGES = ("qemu", "wopara", "opcode", "addrmode", "condition", "seqparam", "manual")
+
+
+@dataclass
+class SystemSetup:
+    """Everything the experiments need for one learned rule set."""
+
+    learned: RuleSet
+    param: ParamResult
+    configs: Dict[str, TranslationConfig]
+
+
+def build_setup(learned: RuleSet) -> SystemSetup:
+    """Derive rules and assemble one TranslationConfig per stage."""
+    param = derive_rules(learned, include_addrmode=True)
+
+    opcode_rules = learned.copy()
+    opcode_rules.extend(param.derived.by_origin("opcode-param"))
+
+    all_rules = learned.copy()
+    all_rules.extend(param.derived.rules)
+
+    seq_rules = all_rules.copy()
+    seq_rules.extend(derive_sequence_rules(learned).rules)
+
+    configs = {
+        "qemu": TranslationConfig("qemu", rules=None),
+        "wopara": TranslationConfig("w/o para.", rules=learned),
+        "opcode": TranslationConfig("opcode", rules=opcode_rules),
+        "addrmode": TranslationConfig(
+            "addr mode", rules=all_rules, pc_constraint=True
+        ),
+        "condition": TranslationConfig(
+            "condition", rules=all_rules, condition=True, pc_constraint=True
+        ),
+        # Extension (the paper's future work, §V-D): sequence-rule
+        # parameterization on top of the full system.
+        "seqparam": TranslationConfig(
+            "seq param",
+            rules=seq_rules,
+            condition=True,
+            pc_constraint=True,
+        ),
+        # Extension (§V-B2's closing note): manual rules for the seven
+        # unlearnable instructions on top of the full parameterized system.
+        "manual": TranslationConfig(
+            "manual",
+            rules=all_rules,
+            condition=True,
+            pc_constraint=True,
+            manual_other=True,
+        ),
+    }
+    return SystemSetup(learned=learned, param=param, configs=configs)

@@ -1,0 +1,13 @@
+"""Value-domain semantics layer (one semantics, concrete + symbolic)."""
+
+from repro.semantics.domain import CONCRETE, SYMBOLIC, ConcreteDomain, SymbolicDomain
+from repro.semantics.state import BaseState, ConcreteState
+
+__all__ = [
+    "ConcreteDomain",
+    "SymbolicDomain",
+    "CONCRETE",
+    "SYMBOLIC",
+    "BaseState",
+    "ConcreteState",
+]

@@ -1,0 +1,220 @@
+"""Value domains: the one set of instruction semantics, two interpretations.
+
+Every instruction's semantics is written against :class:`Domain`.  Running
+the semantics with :class:`ConcreteDomain` executes the instruction on
+integers (the reference interpreters and the DBT executor); running it with
+:class:`SymbolicDomain` builds :mod:`repro.symir` expressions (the rule
+verifier).  Because the two interpretations share one semantics function,
+verification and execution cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.symir import build
+from repro.symir.expr import Const, Expr
+
+WORD_MASK = 0xFFFFFFFF
+WORD_BITS = 32
+
+
+class ConcreteDomain:
+    """Semantics over unsigned 32-bit Python integers; flags are 0/1 ints."""
+
+    name = "concrete"
+
+    @staticmethod
+    def const(value: int, width: int = WORD_BITS) -> int:
+        return value & ((1 << width) - 1)
+
+    @staticmethod
+    def add(a: int, b: int) -> int:
+        return (a + b) & WORD_MASK
+
+    @staticmethod
+    def sub(a: int, b: int) -> int:
+        return (a - b) & WORD_MASK
+
+    @staticmethod
+    def mul(a: int, b: int) -> int:
+        return (a * b) & WORD_MASK
+
+    @staticmethod
+    def and_(a: int, b: int) -> int:
+        return a & b
+
+    @staticmethod
+    def or_(a: int, b: int) -> int:
+        return a | b
+
+    @staticmethod
+    def xor(a: int, b: int) -> int:
+        return a ^ b
+
+    @staticmethod
+    def not_(a: int) -> int:
+        return ~a & WORD_MASK
+
+    @staticmethod
+    def neg(a: int) -> int:
+        return -a & WORD_MASK
+
+    @staticmethod
+    def shl(a: int, b: int) -> int:
+        return (a << b) & WORD_MASK if b < WORD_BITS else 0
+
+    @staticmethod
+    def lshr(a: int, b: int) -> int:
+        return a >> b if b < WORD_BITS else 0
+
+    @staticmethod
+    def ashr(a: int, b: int) -> int:
+        shift = min(b, WORD_BITS - 1)
+        signed = a - (1 << WORD_BITS) if a & 0x80000000 else a
+        return (signed >> shift) & WORD_MASK
+
+    @staticmethod
+    def clz(a: int) -> int:
+        for i in range(WORD_BITS - 1, -1, -1):
+            if a & (1 << i):
+                return WORD_BITS - 1 - i
+        return WORD_BITS
+
+    @staticmethod
+    def eq(a: int, b: int) -> int:
+        return int(a == b)
+
+    @staticmethod
+    def ult(a: int, b: int) -> int:
+        return int(a < b)
+
+    @staticmethod
+    def ite(cond: int, then: int, orelse: int) -> int:
+        return then if cond else orelse
+
+    @staticmethod
+    def bit(a: int, index: int) -> int:
+        return (a >> index) & 1
+
+    @staticmethod
+    def is_zero(a: int) -> int:
+        return int(a == 0)
+
+    @staticmethod
+    def addc(a: int, b: int, carry_in: int) -> Tuple[int, int, int]:
+        """Add with carry-in; returns (result, carry_out, overflow)."""
+        full = a + b + carry_in
+        result = full & WORD_MASK
+        carry = (full >> WORD_BITS) & 1
+        overflow = ((~(a ^ b) & (a ^ result)) >> (WORD_BITS - 1)) & 1
+        return result, carry, overflow
+
+    @staticmethod
+    def truth(value: int) -> bool:
+        """Concrete truth of a 1-bit value (used by interpreters only)."""
+        return bool(value)
+
+
+class SymbolicDomain:
+    """Semantics over :mod:`repro.symir` expressions."""
+
+    name = "symbolic"
+
+    @staticmethod
+    def const(value: int, width: int = WORD_BITS) -> Expr:
+        return Const(value, width)
+
+    @staticmethod
+    def add(a: Expr, b: Expr) -> Expr:
+        return build.add(a, b)
+
+    @staticmethod
+    def sub(a: Expr, b: Expr) -> Expr:
+        return build.sub(a, b)
+
+    @staticmethod
+    def mul(a: Expr, b: Expr) -> Expr:
+        return build.mul(a, b)
+
+    @staticmethod
+    def and_(a: Expr, b: Expr) -> Expr:
+        return build.and_(a, b)
+
+    @staticmethod
+    def or_(a: Expr, b: Expr) -> Expr:
+        return build.or_(a, b)
+
+    @staticmethod
+    def xor(a: Expr, b: Expr) -> Expr:
+        return build.xor(a, b)
+
+    @staticmethod
+    def not_(a: Expr) -> Expr:
+        return build.not_(a)
+
+    @staticmethod
+    def neg(a: Expr) -> Expr:
+        return build.neg(a)
+
+    @staticmethod
+    def shl(a: Expr, b: Expr) -> Expr:
+        return build.binop("shl", a, b)
+
+    @staticmethod
+    def lshr(a: Expr, b: Expr) -> Expr:
+        return build.binop("lshr", a, b)
+
+    @staticmethod
+    def ashr(a: Expr, b: Expr) -> Expr:
+        return build.binop("ashr", a, b)
+
+    @staticmethod
+    def clz(a: Expr) -> Expr:
+        return build.unop("clz", a)
+
+    @staticmethod
+    def eq(a: Expr, b: Expr) -> Expr:
+        return build.eq(a, b)
+
+    @staticmethod
+    def ult(a: Expr, b: Expr) -> Expr:
+        return build.binop("ult", a, b)
+
+    @staticmethod
+    def ite(cond: Expr, then: Expr, orelse: Expr) -> Expr:
+        return build.ite(cond, then, orelse)
+
+    @staticmethod
+    def bit(a: Expr, index: int) -> Expr:
+        return build.extract(a, index, 1)
+
+    @staticmethod
+    def is_zero(a: Expr) -> Expr:
+        return build.is_zero(a)
+
+    @staticmethod
+    def addc(a: Expr, b: Expr, carry_in: Expr) -> Tuple[Expr, Expr, Expr]:
+        wide_a = build.zero_ext(a, WORD_BITS + 1)
+        wide_b = build.zero_ext(b, WORD_BITS + 1)
+        wide_c = build.zero_ext(carry_in, WORD_BITS + 1)
+        full = build.add(build.add(wide_a, wide_b), wide_c)
+        result = build.extract(full, 0, WORD_BITS)
+        carry = build.extract(full, WORD_BITS, 1)
+        overflow = build.extract(
+            build.and_(build.not_(build.xor(a, b)), build.xor(a, result)),
+            WORD_BITS - 1,
+            1,
+        )
+        return result, carry, overflow
+
+    @staticmethod
+    def truth(value: Expr) -> bool:
+        """Symbolic values have no concrete truth; only constants do."""
+        if isinstance(value, Const):
+            return bool(value.value)
+        raise ValueError(f"cannot take the concrete truth of {value!r}")
+
+
+CONCRETE = ConcreteDomain()
+SYMBOLIC = SymbolicDomain()

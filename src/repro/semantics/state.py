@@ -1,0 +1,155 @@
+"""Machine-state abstraction shared by interpreters and the verifier.
+
+:class:`BaseState` implements everything that does not depend on how memory
+is represented: register/flag files, operand reading and writing, effective
+address computation, and branch outcome recording.  The concrete subclass
+here stores memory as a word-indexed dictionary; the symbolic subclass lives
+in :mod:`repro.verify.symstate` and uses a store buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import ExecutionError
+from repro.isa.flags import FLAG_NAMES
+from repro.isa.operands import Imm, Label, Mem, Operand, Reg
+from repro.semantics.domain import WORD_BITS, WORD_MASK, ConcreteDomain
+
+
+class BaseState:
+    """Register/flag file plus operand access, parameterized by value domain."""
+
+    def __init__(self, domain) -> None:
+        self.d = domain
+        self.regs: Dict[str, object] = {}
+        self.flags: Dict[str, object] = {}
+        #: 1-bit value set by conditional-branch semantics; ``None`` when the
+        #: last executed instruction was not a branch.
+        self.branch_taken: Optional[object] = None
+        #: label name of the pending branch target.
+        self.branch_target: Optional[str] = None
+
+    # -- register / flag files ----------------------------------------------
+
+    def get_reg(self, name: str):
+        try:
+            return self.regs[name]
+        except KeyError:
+            raise ExecutionError(f"read of uninitialized register {name!r}") from None
+
+    def set_reg(self, name: str, value) -> None:
+        self.regs[name] = value
+
+    def get_flag(self, name: str):
+        try:
+            return self.flags[name]
+        except KeyError:
+            raise ExecutionError(f"read of uninitialized flag {name!r}") from None
+
+    def set_flag(self, name: str, value) -> None:
+        self.flags[name] = value
+
+    def set_nz(self, result) -> None:
+        d = self.d
+        self.set_flag("N", d.bit(result, WORD_BITS - 1))
+        self.set_flag("Z", d.is_zero(result))
+
+    def set_nzcv(self, result, carry, overflow) -> None:
+        self.set_nz(result)
+        self.set_flag("C", carry)
+        self.set_flag("V", overflow)
+
+    # -- memory (subclass responsibility) ------------------------------------
+
+    def load(self, addr, size: int = 4):
+        raise NotImplementedError
+
+    def store(self, addr, value, size: int = 4) -> None:
+        raise NotImplementedError
+
+    # -- operands -------------------------------------------------------------
+
+    def addr_of(self, mem: Mem):
+        d = self.d
+        addr = d.const(mem.disp & WORD_MASK)
+        if mem.base is not None:
+            addr = d.add(addr, self.get_reg(mem.base.name))
+        if mem.index is not None:
+            index = self.get_reg(mem.index.name)
+            if mem.scale != 1:
+                index = d.mul(index, d.const(mem.scale))
+            addr = d.add(addr, index)
+        return addr
+
+    def read_operand(self, operand: Operand, size: int = 4):
+        if isinstance(operand, Reg):
+            return self.get_reg(operand.name)
+        if isinstance(operand, Imm):
+            return self.d.const(operand.value & WORD_MASK)
+        if isinstance(operand, Mem):
+            return self.load(self.addr_of(operand), size)
+        raise ExecutionError(f"cannot read operand {operand!r}")
+
+    def write_operand(self, operand: Operand, value, size: int = 4) -> None:
+        if isinstance(operand, Reg):
+            self.set_reg(operand.name, value)
+        elif isinstance(operand, Mem):
+            self.store(self.addr_of(operand), value, size)
+        else:
+            raise ExecutionError(f"cannot write operand {operand!r}")
+
+    # -- control flow ----------------------------------------------------------
+
+    def record_branch(self, taken, target: Optional[Label]) -> None:
+        self.branch_taken = taken
+        self.branch_target = target.name if target is not None else None
+
+    def clear_branch(self) -> None:
+        self.branch_taken = None
+        self.branch_target = None
+
+
+class ConcreteState(BaseState):
+    """Concrete machine state: integers, word-granular dictionary memory."""
+
+    def __init__(self) -> None:
+        super().__init__(ConcreteDomain())
+        self.memory: Dict[int, int] = {}
+
+    def reset_flags(self) -> None:
+        for name in FLAG_NAMES:
+            self.flags[name] = 0
+
+    def _load_word(self, word_addr: int) -> int:
+        return self.memory.get(word_addr, 0)
+
+    def load(self, addr: int, size: int = 4) -> int:
+        addr &= WORD_MASK
+        word_addr, offset = divmod(addr, 4)
+        if size == 4 and offset == 0:
+            return self._load_word(word_addr)
+        raw = self._load_word(word_addr) | (self._load_word(word_addr + 1) << 32)
+        return (raw >> (offset * 8)) & ((1 << (size * 8)) - 1)
+
+    def store(self, addr: int, value: int, size: int = 4) -> None:
+        addr &= WORD_MASK
+        word_addr, offset = divmod(addr, 4)
+        if size == 4 and offset == 0:
+            self.memory[word_addr] = value & WORD_MASK
+            return
+        raw = self._load_word(word_addr) | (self._load_word(word_addr + 1) << 32)
+        shift = offset * 8
+        mask = ((1 << (size * 8)) - 1) << shift
+        raw = (raw & ~mask) | ((value << shift) & mask)
+        self.memory[word_addr] = raw & WORD_MASK
+        if raw >> 32 or word_addr + 1 in self.memory:
+            self.memory[word_addr + 1] = (raw >> 32) & WORD_MASK
+
+    def snapshot(self) -> Dict[str, object]:
+        """A copy of the architectural state, for test assertions."""
+        return {
+            "regs": dict(self.regs),
+            "flags": dict(self.flags),
+            "memory": dict(self.memory),
+        }

@@ -1,0 +1,77 @@
+"""Symbolic bitvector IR used by the rule verifier.
+
+Public surface:
+
+* :class:`~repro.symir.expr.Expr` node types (:class:`Const`, :class:`Sym`,
+  :class:`BinOp`, :class:`UnOp`, :class:`Ite`, :class:`Extract`,
+  :class:`ZeroExt`)
+* :mod:`repro.symir.build` — simplifying smart constructors
+* :func:`~repro.symir.evaluate.evaluate` — concrete evaluation
+* :func:`~repro.symir.simplify.simplify` — canonical re-normalization
+"""
+
+from repro.symir.build import (
+    add,
+    and_,
+    binop,
+    const,
+    eq,
+    extract,
+    is_zero,
+    ite,
+    mul,
+    neg,
+    not_,
+    or_,
+    sub,
+    sym,
+    unop,
+    xor,
+    zero_ext,
+)
+from repro.symir.evaluate import evaluate
+from repro.symir.expr import (
+    BinOp,
+    Const,
+    Expr,
+    Extract,
+    Ite,
+    Sym,
+    UnOp,
+    ZeroExt,
+    expr_size,
+    free_symbols,
+)
+from repro.symir.simplify import simplify
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Sym",
+    "BinOp",
+    "UnOp",
+    "Ite",
+    "Extract",
+    "ZeroExt",
+    "free_symbols",
+    "expr_size",
+    "evaluate",
+    "simplify",
+    "const",
+    "sym",
+    "binop",
+    "unop",
+    "ite",
+    "extract",
+    "zero_ext",
+    "add",
+    "sub",
+    "mul",
+    "and_",
+    "or_",
+    "xor",
+    "not_",
+    "neg",
+    "eq",
+    "is_zero",
+]

@@ -1,0 +1,193 @@
+"""Symbolic bitvector expression nodes.
+
+The verification subsystem (:mod:`repro.verify`) represents machine values as
+immutable expression trees over fixed-width bitvectors.  Widths are tracked
+per node; machine words are 32 bits and condition flags are 1 bit.
+
+Nodes are deliberately plain: construction through these classes performs no
+simplification.  Use :mod:`repro.symir.build` for simplifying smart
+constructors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+WORD_WIDTH = 32
+FLAG_WIDTH = 1
+
+#: Binary operator tags.  Comparison operators produce 1-bit results.
+BINARY_OPS = frozenset(
+    {
+        "add",
+        "sub",
+        "mul",
+        "and",
+        "or",
+        "xor",
+        "shl",
+        "lshr",
+        "ashr",
+        "eq",
+        "ne",
+        "ult",
+        "ule",
+        "slt",
+        "sle",
+    }
+)
+
+#: Operators whose result width is 1 regardless of operand width.
+COMPARISON_OPS = frozenset({"eq", "ne", "ult", "ule", "slt", "sle"})
+
+#: Commutative binary operators (used for canonical ordering).
+COMMUTATIVE_OPS = frozenset({"add", "mul", "and", "or", "xor", "eq", "ne"})
+
+UNARY_OPS = frozenset({"not", "neg", "clz"})
+
+
+class Expr:
+    """Base class for all expression nodes."""
+
+    __slots__ = ()
+
+    width: int
+
+    def mask(self) -> int:
+        """Bitmask covering this expression's width."""
+        return (1 << self.width) - 1
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A concrete constant value of the given width."""
+
+    value: int
+    width: int = WORD_WIDTH
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value", self.value & ((1 << self.width) - 1))
+
+    def __repr__(self) -> str:
+        return f"0x{self.value:x}:{self.width}"
+
+
+@dataclass(frozen=True)
+class Sym(Expr):
+    """A free symbolic variable."""
+
+    name: str
+    width: int = WORD_WIDTH
+
+    def __repr__(self) -> str:
+        return f"{self.name}:{self.width}"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary operation.  Operand widths must match."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    @property
+    def width(self) -> int:  # type: ignore[override]
+        if self.op in COMPARISON_OPS:
+            return FLAG_WIDTH
+        return self.lhs.width
+
+    def __repr__(self) -> str:
+        return f"({self.op} {self.lhs!r} {self.rhs!r})"
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    """Unary operation (bitwise not, arithmetic negate, count-leading-zeros)."""
+
+    op: str
+    operand: Expr
+
+    @property
+    def width(self) -> int:  # type: ignore[override]
+        return self.operand.width
+
+    def __repr__(self) -> str:
+        return f"({self.op} {self.operand!r})"
+
+
+@dataclass(frozen=True)
+class Ite(Expr):
+    """If-then-else: ``cond`` is 1-bit; branches share a width."""
+
+    cond: Expr
+    then: Expr
+    orelse: Expr
+
+    @property
+    def width(self) -> int:  # type: ignore[override]
+        return self.then.width
+
+    def __repr__(self) -> str:
+        return f"(ite {self.cond!r} {self.then!r} {self.orelse!r})"
+
+
+@dataclass(frozen=True)
+class Extract(Expr):
+    """Extract bits [lo, lo+width) from a wider expression."""
+
+    operand: Expr
+    lo: int
+    width: int
+
+    def __repr__(self) -> str:
+        return f"(extract {self.operand!r} [{self.lo}+:{self.width}])"
+
+
+@dataclass(frozen=True)
+class ZeroExt(Expr):
+    """Zero-extend an expression to a wider width."""
+
+    operand: Expr
+    width: int
+
+    def __repr__(self) -> str:
+        return f"(zext {self.operand!r} -> {self.width})"
+
+
+def free_symbols(expr: Expr) -> Tuple[Sym, ...]:
+    """Return the distinct free symbols of *expr* in first-seen order."""
+    seen: dict[Sym, None] = {}
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Sym):
+            seen.setdefault(node)
+        elif isinstance(node, BinOp):
+            stack.append(node.rhs)
+            stack.append(node.lhs)
+        elif isinstance(node, UnOp):
+            stack.append(node.operand)
+        elif isinstance(node, Ite):
+            stack.append(node.orelse)
+            stack.append(node.then)
+            stack.append(node.cond)
+        elif isinstance(node, (Extract, ZeroExt)):
+            stack.append(node.operand)
+    return tuple(seen)
+
+
+def expr_size(expr: Expr) -> int:
+    """Number of nodes in the expression tree (for simplifier heuristics)."""
+    if isinstance(expr, (Const, Sym)):
+        return 1
+    if isinstance(expr, BinOp):
+        return 1 + expr_size(expr.lhs) + expr_size(expr.rhs)
+    if isinstance(expr, UnOp):
+        return 1 + expr_size(expr.operand)
+    if isinstance(expr, Ite):
+        return 1 + expr_size(expr.cond) + expr_size(expr.then) + expr_size(expr.orelse)
+    if isinstance(expr, (Extract, ZeroExt)):
+        return 1 + expr_size(expr.operand)
+    raise TypeError(f"unknown expression node: {expr!r}")

@@ -1,0 +1,45 @@
+"""Bottom-up re-normalization of expression trees.
+
+Expressions built through :mod:`repro.symir.build` are already mostly
+canonical; :func:`simplify` re-runs a whole tree through the smart
+constructors so that trees assembled from raw node constructors (e.g. loaded
+from a rule store) reach the same form.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.symir import build
+from repro.symir.expr import BinOp, Const, Expr, Extract, Ite, Sym, UnOp, ZeroExt
+
+
+def simplify(expr: Expr, _cache: Dict[int, Expr] | None = None) -> Expr:
+    """Return a canonically simplified version of *expr*."""
+    if _cache is None:
+        _cache = {}
+    cached = _cache.get(id(expr))
+    if cached is not None:
+        return cached
+
+    if isinstance(expr, (Const, Sym)):
+        result: Expr = expr
+    elif isinstance(expr, BinOp):
+        result = build.binop(expr.op, simplify(expr.lhs, _cache), simplify(expr.rhs, _cache))
+    elif isinstance(expr, UnOp):
+        result = build.unop(expr.op, simplify(expr.operand, _cache))
+    elif isinstance(expr, Ite):
+        result = build.ite(
+            simplify(expr.cond, _cache),
+            simplify(expr.then, _cache),
+            simplify(expr.orelse, _cache),
+        )
+    elif isinstance(expr, Extract):
+        result = build.extract(simplify(expr.operand, _cache), expr.lo, expr.width)
+    elif isinstance(expr, ZeroExt):
+        result = build.zero_ext(simplify(expr.operand, _cache), expr.width)
+    else:
+        raise TypeError(f"unknown expression node: {expr!r}")
+
+    _cache[id(expr)] = result
+    return result

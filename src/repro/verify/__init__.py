@@ -1,0 +1,24 @@
+"""Symbolic verification of translation-rule candidates."""
+
+from repro.verify.checker import (
+    CheckResult,
+    check_equivalence,
+    collect_imms,
+    collect_labels,
+    collect_regs,
+)
+from repro.verify.equivalence import exprs_equal, find_counterexample
+from repro.verify.symstate import StoreRecord, SymbolicState, run_symbolic
+
+__all__ = [
+    "CheckResult",
+    "check_equivalence",
+    "collect_regs",
+    "collect_imms",
+    "collect_labels",
+    "exprs_equal",
+    "find_counterexample",
+    "SymbolicState",
+    "StoreRecord",
+    "run_symbolic",
+]

@@ -1,0 +1,301 @@
+"""Rule-candidate equivalence checking (the paper's verification step).
+
+Given a guest instruction sequence and a host instruction sequence (a rule
+candidate extracted from statement-aligned binaries), decide whether they are
+semantically equivalent under a one-to-one, type-matched operand mapping —
+the strictness rules of paper §II-B:
+
+* guest registers map one-to-one onto host registers.  Extra host scratch
+  registers are rejected in learning mode (``allow_temps=0``) — the
+  parameterization framework re-enables them for its explicitly-declared
+  auxiliary instructions (paper §IV-C1, fig. 7);
+* immediates must agree pairwise by value;
+* memory effects must match store-for-store;
+* the program counter and the stack pointers cannot be mapped;
+* condition flags are compared per flag with a four-way verdict:
+
+  ========== =====================================================
+  ``equiv``     guest sets the flag; host produces the same value
+  ``mismatch``  guest sets the flag; host value differs
+  ``preserved`` guest does not set it and host leaves it alone
+  ``clobbered`` guest does not set it but host overwrites it
+  ========== =====================================================
+
+A rule is *equivalent* when dataflow matches and no guest-set flag is a
+mismatch.  ``clobbered`` flags are legal (x86 ALU instructions always
+clobber flags ARM preserves) but are recorded so translators can track
+which host flags still mirror guest flags — the raw material for
+condition-flag delegation (§IV-B, §IV-D).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import VerificationError
+from repro.isa.flags import FLAG_NAMES
+from repro.isa.instruction import Instruction
+from repro.isa.operands import Imm, Label, Mem, Reg, RegList
+from repro.symir import Sym
+from repro.verify.equivalence import exprs_equal
+from repro.verify.symstate import SymbolicState, run_symbolic
+
+_MAX_MAPPING_ATTEMPTS = 64
+
+FLAG_EQUIV = "equiv"
+FLAG_MISMATCH = "mismatch"
+FLAG_PRESERVED = "preserved"
+FLAG_CLOBBERED = "clobbered"
+
+
+@dataclass
+class CheckResult:
+    """Outcome of verifying one rule candidate."""
+
+    equivalent: bool
+    reg_mapping: Optional[Dict[str, str]] = None
+    host_temps: Tuple[str, ...] = ()
+    flag_status: Dict[str, str] = field(default_factory=dict)
+    reason: str = ""
+
+    @property
+    def dataflow_ok(self) -> bool:
+        """Registers/memory/branch matched under some mapping."""
+        return self.reg_mapping is not None
+
+    @property
+    def mismatched_flags(self) -> Tuple[str, ...]:
+        return tuple(
+            f for f in FLAG_NAMES if self.flag_status.get(f) == FLAG_MISMATCH
+        )
+
+    @property
+    def clobbered_flags(self) -> Tuple[str, ...]:
+        return tuple(
+            f for f in FLAG_NAMES if self.flag_status.get(f) == FLAG_CLOBBERED
+        )
+
+    @property
+    def equiv_flags(self) -> Tuple[str, ...]:
+        return tuple(f for f in FLAG_NAMES if self.flag_status.get(f) == FLAG_EQUIV)
+
+
+def collect_regs(instructions: Sequence[Instruction]) -> List[str]:
+    """Distinct register names in first-occurrence order (incl. mem bases)."""
+    seen: Dict[str, None] = {}
+    for insn in instructions:
+        for operand in insn.operands:
+            if isinstance(operand, Reg):
+                seen.setdefault(operand.name)
+            elif isinstance(operand, Mem):
+                if operand.base is not None:
+                    seen.setdefault(operand.base.name)
+                if operand.index is not None:
+                    seen.setdefault(operand.index.name)
+            elif isinstance(operand, RegList):
+                for entry in operand.regs:
+                    seen.setdefault(entry.name)
+    return list(seen)
+
+
+def collect_imms(instructions: Sequence[Instruction]) -> List[int]:
+    return [
+        op.value
+        for insn in instructions
+        for op in insn.operands
+        if isinstance(op, Imm)
+    ]
+
+
+def collect_labels(instructions: Sequence[Instruction]) -> List[str]:
+    return [
+        op.name
+        for insn in instructions
+        for op in insn.operands
+        if isinstance(op, Label)
+    ]
+
+
+def _strip(instructions: Sequence[Instruction]) -> Tuple[Instruction, ...]:
+    return tuple(i for i in instructions if i.mnemonic != ".label")
+
+
+def _candidate_mappings(
+    guest_regs: List[str], host_regs: List[str]
+) -> Iterator[Dict[str, str]]:
+    """Yield injective guest->host register mappings, most plausible first."""
+    n = len(guest_regs)
+    emitted = set()
+    count = 0
+
+    def emit(subset):
+        nonlocal count
+        if subset in emitted:
+            return None
+        emitted.add(subset)
+        count += 1
+        return dict(zip(guest_regs, subset))
+
+    if len(host_regs) >= n:
+        mapping = emit(tuple(host_regs[:n]))
+        if mapping is not None:
+            yield mapping
+    for subset in itertools.permutations(host_regs, n):
+        if count >= _MAX_MAPPING_ATTEMPTS:
+            return
+        mapping = emit(subset)
+        if mapping is not None:
+            yield mapping
+
+
+def guest_set_flags(guest_isa, instructions: Sequence[Instruction]) -> frozenset:
+    """Union of flags written by a guest sequence."""
+    flags = set()
+    for insn in instructions:
+        if insn.mnemonic != ".label":
+            flags |= guest_isa.defn(insn).flags_set
+    return frozenset(flags)
+
+
+def check_equivalence(
+    guest_isa,
+    host_isa,
+    guest_insns: Sequence[Instruction],
+    host_insns: Sequence[Instruction],
+    allow_temps: int = 0,
+) -> CheckResult:
+    """Verify a rule candidate; see module docstring for the contract."""
+    guest_insns = _strip(guest_insns)
+    host_insns = _strip(host_insns)
+    if not guest_insns or not host_insns:
+        return CheckResult(False, reason="empty sequence")
+
+    for insn in guest_insns:
+        defn = guest_isa.defn(insn)
+        if defn.is_branch and defn.cond is None:
+            # An individual unconditional transfer has no dataflow to prove
+            # equivalent; its target correspondence is layout-dependent
+            # (paper §V-B2: "an individual b instruction cannot be learned").
+            return CheckResult(False, reason="unconditional control transfer")
+
+    guest_regs = collect_regs(guest_insns)
+    host_regs = collect_regs(host_insns)
+    if guest_isa.pc_register in guest_regs:
+        return CheckResult(False, reason="guest uses the PC register")
+    if guest_isa.sp_register in guest_regs or host_isa.sp_register in host_regs:
+        return CheckResult(False, reason="stack-pointer (ABI) dependence")
+
+    if sorted(collect_imms(guest_insns)) != sorted(collect_imms(host_insns)):
+        return CheckResult(False, reason="immediate operands do not correspond")
+
+    guest_labels = collect_labels(guest_insns)
+    host_labels = collect_labels(host_insns)
+    if len(guest_labels) != len(host_labels) or len(guest_labels) > 1:
+        return CheckResult(False, reason="branch targets do not correspond")
+
+    if len(host_regs) < len(guest_regs):
+        return CheckResult(False, reason="fewer host registers than guest registers")
+    if len(host_regs) - len(guest_regs) > allow_temps:
+        return CheckResult(
+            False,
+            reason="host uses scratch registers beyond the one-to-one mapping",
+        )
+
+    wanted = guest_set_flags(guest_isa, guest_insns)
+    best: Optional[CheckResult] = None
+    for mapping in _candidate_mappings(guest_regs, host_regs):
+        result = _check_with_mapping(
+            guest_isa, host_isa, guest_insns, host_insns, mapping, wanted
+        )
+        if result is None:
+            continue
+        if result.equivalent:
+            return result
+        if best is None or len(result.mismatched_flags) < len(best.mismatched_flags):
+            best = result
+    if best is not None:
+        return best
+    return CheckResult(False, reason="no operand mapping satisfies dataflow equivalence")
+
+
+def _check_with_mapping(
+    guest_isa,
+    host_isa,
+    guest_insns: Tuple[Instruction, ...],
+    host_insns: Tuple[Instruction, ...],
+    mapping: Dict[str, str],
+    wanted_flags: frozenset,
+) -> Optional[CheckResult]:
+    """Check one register mapping; None means "this mapping does not work"."""
+    load_oracle: Dict = {}
+    guest_state = SymbolicState("g", load_oracle=load_oracle)
+    host_state = SymbolicState("h", load_oracle=load_oracle)
+
+    for i, (guest_reg, host_reg) in enumerate(mapping.items()):
+        shared = Sym(f"v{i}", 32)
+        guest_state.bind_reg(guest_reg, shared)
+        host_state.bind_reg(host_reg, shared)
+    flag_inputs = {}
+    for flag in FLAG_NAMES:
+        shared = Sym(f"F{flag}", 1)
+        flag_inputs[flag] = shared
+        guest_state.bind_flag(flag, shared)
+        host_state.bind_flag(flag, shared)
+
+    try:
+        run_symbolic(guest_isa, guest_insns, guest_state)
+        run_symbolic(host_isa, host_insns, host_state)
+    except VerificationError:
+        return None
+
+    mapped_hosts = set(mapping.values())
+    temps = tuple(r for r in collect_regs(host_insns) if r not in mapped_hosts)
+    # True temporaries must be written before any read.
+    if any(t in host_state.lazy_reads for t in temps):
+        return None
+    if guest_state.lazy_reads:
+        return None  # guest read a register outside the collected operands
+
+    # Register outputs.
+    for guest_reg, host_reg in mapping.items():
+        if not exprs_equal(guest_state.regs[guest_reg], host_state.regs[host_reg]):
+            return None
+
+    # Memory outputs: store-for-store, in order.
+    if len(guest_state.stores) != len(host_state.stores):
+        return None
+    for g_store, h_store in zip(guest_state.stores, host_state.stores):
+        if g_store.size != h_store.size:
+            return None
+        if not exprs_equal(g_store.addr, h_store.addr):
+            return None
+        if not exprs_equal(g_store.value, h_store.value):
+            return None
+
+    # Branch outcome.
+    if (guest_state.branch_taken is None) != (host_state.branch_taken is None):
+        return None
+    if guest_state.branch_taken is not None:
+        if not exprs_equal(guest_state.branch_taken, host_state.branch_taken):
+            return None
+
+    flag_status: Dict[str, str] = {}
+    for flag in FLAG_NAMES:
+        guest_flag = guest_state.flags[flag]
+        host_flag = host_state.flags[flag]
+        if flag in wanted_flags:
+            equal = exprs_equal(guest_flag, host_flag)
+            flag_status[flag] = FLAG_EQUIV if equal else FLAG_MISMATCH
+        elif host_flag == flag_inputs[flag]:
+            flag_status[flag] = FLAG_PRESERVED
+        else:
+            flag_status[flag] = FLAG_CLOBBERED
+
+    return CheckResult(
+        equivalent=all(s != FLAG_MISMATCH for s in flag_status.values()),
+        reg_mapping=dict(mapping),
+        host_temps=temps,
+        flag_status=flag_status,
+    )

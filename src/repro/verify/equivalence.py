@@ -1,0 +1,104 @@
+"""Expression equivalence checking.
+
+No SMT solver is available offline, so equivalence is decided by:
+
+1. canonical simplification to syntactic equality (sound accept);
+2. evaluation over the cross product of boundary values when the combined
+   free-symbol count is small (sound *reject*, near-exhaustive accept);
+3. randomized evaluation over many full-width samples (sound reject,
+   probabilistic accept).
+
+This matches the trust model of testing-based translation validation; the
+paper's own verifier (symbolic execution + solver) is stricter only in the
+"accept" direction, and every rule this checker accepts is additionally
+exercised end-to-end by the DBT integration tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, Sequence, Tuple
+
+from repro.symir import Expr, evaluate, free_symbols, simplify
+
+#: Boundary values every symbol is exercised with.
+BOUNDARY_VALUES: Tuple[int, ...] = (
+    0,
+    1,
+    2,
+    3,
+    5,
+    0x7F,
+    0x80,
+    0xFF,
+    0x100,
+    0x7FFFFFFF,
+    0x80000000,
+    0xFFFFFFFF,
+    0xFFFFFFFE,
+)
+
+RANDOM_SAMPLES = 160
+_MAX_EXHAUSTIVE_ASSIGNMENTS = 4096
+
+
+def _assignments(symbols: Sequence, seed: int) -> Iterable[dict]:
+    """Yield test assignments: boundary cross product (capped) + random."""
+    names = [s.name for s in symbols]
+    widths = {s.name: s.width for s in symbols}
+
+    def clip(env: dict) -> dict:
+        return {
+            name: value & ((1 << widths[name]) - 1) for name, value in env.items()
+        }
+
+    if names:
+        total = len(BOUNDARY_VALUES) ** len(names)
+        if total <= _MAX_EXHAUSTIVE_ASSIGNMENTS:
+            for combo in itertools.product(BOUNDARY_VALUES, repeat=len(names)):
+                yield clip(dict(zip(names, combo)))
+        else:
+            rng = random.Random(seed ^ 0x5EED)
+            for _ in range(_MAX_EXHAUSTIVE_ASSIGNMENTS):
+                yield clip({name: rng.choice(BOUNDARY_VALUES) for name in names})
+
+    rng = random.Random(seed)
+    for _ in range(RANDOM_SAMPLES):
+        yield clip({name: rng.getrandbits(32) for name in names})
+    if not names:
+        yield {}
+
+
+def exprs_equal(lhs: Expr, rhs: Expr, seed: int = 0) -> bool:
+    """Decide whether two expressions are semantically equal.
+
+    ``False`` is definitive (a distinguishing assignment exists); ``True`` is
+    definitive when reached by syntactic equality and high-confidence
+    otherwise.
+    """
+    lhs = simplify(lhs)
+    rhs = simplify(rhs)
+    if lhs == rhs:
+        return True
+    if lhs.width != rhs.width:
+        return False
+    symbols = list(dict.fromkeys(free_symbols(lhs) + free_symbols(rhs)))
+    mix = seed ^ (hash((repr(lhs), repr(rhs))) & 0xFFFFFFFF)
+    for env in _assignments(symbols, mix):
+        if evaluate(lhs, env) != evaluate(rhs, env):
+            return False
+    return True
+
+
+def find_counterexample(lhs: Expr, rhs: Expr, seed: int = 0) -> dict | None:
+    """Return a distinguishing assignment if one is found, else ``None``."""
+    lhs = simplify(lhs)
+    rhs = simplify(rhs)
+    if lhs == rhs:
+        return None
+    symbols = list(dict.fromkeys(free_symbols(lhs) + free_symbols(rhs)))
+    for env in _assignments(symbols, seed):
+        if evaluate(lhs, env) != evaluate(rhs, env):
+            return env
+    return None

@@ -1,0 +1,22 @@
+"""Synthetic SPEC CINT 2006 stand-in workloads."""
+
+from repro.workloads.generator import generate_source
+from repro.workloads.profiles import BENCHMARK_NAMES, PROFILE_BY_NAME, PROFILES, Profile
+from repro.workloads.spec import (
+    all_benchmarks,
+    benchmark_source,
+    compiled_benchmark,
+    suite_summary,
+)
+
+__all__ = [
+    "generate_source",
+    "Profile",
+    "PROFILES",
+    "PROFILE_BY_NAME",
+    "BENCHMARK_NAMES",
+    "benchmark_source",
+    "compiled_benchmark",
+    "all_benchmarks",
+    "suite_summary",
+]

@@ -1,0 +1,328 @@
+"""Profile-driven benchmark generator.
+
+Generates deterministic mini-language programs from a
+:class:`~repro.workloads.profiles.Profile`: an ``init`` function seeding the
+global arrays with an LCG, a set of kernel functions whose loop bodies are
+drawn from the profile's statement/operator/memory-style distributions, and
+a ``main`` that repeatedly calls the kernels and stores checksums.
+
+Structural properties the generator guarantees:
+
+* every local is initialized before use, loops always terminate, and
+  forward branches never skip the loop scaffold;
+* flag-setting instructions are only produced adjacent to their readers
+  (compare+branch, move-and-test) — flags never live across basic blocks,
+  like compiler output;
+* a configurable fraction of statements assign to never-read variables;
+  the optimizer deletes them, reproducing statements-without-binary
+  extraction losses (§II-B).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.workloads.profiles import Profile
+
+_RELOPS = ("<", "<=", ">", ">=", "==", "!=", "<u", ">u")
+_DATA_BYTES = 4096
+_FILL_BYTES = 1024
+
+
+class _KernelGen:
+    """Generates one kernel function body."""
+
+    def __init__(self, profile: Profile, rng: random.Random, index: int) -> None:
+        self.profile = profile
+        self.rng = rng
+        self.index = index
+        self.lines: List[str] = []
+        self.locals = [f"v{i}" for i in range(profile.locals_count)]
+        self.label_counter = 0
+        self.dead_used = False
+
+    # -- small helpers -----------------------------------------------------
+
+    def fresh_label(self) -> str:
+        self.label_counter += 1
+        return f"L{self.index}_{self.label_counter}"
+
+    def var(self) -> str:
+        return self.rng.choice(self.locals)
+
+    def dest(self) -> str:
+        return self.rng.choice(self.locals + ["acc"])
+
+    def src(self) -> str:
+        return self.rng.choice(self.locals + ["acc", "i"])
+
+    def imm(self, op: str) -> int:
+        if op in ("<<", ">>", ">>>"):
+            return self.rng.randint(1, 15)
+        return self.rng.randint(1, 255)
+
+    def pick(self, weights: dict) -> str:
+        items = list(weights)
+        return self.rng.choices(items, weights=[weights[k] for k in items])[0]
+
+    def emit(self, line: str) -> None:
+        self.lines.append(f"  {line}")
+
+    # -- statement emitters ---------------------------------------------------
+
+    def _distinct(self, *exclude: str) -> str:
+        candidates = [v for v in self.locals + ["acc", "i"] if v not in exclude]
+        return self.rng.choice(candidates)
+
+    def stmt_alu(self) -> None:
+        op = self.pick(self.profile.op_weights)
+        form = self.profile.op_form[op]
+        # Immediate forms of * / &~ are folded or unsupported upstream.
+        if op in ("*", "&~") and form.endswith("imm"):
+            form = form[: -len("imm")] or "acc"
+        if form == "acc":
+            dest = self.dest()
+            self.emit(f"{dest} = {dest} {op} {self._distinct(dest)};")
+        elif form == "accimm":
+            dest = self.dest()
+            self.emit(f"{dest} = {dest} {op} {self.imm(op)};")
+        elif form == "three":
+            # Strictly three-operand: all registers distinct (pattern 0,1,2).
+            dest = self.dest()
+            lhs = self._distinct(dest)
+            rhs = self._distinct(dest, lhs)
+            self.emit(f"{dest} = {lhs} {op} {rhs};")
+        elif form == "threeimm":
+            dest = self.dest()
+            self.emit(f"{dest} = {self._distinct(dest)} {op} {self.imm(op)};")
+        elif form == "revacc":
+            # x = y op x — the dest-equals-second-source dependency pattern
+            # of paper fig. 8 (needs a copy auxiliary when derived).
+            dest = self.dest()
+            self.emit(f"{dest} = {self._distinct(dest)} {op} {dest};")
+        elif form == "dup":
+            # z = x op x (doubling and friends): both sources are the same
+            # register — another fig. 8 dependency pattern.
+            dest = self.dest()
+            src = self._distinct(dest)
+            self.emit(f"{dest} = {src} {op} {src};")
+        else:
+            raise ValueError(f"unknown ALU form {form!r}")
+
+    def stmt_load(self) -> None:
+        style = self.pick(self.profile.load_weights)
+        array = self.rng.choice(("data", "aux"))
+        dest = self.dest()
+        disp = self.rng.choice((4, 8, 16, 32, 64))
+        if style == "index":
+            self.emit(f"{dest} = {array}[i];")
+        elif style == "disp":
+            self.emit(f"{dest} = {array}[i + {disp}];")
+        elif style == "scaled":
+            tmp = self.var()
+            self.emit(f"{tmp} = i & 252;")
+            self.emit(f"{dest} = {array}[{tmp}:4];")
+        elif style == "byte":
+            self.emit(f"{dest} = loadb({array}, i);")
+        else:  # half
+            self.emit(f"{dest} = loadh({array}, i);")
+
+    def stmt_store(self) -> None:
+        style = self.pick(self.profile.store_weights)
+        array = "aux" if self.rng.random() < 0.8 else "out"
+        src = self.src()
+        disp = self.rng.choice((4, 8, 16, 32))
+        if style == "index":
+            self.emit(f"{array}[i] = {src};")
+        elif style == "disp":
+            self.emit(f"{array}[i + {disp}] = {src};")
+        elif style == "byte":
+            self.emit(f"storeb({array}, i, {src});")
+        else:
+            self.emit(f"storeh({array}, i, {src});")
+
+    def _cond(self) -> str:
+        if self.rng.random() < 0.15:
+            return f"({self.src()} & {self.src()}) != 0"
+        if self.rng.random() < 0.1:
+            return f"({self.src()} ^ {self.src()}) == 0"
+        if self.rng.random() < self.profile.cond_imm_bias:
+            return f"{self.src()} {self.rng.choice(_RELOPS)} {self.rng.randint(1, 200)}"
+        return f"{self.src()} {self.rng.choice(_RELOPS)} {self.src()}"
+
+    def stmt_branch(self) -> None:
+        label = self.fresh_label()
+        self.emit(f"if ({self._cond()}) goto {label};")
+        for _ in range(self.rng.randint(1, 2)):
+            self.stmt_alu()
+        self.emit(f"{label}:")
+
+    def stmt_diamond(self) -> None:
+        then_label = self.fresh_label()
+        join_label = self.fresh_label()
+        self.emit(f"if ({self._cond()}) goto {then_label};")
+        self.stmt_alu()
+        self.emit(f"goto {join_label};")
+        self.emit(f"{then_label}:")
+        self.stmt_alu()
+        self.emit(f"{join_label}:")
+
+    def stmt_iftest(self) -> None:
+        label = self.fresh_label()
+        self.emit(f"iftest (tf = {self.src()}) goto {label};")
+        self.stmt_alu()
+        self.emit(f"{label}:")
+
+    def stmt_fusion(self) -> None:
+        op, cond = self.profile.fusion
+        dest = self.dest()
+        label = self.fresh_label()
+        rhs = self._distinct(dest)
+        self.emit(f"fuse ({dest} {op} {rhs}) {cond} goto {label};")
+        self.stmt_alu()
+        self.emit(f"{label}:")
+
+    def stmt_mla(self) -> None:
+        self.emit(f"acc = acc + {self.var()} * {self.var()};")
+
+    def stmt_unary(self) -> None:
+        op = self.pick(self.profile.unary_weights)
+        if op == "clz":
+            self.emit(f"{self.dest()} = clz({self.src()});")
+        else:
+            self.emit(f"{self.dest()} = {op}{self.src()};")
+
+    def stmt_dead(self) -> None:
+        self.emit(f"dead = {self.src()} + {self.imm('+')};")
+        self.dead_used = True
+
+    # -- body ------------------------------------------------------------------
+
+    def generate(self) -> str:
+        profile = self.profile
+        bound = profile.loop_iters * 4
+        header = [
+            f"func k{self.index}(a, b) {{",
+            f"  var acc, i, tf, dead, {', '.join(self.locals)};",
+            "  acc = a;",
+        ]
+        for j, name in enumerate(self.locals):
+            seed_src = "a" if j % 2 == 0 else "b"
+            header.append(f"  {name} = {seed_src} ^ {17 + 13 * j};")
+        header.append("  tf = 0;")
+        header.append("  i = 0;")
+        header.append(f"loop{self.index}:")
+
+        emitters = {
+            "alu": self.stmt_alu,
+            "load": self.stmt_load,
+            "store": self.stmt_store,
+            "branch": self.stmt_branch,
+            "diamond": self.stmt_diamond,
+            "iftest": self.stmt_iftest,
+            "fusion": self.stmt_fusion,
+            "mla": self.stmt_mla,
+            "unary": self.stmt_unary,
+        }
+        for _ in range(profile.body_statements):
+            if self.rng.random() < 0.05:
+                self.stmt_dead()
+                continue
+            emitters[self.pick(profile.stmt_weights)]()
+        if profile.use_umlal and self.index == 0:
+            self.emit(f"umlal(acc, tf, {self.var()}, {self.var()});")
+
+        footer = [
+            "  acc = acc + tf;",
+            "  i = i + 4;",
+            f"  if (i <u {bound}) goto loop{self.index};",
+            "  return acc;",
+            "}",
+        ]
+        return "\n".join(header + self.lines + footer)
+
+
+def generate_source(profile: Profile) -> str:
+    """Deterministically generate a benchmark's mini-language source."""
+    rng = random.Random(profile.seed)
+    parts = [
+        f"// synthetic stand-in for SPEC CINT 2006 {profile.name}",
+        f"global data[{_DATA_BYTES}];",
+        f"global aux[{_DATA_BYTES}];",
+        "global out[256];",
+        "",
+        _init_function(profile),
+    ]
+    parts.append(_check_function())
+    kernels = []
+    for index in range(profile.kernels):
+        kernels.append(_KernelGen(profile, rng, index).generate())
+    parts.extend(kernels)
+    parts.append(_main_function(profile, rng))
+    return "\n\n".join(parts) + "\n"
+
+
+def _init_function(profile: Profile) -> str:
+    return f"""func init() {{
+  var i, v, w;
+  i = 0;
+  v = {profile.seed * 2654435761 % 0x7FFFFFFF};
+  w = 777;
+fill:
+  data[i] = v;
+  aux[i] = w;
+  v = v * 1103515245;
+  v = v + 12345;
+  w = w ^ v;
+  w = w + 13;
+  i = i + 4;
+  if (i <u {_FILL_BYTES}) goto fill;
+  return;
+}}"""
+
+
+def _check_function() -> str:
+    """A small clean checksum kernel every program shares.
+
+    Simple utility loops like this exist in any real program; they are where
+    the *common-core* rules (indexed loads, accumulating adds, compare +
+    branch, moves) are learnable from every benchmark.
+    """
+    return """func check(seed) {
+  var s, x, i;
+  s = seed;
+  i = 0;
+chk:
+  x = data[i];
+  s = s + x;
+  i = i + 4;
+  if (i <u 64) goto chk;
+  return s;
+}"""
+
+
+def _main_function(profile: Profile, rng: random.Random) -> str:
+    lines = [
+        "func main() {",
+        "  var r, rep, chk;",
+        "  call init();",
+        "  r = 1;",
+        "  rep = 0;",
+        "mainloop:",
+    ]
+    lines.append("  r = call check(r);")
+    for index in range(profile.kernels):
+        lines.append(f"  r = call k{index}(r, {rng.randint(3, 9999)});")
+    lines.extend(
+        [
+            "  rep = rep + 1;",
+            f"  if (rep < {profile.repeats}) goto mainloop;",
+            "  out[0] = r;",
+            "  chk = r ^ 305419896;",
+            "  out[4] = chk;",
+            "  return r;",
+            "}",
+        ]
+    )
+    return "\n".join(lines)

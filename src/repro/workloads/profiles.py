@@ -1,0 +1,330 @@
+"""Per-benchmark workload profiles (synthetic SPEC CINT 2006 stand-ins).
+
+Each profile calibrates a generated program's *compositional* properties to
+what the paper reports about the real benchmark, because composition is what
+the coverage and rule-learning experiments measure (§II-B: "the rules that
+can be learned from a training set depend on the composition of the
+applications in the training set").
+
+The key device is the **signature matrix**: each benchmark uses its ALU
+operators in a fixed statement *form* —
+
+====== ================  ==========================
+form   shape             guest instruction pattern
+====== ================  ==========================
+acc     ``x = x op y``    ``op rd, rd, rm``
+accimm  ``x = x op c``    ``op rd, rd, #c``
+three   ``z = x op y``    ``op rd, rn, rm``
+threeimm ``z = x op c``   ``op rd, rn, #c``
+====== ================  ==========================
+
+A (operator, form) pair owned by a *single* benchmark is exactly a rule that
+leave-one-out training cannot learn but opcode/addressing-mode
+parameterization derives — the mechanism behind the paper's coverage
+factors.  Pairs owned by two or more benchmarks are always in training.
+Memory-access styles (word/byte/half × index/disp) are distributed the same
+way, separately for loads and stores.
+
+Paper-specific calibration:
+
+* **h264ref** uses few instruction types and only shared combinations →
+  high baseline coverage, little opcode-stage gain (§V-B2);
+* **libquantum** owns ``(^, acc)`` (the ``eor`` loop) and the move-and-test
+  ``movs``+``bne`` idiom → big condition-flags-delegation gain (§V-B2);
+* **hmmer** leans on the unlearnable ``mla``; **sjeng** owns ``umlal`` and
+  most ``clz``; **omnetpp**/**xalancbmk** are compiled as PIC (fig. 9);
+* **gcc**/**perlbench**/**xalancbmk** are the largest programs (Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: statement kinds the generator draws from.
+STMT_KINDS = (
+    "alu",
+    "load",
+    "store",
+    "branch",
+    "diamond",
+    "iftest",
+    "fusion",
+    "mla",
+    "unary",
+)
+
+#: ALU statement forms.
+FORMS = ("acc", "accimm", "three", "threeimm", "revacc", "dup")
+
+
+@dataclass(frozen=True)
+class Profile:
+    name: str
+    seed: int
+    kernels: int
+    body_statements: int
+    locals_count: int
+    loop_iters: int
+    repeats: int
+    stmt_weights: Dict[str, float]
+    #: operation palette: operator -> weight.
+    op_weights: Dict[str, float]
+    #: operator -> fixed statement form (every palette operator needs one).
+    op_form: Dict[str, str]
+    #: load style -> weight ("index", "disp", "scaled", "byte", "half").
+    load_weights: Dict[str, float]
+    #: store style -> weight ("index", "disp", "byte", "half").
+    store_weights: Dict[str, float]
+    unary_weights: Dict[str, float] = field(
+        default_factory=lambda: {"~": 1.0, "-": 0.0, "clz": 0.0}
+    )
+    #: chance a relational branch compares against an immediate.
+    cond_imm_bias: float = 0.25
+    #: fused flag-setting ALU + branch idiom: (operator, condition).  Each
+    #: owner's fused pair is exclusive, so everywhere else the s-variant
+    #: rule must be *derived* — and parameterized rules only apply to
+    #: flag-setters under condition-flags delegation (§IV-B, §V-B2).
+    fusion: Optional[Tuple[str, str]] = None
+    pic: bool = False
+    use_umlal: bool = False
+
+
+def _stmts(**overrides: float) -> Dict[str, float]:
+    base = {
+        "alu": 1.0,
+        "load": 0.45,
+        "store": 0.3,
+        "branch": 0.3,
+        "diamond": 0.16,
+        "iftest": 0.0,
+        "fusion": 0.0,
+        "mla": 0.0,
+        "unary": 0.0,
+    }
+    base.update(overrides)
+    return base
+
+
+_WORD_LOADS = {"index": 1.0}
+_WORD_STORES = {"index": 1.0}
+
+PROFILES: Tuple[Profile, ...] = (
+    Profile(
+        # exclusives: (&,three), (<<,threeimm), (>>>,accimm), byte loads
+        name="perlbench",
+        seed=401,
+        kernels=7,
+        body_statements=40,
+        locals_count=6,
+        loop_iters=16,
+        repeats=4,
+        stmt_weights=_stmts(load=0.65, store=0.35, unary=0.06, fusion=0.35),
+        op_weights={"+": 0.8, "-": 0.35, "&": 0.6, "|": 0.35, "<<": 0.55, ">>>": 0.5},
+        op_form={"+": "acc", "-": "accimm", "&": "three", "|": "acc",
+                 "<<": "threeimm", ">>>": "accimm"},
+        load_weights={"index": 0.4, "byte": 0.6},
+        store_weights=_WORD_STORES,
+        fusion=("|", "ne"),
+    ),
+    Profile(
+        # exclusives: (<<,accimm), (>>>,threeimm), byte stores
+        name="bzip2",
+        seed=402,
+        kernels=4,
+        body_statements=28,
+        locals_count=4,
+        loop_iters=26,
+        repeats=5,
+        stmt_weights=_stmts(load=0.55, store=0.55, fusion=0.3),
+        op_weights={"+": 0.8, "-": 0.4, "&": 0.5, "<<": 0.6, ">>>": 0.65},
+        op_form={"+": "acc", "-": "acc", "&": "accimm",
+                 "<<": "accimm", ">>>": "threeimm"},
+        load_weights=_WORD_LOADS,
+        store_weights={"index": 0.45, "byte": 0.55},
+        fusion=(">>>", "ne"),
+    ),
+    Profile(
+        # exclusives: (-,three), (^,accimm), (>>,accimm), (&~,acc)
+        name="gcc",
+        seed=403,
+        kernels=10,
+        body_statements=50,
+        locals_count=7,
+        loop_iters=10,
+        repeats=4,
+        stmt_weights=_stmts(branch=0.4, diamond=0.2, load=0.5, store=0.35,
+                            unary=0.1, mla=0.05, fusion=0.3),
+        op_weights={"+": 0.7, "-": 0.7, "*": 0.08, "&": 0.25, "|": 0.35,
+                    "^": 0.45, ">>": 0.4, "&~": 0.45},
+        op_form={"+": "acc", "-": "three", "*": "acc", "&": "accimm", "|": "acc",
+                 "^": "accimm", ">>": "accimm", "&~": "acc"},
+        load_weights={"index": 0.8, "scaled": 0.2},
+        store_weights=_WORD_STORES,
+        unary_weights={"~": 0.8, "-": 0.0, "clz": 0.2},
+        fusion=("&~", "ne"),
+    ),
+    Profile(
+        # exclusives: (+,three), (-,threeimm); displacement-heavy loads
+        name="mcf",
+        seed=404,
+        kernels=2,
+        body_statements=16,
+        locals_count=3,
+        loop_iters=40,
+        repeats=6,
+        stmt_weights=_stmts(load=0.95, store=0.4, branch=0.45),
+        op_weights={"+": 1.2, "-": 0.9},
+        op_form={"+": "three", "-": "threeimm"},
+        load_weights={"index": 0.25, "disp": 0.75},
+        store_weights={"index": 0.5, "disp": 0.5},
+    ),
+    Profile(
+        # exclusives: (&,threeimm), (|,three), (&~,three)
+        name="gobmk",
+        seed=405,
+        kernels=7,
+        body_statements=34,
+        locals_count=5,
+        loop_iters=14,
+        repeats=4,
+        stmt_weights=_stmts(branch=0.45, diamond=0.18, load=0.5, store=0.3,
+                            fusion=0.4),
+        op_weights={"+": 0.7, "-": 0.35, "&": 0.6, "|": 0.6, "&~": 0.45},
+        op_form={"+": "acc", "-": "acc", "&": "threeimm", "|": "three",
+                 "&~": "three"},
+        load_weights=_WORD_LOADS,
+        store_weights={"index": 0.5, "disp": 0.5},
+        fusion=("&", "ne"),
+    ),
+    Profile(
+        # exclusives: (*,three), (+,threeimm), mla-heavy (residual emulation)
+        name="hmmer",
+        seed=406,
+        kernels=3,
+        body_statements=32,
+        locals_count=5,
+        loop_iters=30,
+        repeats=5,
+        stmt_weights=_stmts(mla=0.4, load=0.6, store=0.3, branch=0.25,
+                            fusion=0.35),
+        op_weights={"+": 1.0, "-": 0.3, "*": 0.9},
+        op_form={"+": "threeimm", "-": "accimm", "*": "three"},
+        load_weights={"index": 0.75, "scaled": 0.25},
+        store_weights=_WORD_STORES,
+        fusion=("*", "ne"),
+    ),
+    Profile(
+        # exclusives: (&,acc), (^,three), (<<,acc), (>>,three), (&~,accimm),
+        # clz, umlal
+        name="sjeng",
+        seed=407,
+        kernels=6,
+        body_statements=30,
+        locals_count=5,
+        loop_iters=16,
+        repeats=4,
+        stmt_weights=_stmts(branch=0.4, diamond=0.16, unary=0.16, fusion=0.35),
+        op_weights={"&": 0.6, "|": 0.4, "^": 0.55, "<<": 0.5, ">>": 0.6,
+                    "&~": 0.4, "-": 0.35},
+        op_form={"&": "acc", "|": "threeimm", "^": "three", "<<": "acc",
+                 ">>": "revacc", "&~": "accimm", "-": "acc"},
+        load_weights=_WORD_LOADS,
+        store_weights=_WORD_STORES,
+        unary_weights={"~": 0.5, "-": 0.0, "clz": 0.5},
+        use_umlal=True,
+        fusion=("<<", "ne"),
+    ),
+    Profile(
+        # exclusives: (^,acc) — the eor loop — and the movs+bne iftest idiom
+        name="libquantum",
+        seed=408,
+        kernels=2,
+        body_statements=14,
+        locals_count=3,
+        loop_iters=48,
+        repeats=7,
+        stmt_weights=_stmts(iftest=0.9, fusion=1.0, load=0.5, store=0.4,
+                            branch=0.15, diamond=0.06),
+        op_weights={"^": 1.8, "&": 0.3, "+": 0.5, "-": 0.2},
+        op_form={"^": "acc", "&": "accimm", "+": "acc", "-": "accimm"},
+        load_weights=_WORD_LOADS,
+        store_weights=_WORD_STORES,
+        fusion=("^", "ne"),
+    ),
+    Profile(
+        # no exclusives by design: few instruction types, all shared (§V-B2)
+        name="h264ref",
+        seed=409,
+        kernels=4,
+        body_statements=36,
+        locals_count=4,
+        loop_iters=24,
+        repeats=5,
+        stmt_weights=_stmts(load=0.75, store=0.55, branch=0.3, diamond=0.08,
+                            mla=0.05),
+        op_weights={"+": 1.6, "-": 0.5, "*": 0.06},
+        op_form={"+": "acc", "-": "accimm", "*": "acc"},
+        load_weights=_WORD_LOADS,
+        store_weights=_WORD_STORES,
+    ),
+    Profile(
+        # exclusives: (|,accimm), halfword loads+stores, PIC, call-heavy
+        name="omnetpp",
+        seed=410,
+        kernels=9,
+        body_statements=20,
+        locals_count=4,
+        loop_iters=9,
+        repeats=6,
+        stmt_weights=_stmts(load=0.6, store=0.45, branch=0.3, diamond=0.14,
+                            unary=0.06, fusion=0.35),
+        op_weights={"+": 0.8, "-": 0.5, "|": 1.0},
+        op_form={"+": "acc", "-": "acc", "|": "accimm"},
+        load_weights={"index": 0.6, "half": 0.4},
+        store_weights={"index": 0.6, "half": 0.4},
+        pic=True,
+        fusion=("-", "eq"),
+    ),
+    Profile(
+        # exclusives: (+,dup), the rsb idiom (unary minus), fused asrs+beq
+        name="astar",
+        seed=411,
+        kernels=3,
+        body_statements=22,
+        locals_count=4,
+        loop_iters=26,
+        repeats=5,
+        stmt_weights=_stmts(branch=0.6, diamond=0.2, load=0.55, store=0.25,
+                            unary=0.18, fusion=0.3),
+        op_weights={"+": 1.2, "-": 0.6},
+        op_form={"+": "dup", "-": "acc"},
+        load_weights=_WORD_LOADS,
+        store_weights=_WORD_STORES,
+        unary_weights={"~": 0.0, "-": 1.0, "clz": 0.0},
+        fusion=(">>", "eq"),
+    ),
+    Profile(
+        # exclusives: (<<,three), (>>,acc), (^,threeimm), PIC
+        name="xalancbmk",
+        seed=412,
+        kernels=10,
+        body_statements=38,
+        locals_count=7,
+        loop_iters=8,
+        repeats=5,
+        stmt_weights=_stmts(load=0.6, store=0.4, branch=0.35, diamond=0.16,
+                            unary=0.06, mla=0.03, fusion=0.35),
+        op_weights={"+": 0.7, "-": 0.35, "&": 0.4, "|": 0.35, "<<": 0.55,
+                    ">>": 0.5, "^": 0.5},
+        op_form={"+": "acc", "-": "accimm", "&": "accimm", "|": "threeimm",
+                 "<<": "three", ">>": "acc", "^": "threeimm"},
+        load_weights={"index": 0.8, "scaled": 0.2},
+        store_weights=_WORD_STORES,
+        pic=True,
+        fusion=("+", "eq"),
+    ),
+)
+
+PROFILE_BY_NAME: Dict[str, Profile] = {p.name: p for p in PROFILES}
+BENCHMARK_NAMES: Tuple[str, ...] = tuple(p.name for p in PROFILES)

@@ -1,0 +1,44 @@
+"""The synthetic SPEC CINT 2006 suite: sources and compiled pairs.
+
+Generation and compilation are deterministic, and compiled pairs are cached
+per process — the experiment harnesses re-use them heavily.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from repro.lang import CompiledPair, compile_pair
+from repro.workloads.generator import generate_source
+from repro.workloads.profiles import BENCHMARK_NAMES, PROFILE_BY_NAME, Profile
+
+
+@lru_cache(maxsize=None)
+def benchmark_source(name: str) -> str:
+    """Mini-language source text of one benchmark."""
+    return generate_source(PROFILE_BY_NAME[name])
+
+
+@lru_cache(maxsize=None)
+def compiled_benchmark(name: str) -> CompiledPair:
+    """Guest/host compiled pair of one benchmark (cached)."""
+    profile: Profile = PROFILE_BY_NAME[name]
+    return compile_pair(name, benchmark_source(name), pic=profile.pic)
+
+
+def all_benchmarks() -> Tuple[CompiledPair, ...]:
+    return tuple(compiled_benchmark(name) for name in BENCHMARK_NAMES)
+
+
+def suite_summary() -> Dict[str, Dict[str, int]]:
+    """Static size summary per benchmark (diagnostics / docs)."""
+    summary: Dict[str, Dict[str, int]] = {}
+    for name in BENCHMARK_NAMES:
+        pair = compiled_benchmark(name)
+        summary[name] = {
+            "statements": pair.statement_count,
+            "guest_instructions": len(pair.guest.real_instructions),
+            "host_instructions": len(pair.host.real_instructions),
+        }
+    return summary

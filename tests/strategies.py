@@ -1,0 +1,83 @@
+"""Shared hypothesis strategies: random instructions for both ISAs."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.isa.instruction import Instruction
+from repro.isa.operands import Imm, Label, Mem, OperandKind as K, Reg
+
+ARM_REGS = tuple(f"r{i}" for i in range(13))
+X86_REGS = ("eax", "ecx", "edx", "ebx", "esi", "edi", "ebp")
+
+imm_values = st.integers(min_value=-2048, max_value=0xFFFF)
+
+
+def arm_reg():
+    return st.sampled_from(ARM_REGS).map(Reg)
+
+
+def x86_reg():
+    return st.sampled_from(X86_REGS).map(Reg)
+
+
+def arm_mem():
+    return st.one_of(
+        st.builds(lambda b: Mem(base=b), arm_reg()),
+        st.builds(lambda b, d: Mem(base=b, disp=d), arm_reg(),
+                  st.integers(min_value=0, max_value=255).map(lambda v: v * 4)),
+        st.builds(lambda b, i: Mem(base=b, index=i), arm_reg(), arm_reg()),
+    )
+
+
+def x86_mem():
+    return st.one_of(
+        st.builds(lambda b: Mem(base=b), x86_reg()),
+        st.builds(lambda b, d: Mem(base=b, disp=d), x86_reg(), imm_values),
+        st.builds(
+            lambda b, i, s: Mem(base=b, index=i, scale=s),
+            x86_reg(),
+            x86_reg(),
+            st.sampled_from((1, 2, 4, 8)),
+        ),
+    )
+
+
+def _operand(kind: K, reg, mem):
+    if kind is K.REG:
+        return reg
+    if kind is K.IMM:
+        return imm_values.map(Imm)
+    if kind is K.MEM:
+        return mem
+    if kind is K.LABEL:
+        return st.sampled_from((".L0", ".L1", "loop")).map(Label)
+    raise ValueError(kind)
+
+
+@st.composite
+def _instruction_for(draw, isa, reg, mem, exclude=()):
+    candidates = [
+        d
+        for d in isa.defs.values()
+        if d.mnemonic not in exclude
+        and all(K.REGLIST not in sig for sig in d.signatures)
+    ]
+    defn = draw(st.sampled_from(candidates))
+    signature = draw(st.sampled_from(list(defn.signatures)))
+    operands = tuple(draw(_operand(kind, reg, mem)) for kind in signature)
+    return Instruction(defn.mnemonic, operands)
+
+
+def arm_instructions(exclude=()):
+    from repro.isa.arm.opcodes import ARM
+
+    return _instruction_for(ARM, arm_reg(), arm_mem(), exclude=exclude)
+
+
+def x86_instructions(exclude=()):
+    from repro.isa.x86.opcodes import X86
+
+    # Flag spill/reload + helpers are internal (no assembler syntax needed,
+    # but they do round-trip); keep them in by default.
+    return _instruction_for(X86, x86_reg(), x86_mem(), exclude=exclude)

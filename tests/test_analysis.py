@@ -1,0 +1,81 @@
+"""Tests for rule-set statistics and runtime usage attribution."""
+
+import pytest
+
+from repro.analysis import derived_share, origin_attribution, ruleset_stats, top_rules
+from repro.dbt import DBTEngine, check_against_reference
+
+
+@pytest.fixture(scope="module")
+def condition_metrics(demo_pair, demo_setup):
+    engine = DBTEngine(demo_pair.guest, demo_setup.configs["condition"])
+    result = engine.run()
+    ok, message = check_against_reference(demo_pair.guest, result)
+    assert ok, message
+    return result.metrics
+
+
+class TestRulesetStats:
+    def test_origin_breakdown(self, demo_setup):
+        stats = ruleset_stats(demo_setup.configs["condition"].rules)
+        origins = {
+            row[1]: row[2] for row in stats.rows if row[0] == "origin"
+        }
+        assert origins.get("learned", 0) > 0
+        assert origins.get("opcode-param", 0) > 0
+        assert origins.get("addrmode-param", 0) > 0
+
+    def test_counts_sum_to_ruleset(self, demo_setup):
+        rules = demo_setup.configs["condition"].rules
+        stats = ruleset_stats(rules)
+        origin_total = sum(row[2] for row in stats.rows if row[0] == "origin")
+        assert origin_total == len(rules)
+        length_total = sum(row[2] for row in stats.rows if row[0] == "guest length")
+        assert length_total == len(rules)
+
+
+class TestRuntimeUsage:
+    def test_rule_hits_collected(self, condition_metrics):
+        assert condition_metrics.rule_hits
+        assert all(hits > 0 for hits in condition_metrics.rule_hits.values())
+
+    def test_hits_equal_covered(self, condition_metrics):
+        total_hits = sum(condition_metrics.rule_hits.values())
+        assert total_hits == condition_metrics.covered_dynamic
+
+    def test_top_rules_sorted(self, condition_metrics):
+        report = top_rules(condition_metrics, count=5)
+        hits = [row[3] for row in report.rows if not str(row[0]).startswith("(+")]
+        assert hits == sorted(hits, reverse=True)
+
+    def test_attribution_sums_to_total(self, condition_metrics):
+        report = origin_attribution(condition_metrics)
+        total_row = report.row_for("total")
+        parts = sum(
+            row[1]
+            for row in report.rows
+            if row[0] not in ("total",)
+        )
+        assert parts == total_row[1] == condition_metrics.guest_dynamic
+
+    def test_derived_share_positive(self, condition_metrics):
+        share = derived_share(condition_metrics)
+        assert 0 < share < 1
+
+    def test_qemu_config_has_no_hits(self, demo_pair, demo_setup):
+        engine = DBTEngine(demo_pair.guest, demo_setup.configs["qemu"])
+        metrics = engine.run().metrics
+        assert metrics.rule_hits == {}
+        assert derived_share(metrics) == 0.0
+
+
+class TestCliAnalyze:
+    @pytest.mark.slow
+    def test_analyze_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["analyze", "mcf", "--top", "3", "--ruleset"]) == 0
+        out = capsys.readouterr().out
+        assert "Dynamic coverage attribution" in out
+        assert "Hottest rules" in out
+        assert "Rule-set composition" in out

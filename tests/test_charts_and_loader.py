@@ -1,0 +1,88 @@
+"""Tests for ASCII chart rendering and miscellaneous utilities."""
+
+import pytest
+
+from repro.experiments.charts import render_chart, render_series
+from repro.experiments.report import ExperimentResult
+
+
+def sample_result():
+    result = ExperimentResult(
+        "figX", "Sample figure", ("benchmark", "base", "full")
+    )
+    result.add("alpha", 10.0, 40.0)
+    result.add("beta", 25.0, 50.0)
+    result.note("a note")
+    return result
+
+
+class TestRenderChart:
+    def test_contains_labels_and_values(self):
+        text = render_chart(sample_result())
+        assert "alpha" in text and "beta" in text
+        assert "40.00" in text and "25.00" in text
+        assert "note: a note" in text
+
+    def test_bar_lengths_scale(self):
+        text = render_chart(sample_result(), width=40)
+        lines = [l for l in text.splitlines() if "|" in l]
+        beta_full = next(l for l in lines if "50.00" in l)
+        alpha_base = next(l for l in lines if "10.00" in l)
+        assert beta_full.count("▒") > alpha_base.count("▌")
+
+    def test_non_numeric_columns_fall_back_to_table(self):
+        result = ExperimentResult("x", "T", ("k", "v"))
+        result.add("a", "text")
+        assert "T" in render_chart(result)
+
+    def test_width_respected(self):
+        text = render_chart(sample_result(), width=20)
+        for line in text.splitlines():
+            if "|" in line:
+                inner = line.split("|")[1]
+                assert len(inner) <= 21
+
+
+class TestRenderSeries:
+    def test_series_rendering(self):
+        text = render_series(
+            "Coverage vs size",
+            xs=[1, 2, 4, 8],
+            series={"base": [50, 60, 65, 66], "para": [94, 96, 97, 97]},
+        )
+        assert "Coverage vs size" in text
+        assert "[1] base" in text and "[2] para" in text
+        assert "97.0" in text or "97." in text.replace("\n", " ")
+
+    def test_empty_series(self):
+        assert render_series("T", [], {}) == "T"
+
+
+class TestCliChartIntegration:
+    def test_run_with_chart_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "fig02", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "|" in out  # bar gutter present
+
+    def test_verify_command_rejects(self, capsys):
+        from repro.cli import main
+
+        code = main(["verify", "b .L", "jmp .L"])
+        assert code == 1
+        assert "rejected" in capsys.readouterr().out
+
+    def test_verify_command_with_temps(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "verify",
+                "bic r0, r0, r1",
+                "movl %ecx, %edx; notl %edx; andl %edx, %eax",
+                "--temps",
+                "1",
+            ]
+        )
+        assert code == 0

@@ -1,0 +1,44 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out and "table3" in out
+
+    def test_suite(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "perlbench" in out and "xalancbmk" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_fig02(self, capsys):
+        assert main(["run", "fig02"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out and "completed in" in out
+
+    def test_rules_dump(self, tmp_path, capsys):
+        target = tmp_path / "rules.json"
+        assert main(["rules", "--benchmark", "mcf", "--out", str(target)]) == 0
+        assert target.exists()
+        from repro.learning import load_rules_file
+
+        assert len(load_rules_file(str(target))) > 0
+
+    @pytest.mark.slow
+    def test_translate(self, capsys):
+        assert main(["translate", "mcf", "--stage", "condition"]) == 0
+        out = capsys.readouterr().out
+        assert "dynamic coverage" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,104 @@
+"""Example smoke tests + suite-level invariants from the paper's narrative."""
+
+import subprocess
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+
+class TestExamplesRun:
+    @pytest.mark.parametrize(
+        "script",
+        (
+            "examples/quickstart.py",
+            "examples/parameterization_tour.py",
+            "examples/handwritten_guest.py",
+        ),
+    )
+    def test_example_runs_clean(self, script):
+        proc = subprocess.run(
+            [sys.executable, script],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert proc.stdout.strip()
+
+    def test_spec_coverage_single_benchmark(self):
+        proc = subprocess.run(
+            [sys.executable, "examples/spec_coverage.py", "mcf"],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert "condition" in proc.stdout
+
+
+class TestResidualSeven:
+    """§V-B2: exactly the unlearnable instruction families stay emulated."""
+
+    RESIDUAL = {"push", "pop", "b", "bl", "bx", "mla", "umlal", "clz"}
+
+    def test_condition_stage_residual_set(self):
+        from repro.dbt import BlockMap, BlockTranslator
+        from repro.experiments.common import setup_excluding
+        from repro.workloads import BENCHMARK_NAMES, compiled_benchmark
+
+        uncovered_mnemonics = set()
+        for name in BENCHMARK_NAMES[:6]:
+            pair = compiled_benchmark(name)
+            setup = setup_excluding(name)
+            blockmap = BlockMap(pair.guest)
+            translator = BlockTranslator(
+                pair.guest, blockmap, setup.configs["condition"]
+            )
+            for block in blockmap.blocks:
+                translated = translator.translate(block)
+                for offset, covered in enumerate(translated.covered):
+                    if not covered:
+                        insn = pair.guest.real_instructions[block.start + offset]
+                        uncovered_mnemonics.add(insn.mnemonic)
+        assert uncovered_mnemonics <= self.RESIDUAL, (
+            f"unexpected emulated instructions: "
+            f"{uncovered_mnemonics - self.RESIDUAL}"
+        )
+        assert {"b", "bl", "push", "pop"} <= uncovered_mnemonics
+
+
+class TestDerivedStoreRoundtrip:
+    def test_derived_rules_survive_json(self, demo_setup):
+        from repro.learning import dump_rules, load_rules
+
+        derived = demo_setup.param.derived
+        loaded = load_rules(dump_rules(derived))
+        assert len(loaded) == len(derived)
+        by_origin = lambda rs: sorted(r.origin for r in rs)
+        assert by_origin(loaded) == by_origin(derived)
+        # Constraints and scratch registers survive.
+        with_temps = [r for r in loaded if r.host_temps]
+        assert with_temps
+        assert any("aux:invert-src" in r.constraints for r in loaded)
+
+    def test_loaded_rules_drive_the_translator(self, demo_pair, demo_setup):
+        from repro.dbt import DBTEngine, check_against_reference
+        from repro.dbt.translator import TranslationConfig
+        from repro.learning import RuleSet, dump_rules, load_rules
+
+        full = demo_setup.configs["condition"].rules
+        loaded = load_rules(dump_rules(full))
+        config = TranslationConfig(
+            "loaded", rules=loaded, condition=True, pc_constraint=True
+        )
+        result = DBTEngine(demo_pair.guest, config).run()
+        ok, message = check_against_reference(demo_pair.guest, result)
+        assert ok, message
+        original = DBTEngine(
+            demo_pair.guest, demo_setup.configs["condition"]
+        ).run()
+        assert result.metrics.coverage == pytest.approx(
+            original.metrics.coverage, abs=0.02
+        )

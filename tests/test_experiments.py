@@ -1,0 +1,115 @@
+"""Integration tests for the experiment harnesses.
+
+These run against the real synthetic suite with leave-one-out learning
+(cached per process), checking the structural properties each paper result
+must exhibit — not exact values.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.workloads import BENCHMARK_NAMES
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run the cheap experiments once."""
+    return {
+        ident: EXPERIMENTS[ident]()
+        for ident in ("fig02", "table1", "fig12", "fig14", "fig15", "table3")
+    }
+
+
+class TestFig02:
+    def test_monotone_growth(self, results):
+        counts = results["fig02"].column("unique rules")
+        assert counts == sorted(counts)
+
+    def test_growth_flattens(self, results):
+        counts = results["fig02"].column("unique rules")
+        first_half = counts[5] - counts[0]
+        second_half = counts[11] - counts[6]
+        assert second_half < first_half
+
+
+class TestTable1:
+    def test_funnel_shape(self, results):
+        table = results["table1"]
+        for name in BENCHMARK_NAMES:
+            _, statements, candidates, learned, unique = table.row_for(name)
+            assert statements >= candidates >= learned >= unique > 0
+
+    def test_candidate_rate_near_paper(self, results):
+        row = results["table1"].row_for("Percent%")
+        candidate_rate = float(row[2].rstrip("%"))
+        assert 40 <= candidate_rate <= 65  # paper: 53.8%
+
+    def test_learned_rate_near_paper(self, results):
+        row = results["table1"].row_for("Percent%")
+        learned_rate = float(row[3].rstrip("%"))
+        assert 12 <= learned_rate <= 32  # paper: 22.6%
+
+
+class TestCoverage:
+    def test_parameterization_beats_baseline_everywhere(self, results):
+        table = results["fig12"]
+        for name in BENCHMARK_NAMES:
+            _, baseline, full = table.row_for(name)
+            assert full > baseline
+
+    def test_average_coverage_near_paper(self, results):
+        _, baseline, full = results["fig12"].row_for("average")
+        assert 60 <= baseline <= 80  # paper: 69.7
+        assert full >= 90  # paper: 95.5
+
+    def test_stage_monotonicity(self, results):
+        table = results["fig14"]
+        for name in BENCHMARK_NAMES:
+            row = table.row_for(name)[1:]
+            assert list(row) == sorted(row)
+
+    def test_h264ref_small_opcode_gain(self, results):
+        """§V-B2: h264ref uses few instruction types."""
+        table = results["fig14"]
+        average_gain = (
+            table.row_for("average")[2] - table.row_for("average")[1]
+        )
+        h264_gain = table.row_for("h264ref")[2] - table.row_for("h264ref")[1]
+        assert h264_gain < average_gain
+
+    def test_libquantum_condition_gain_dominates(self, results):
+        """§V-B2: libquantum's loop needs condition-flag delegation."""
+        table = results["fig14"]
+        row = table.row_for("libquantum")
+        condition_gain = row[4] - row[3]
+        average_gain = (
+            table.row_for("average")[4] - table.row_for("average")[3]
+        )
+        assert condition_gain > average_gain
+
+
+class TestPerformance:
+    def test_speedups_ordered(self, results):
+        table = results["fig15"]
+        for name in BENCHMARK_NAMES:
+            row = table.row_for(name)[1:]
+            assert row[-1] == max(row)
+            assert all(v >= 0.95 for v in row)
+
+    def test_headline_speedup(self, results):
+        row = results["fig15"].row_for("geomean")
+        assert 1.2 <= row[4] <= 1.4  # paper: 1.29
+        assert row[1] < row[4]
+
+
+class TestTable3:
+    def test_rule_count_shape(self, results):
+        table = results["table3"]
+        learned = table.row_for("learned rules")[1]
+        opcode = table.row_for("after opcode parameterization")[1]
+        addrmode = table.row_for("after addressing-mode parameterization")[1]
+        instantiated = table.row_for("instantiated (applicable) rules")[1]
+        assert learned > opcode > addrmode
+        assert instantiated > 10 * learned

@@ -1,0 +1,229 @@
+"""Tests for the ARM-like guest ISA: assembler, definitions, semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AssemblyError, UnknownInstructionError
+from repro.isa.arm import ARM, assemble, disassemble, parse_line
+from repro.isa.instruction import Subgroup
+from repro.isa.operands import Imm, Label, Mem, Reg, RegList
+from repro.semantics.state import ConcreteState
+
+U32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def run_one(text: str, **regs):
+    """Assemble one instruction and execute it on a fresh state."""
+    insn = parse_line(text)
+    state = ConcreteState()
+    state.reset_flags()
+    for name, value in regs.items():
+        state.regs[name] = value
+    ARM.defn(insn).semantics(state, insn)
+    return state
+
+
+class TestAssembler:
+    def test_three_operand(self):
+        insn = parse_line("add r0, r1, r2")
+        assert insn.mnemonic == "add"
+        assert insn.operands == (Reg("r0"), Reg("r1"), Reg("r2"))
+
+    def test_immediate(self):
+        insn = parse_line("sub r0, r1, #10")
+        assert insn.operands[2] == Imm(10)
+
+    def test_hex_and_negative_immediates(self):
+        assert parse_line("mov r0, #0xff").operands[1] == Imm(0xFF)
+        assert parse_line("mov r0, #-4").operands[1] == Imm(-4)
+
+    def test_memory_forms(self):
+        assert parse_line("ldr r0, [r1]").operands[1] == Mem(base=Reg("r1"))
+        assert parse_line("ldr r0, [r1, #8]").operands[1] == Mem(base=Reg("r1"), disp=8)
+        assert parse_line("ldr r0, [r1, r2]").operands[1] == Mem(
+            base=Reg("r1"), index=Reg("r2")
+        )
+
+    def test_register_list(self):
+        insn = parse_line("push {r4, r5, lr}")
+        assert insn.operands[0] == RegList((Reg("r4"), Reg("r5"), Reg("lr")))
+
+    def test_label(self):
+        assert parse_line("b .L1").operands[0] == Label(".L1")
+
+    def test_label_definition(self):
+        assert parse_line(".L1:").mnemonic == ".label"
+
+    def test_comment_only_line(self):
+        assert parse_line("  @ nothing here") is None
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(UnknownInstructionError):
+            parse_line("frobnicate r0")
+
+    def test_bad_operand_shape_rejected(self):
+        with pytest.raises(UnknownInstructionError):
+            parse_line("add r0, r1")  # add is three-operand
+
+    def test_bad_register_rejected(self):
+        with pytest.raises((AssemblyError, UnknownInstructionError)):
+            parse_line("mov r99, #1")
+
+    def test_assemble_reports_line_numbers(self):
+        with pytest.raises(AssemblyError, match="line 2"):
+            assemble("mov r0, #1\nbogus!!!")
+
+    def test_roundtrip(self):
+        source = """fn:
+    adds r0, r1, #5
+    ldr r2, [r0, r1]
+    str r2, [r0, #4]
+    cmp r0, r2
+    bne fn"""
+        insns = assemble(source)
+        assert assemble(disassemble(insns)) == insns
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "mnemonic,subgroup",
+        [
+            ("add", Subgroup.ALU),
+            ("eors", Subgroup.ALU),
+            ("mov", Subgroup.LOAD),
+            ("mvn", Subgroup.LOAD),
+            ("ldrb", Subgroup.LOAD),
+            ("str", Subgroup.STORE),
+            ("cmp", Subgroup.COMPARE),
+            ("tst", Subgroup.COMPARE),
+            ("b", Subgroup.OTHER),
+            ("push", Subgroup.OTHER),
+            ("mla", Subgroup.OTHER),
+            ("clz", Subgroup.OTHER),
+        ],
+    )
+    def test_subgroups(self, mnemonic, subgroup):
+        assert ARM.lookup(mnemonic).subgroup is subgroup
+
+    def test_s_variants_set_flags(self):
+        assert ARM.lookup("adds").flags_set == frozenset("NZCV")
+        assert ARM.lookup("ands").flags_set == frozenset("NZ")
+        assert not ARM.lookup("add").flags_set
+
+    def test_commutativity(self):
+        assert ARM.lookup("add").commutative
+        assert ARM.lookup("eor").commutative
+        assert not ARM.lookup("sub").commutative
+        assert not ARM.lookup("bic").commutative
+
+    def test_carry_readers(self):
+        assert "C" in ARM.lookup("adc").flags_read
+        assert "C" in ARM.lookup("rsc").flags_read
+
+
+class TestSemantics:
+    def test_add(self):
+        assert run_one("add r0, r1, r2", r1=2, r2=3).get_reg("r0") == 5
+
+    def test_rsb_reverses(self):
+        assert run_one("rsb r0, r1, #10", r1=3).get_reg("r0") == 7
+
+    def test_rsb_zero_is_negate(self):
+        assert run_one("rsb r0, r1, #0", r1=5).get_reg("r0") == (-5) & 0xFFFFFFFF
+
+    def test_bic(self):
+        assert run_one("bic r0, r1, r2", r1=0b1111, r2=0b0101).get_reg("r0") == 0b1010
+
+    def test_mvn(self):
+        assert run_one("mvn r0, r1", r1=0).get_reg("r0") == 0xFFFFFFFF
+
+    def test_mla(self):
+        state = run_one("mla r0, r1, r2, r3", r1=3, r2=4, r3=5)
+        assert state.get_reg("r0") == 17
+
+    def test_umlal(self):
+        state = run_one(
+            "umlal r0, r1, r2, r3", r0=0xFFFFFFFF, r1=1, r2=0x10000, r3=0x10000
+        )
+        # 0x1_FFFF_FFFF + 0x1_0000_0000 = 0x2_FFFF_FFFF
+        assert state.get_reg("r0") == 0xFFFFFFFF
+        assert state.get_reg("r1") == 2
+
+    def test_clz(self):
+        assert run_one("clz r0, r1", r1=0x00800000).get_reg("r0") == 8
+
+    def test_adds_sets_carry(self):
+        state = run_one("adds r0, r1, r2", r1=0xFFFFFFFF, r2=1)
+        assert state.get_reg("r0") == 0
+        assert state.get_flag("Z") == 1
+        assert state.get_flag("C") == 1
+
+    def test_subs_no_borrow_carry(self):
+        assert run_one("subs r0, r1, #3", r1=5).get_flag("C") == 1
+        assert run_one("subs r0, r1, #7", r1=5).get_flag("C") == 0
+
+    def test_adc_uses_carry(self):
+        state = ConcreteState()
+        state.reset_flags()
+        state.set_flag("C", 1)
+        state.regs.update(r1=1, r2=2)
+        insn = parse_line("adc r0, r1, r2")
+        ARM.defn(insn).semantics(state, insn)
+        assert state.get_reg("r0") == 4
+
+    def test_logical_s_preserves_cv(self):
+        state = ConcreteState()
+        state.reset_flags()
+        state.set_flag("C", 1)
+        state.set_flag("V", 1)
+        state.regs.update(r1=1, r2=1)
+        insn = parse_line("eors r0, r1, r2")
+        ARM.defn(insn).semantics(state, insn)
+        assert state.get_flag("Z") == 1
+        assert state.get_flag("C") == 1  # preserved
+        assert state.get_flag("V") == 1  # preserved
+
+    def test_cmp_flags(self):
+        state = run_one("cmp r0, r1", r0=5, r1=5)
+        assert state.get_flag("Z") == 1
+
+    def test_tst(self):
+        assert run_one("tst r0, r1", r0=0b100, r1=0b011).get_flag("Z") == 1
+
+    def test_branch_records_outcome(self):
+        state = run_one("beq .L", **{})
+        state2 = ConcreteState()
+        state2.reset_flags()
+        state2.set_flag("Z", 1)
+        insn = parse_line("beq .L")
+        ARM.defn(insn).semantics(state2, insn)
+        assert state.branch_taken == 0
+        assert state2.branch_taken == 1
+        assert state2.branch_target == ".L"
+
+    def test_push_pop_roundtrip(self):
+        state = ConcreteState()
+        state.reset_flags()
+        state.regs.update(sp=0x8000, r4=11, r5=22)
+        push = parse_line("push {r4, r5}")
+        ARM.defn(push).semantics(state, push)
+        assert state.get_reg("sp") == 0x8000 - 8
+        state.regs.update(r4=0, r5=0)
+        pop = parse_line("pop {r4, r5}")
+        ARM.defn(pop).semantics(state, pop)
+        assert (state.get_reg("r4"), state.get_reg("r5")) == (11, 22)
+        assert state.get_reg("sp") == 0x8000
+
+    @given(a=U32, b=U32)
+    def test_add_matches_python(self, a, b):
+        state = run_one("add r0, r1, r2", r1=a, r2=b)
+        assert state.get_reg("r0") == (a + b) & 0xFFFFFFFF
+
+    @given(a=U32, b=U32)
+    def test_subs_flags_match_arithmetic(self, a, b):
+        state = run_one("subs r0, r1, r2", r1=a, r2=b)
+        diff = (a - b) & 0xFFFFFFFF
+        assert state.get_reg("r0") == diff
+        assert state.get_flag("Z") == int(diff == 0)
+        assert state.get_flag("N") == diff >> 31
+        assert state.get_flag("C") == int(a >= b)

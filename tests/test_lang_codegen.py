@@ -1,0 +1,240 @@
+"""Tests for the two compiler backends.
+
+The master property: for any program, executing the compiled *guest* binary
+on the reference interpreter produces the values a direct Python evaluation
+of the source produces.  Statement alignment between the backends is the
+second pillar (it is what rule learning consumes).
+"""
+
+import pytest
+
+from repro.dbt.guest_interp import GuestInterpreter
+from repro.isa.arm.opcodes import ARM
+from repro.lang import compile_pair
+from repro.lang.program import GLOBALS_BASE
+
+
+def run_guest(source: str, name: str = "t", pic: bool = False):
+    pair = compile_pair(name, source, pic=pic)
+    result = GuestInterpreter(pair.guest).run()
+    return pair, result
+
+
+def out_word(pair, result, offset: int = 0) -> int:
+    return result.state.load(pair.guest.globals_layout["out"] + offset)
+
+
+class TestExpressionCodegen:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("9 + 4", 13),
+            ("9 - 4", 5),
+            ("4 - a", 4 - 7 & 0xFFFFFFFF),
+            ("a * 3", 21),
+            ("a & 5", 5),
+            ("a | 8", 15),
+            ("a ^ 1", 6),
+            ("a << 2", 28),
+            ("a >> 1", 3),
+            ("a >>> 1", 3),
+            ("a &~ 2", 5),
+        ],
+    )
+    def test_binops(self, expr, expected):
+        source = f"""global out[8];
+        func main() {{ var a, r; a = 7; r = {expr}; out[0] = r; return r; }}"""
+        pair, result = run_guest(source)
+        assert out_word(pair, result) == expected & 0xFFFFFFFF
+
+    def test_unary_ops(self):
+        source = """global out[16];
+        func main() {
+          var a, x, y, z;
+          a = 12;
+          x = ~a;
+          y = -a;
+          z = clz(a);
+          out[0] = x; out[4] = y; out[8] = z;
+          return x;
+        }"""
+        pair, result = run_guest(source)
+        assert out_word(pair, result, 0) == ~12 & 0xFFFFFFFF
+        assert out_word(pair, result, 4) == -12 & 0xFFFFFFFF
+        assert out_word(pair, result, 8) == 28
+
+    def test_mla_fusion_used_and_correct(self):
+        source = """global out[8];
+        func main() { var a, b, s; a = 3; b = 4; s = 100; s = s + a * b; out[0] = s; return s; }"""
+        pair, result = run_guest(source)
+        assert out_word(pair, result) == 112
+        assert any(i.mnemonic == "mla" for i in pair.guest.real_instructions)
+
+    def test_memory_sizes(self):
+        source = """global g[64]; global out[16];
+        func main() {
+          var i, x;
+          i = 8;
+          g[i] = 305419896;
+          x = loadb(g, i);
+          out[0] = x;
+          x = loadh(g, i);
+          out[4] = x;
+          storeb(g, i, 255);
+          x = g[i];
+          out[8] = x;
+          return x;
+        }"""
+        pair, result = run_guest(source)
+        assert out_word(pair, result, 0) == 0x78
+        assert out_word(pair, result, 4) == 0x5678
+        assert out_word(pair, result, 8) == 0x123456FF
+
+    def test_scaled_index(self):
+        source = """global g[64]; global out[8];
+        func main() { var i, x; i = 3; g[12] = 77; x = g[i:4]; out[0] = x; return x; }"""
+        pair, result = run_guest(source)
+        assert out_word(pair, result) == 77
+
+
+class TestControlFlow:
+    def test_loop(self):
+        source = """global out[8];
+        func main() { var i, s; i = 0; s = 0;
+        loop: s = s + i; i = i + 1; if (i < 5) goto loop;
+        out[0] = s; return s; }"""
+        pair, result = run_guest(source)
+        assert out_word(pair, result) == 10
+
+    def test_diamond(self):
+        source = """global out[8];
+        func main() { var a, r; a = 3; r = 0;
+        if (a > 2) goto big; r = 1; goto done;
+        big: r = 2;
+        done: out[0] = r; return r; }"""
+        pair, result = run_guest(source)
+        assert out_word(pair, result) == 2
+
+    def test_iftest_idiom(self):
+        source = """global out[8];
+        func main() { var a, t, r; a = 5; r = 1;
+        iftest (t = a) goto nz; r = 0;
+        nz: out[0] = r; out[4] = t; return r; }"""
+        pair, result = run_guest(source)
+        assert out_word(pair, result, 0) == 1
+        assert out_word(pair, result, 4) == 5
+        assert any(i.mnemonic == "movs" for i in pair.guest.real_instructions)
+
+    def test_fused_alu_branch(self):
+        source = """global out[8];
+        func main() { var a, r; a = 6; r = 1;
+        fuse (a & 8) ne goto nz; r = 0;
+        nz: out[0] = r; out[4] = a; return r; }"""
+        pair, result = run_guest(source)
+        assert out_word(pair, result, 0) == 0  # 6 & 8 == 0: not taken
+        assert out_word(pair, result, 4) == 0
+        assert any(i.mnemonic == "ands" for i in pair.guest.real_instructions)
+
+    def test_unsigned_compare(self):
+        source = """global out[8];
+        func main() { var a, r; a = 0 - 1; r = 0;
+        if (a >u 10) goto big; r = 1; goto done; big: r = 2;
+        done: out[0] = r; return r; }"""
+        pair, result = run_guest(source)
+        assert out_word(pair, result) == 2
+
+    def test_calls_and_returns(self):
+        source = """global out[8];
+        func double(x) { var r; r = x + x; return r; }
+        func main() { var r; r = call double(21); out[0] = r; return r; }"""
+        pair, result = run_guest(source)
+        assert out_word(pair, result) == 42
+
+    def test_nested_calls_preserve_callee_saved(self):
+        source = """global out[8];
+        func leaf(x) { var a, b, c; a = x + 1; b = a + 1; c = b + 1; return c; }
+        func mid(x) { var keep, r; keep = x * 7; r = call leaf(x); r = r + keep; return r; }
+        func main() { var r; r = call mid(3); out[0] = r; return r; }"""
+        pair, result = run_guest(source)
+        assert out_word(pair, result) == 3 * 7 + 6
+
+    def test_umlal_statement(self):
+        source = """global out[8];
+        func main() { var lo, hi, a, b;
+          lo = 4294967295; hi = 1; a = 65536; b = 65536;
+          umlal(lo, hi, a, b);
+          out[0] = lo; out[4] = hi; return lo; }"""
+        pair, result = run_guest(source)
+        assert out_word(pair, result, 0) == 0xFFFFFFFF
+        assert out_word(pair, result, 4) == 2
+
+
+class TestStatementAlignment:
+    SOURCE = """global g[64]; global out[8];
+    func main() {
+      var i, s, x;
+      i = 0; s = 0;
+    loop:
+      x = g[i];
+      s = s + x;
+      g[i] = s;
+      i = i + 4;
+      if (i < 32) goto loop;
+      out[0] = s;
+      return s;
+    }"""
+
+    def test_backends_share_statement_ids(self):
+        pair = compile_pair("t", self.SOURCE)
+        guest_ids = {t for t in pair.guest.real_tags if t is not None}
+        host_ids = {t for t in pair.host.real_tags if t is not None}
+        # Modulo deterministic debug-info loss, ids come from one numbering.
+        assert guest_ids <= set(pair.statements)
+        assert host_ids <= set(pair.statements)
+
+    def test_glue_untagged(self):
+        pair = compile_pair("t", self.SOURCE)
+        for insn, tag in zip(pair.guest.real_instructions, pair.guest.real_tags):
+            if insn.mnemonic in ("push", "pop", "bx"):
+                assert tag is None
+
+    def test_spans_are_contiguous_for_simple_statements(self):
+        pair = compile_pair("t", self.SOURCE)
+        for indices in pair.guest.statement_spans().values():
+            assert indices == list(range(indices[0], indices[-1] + 1))
+
+
+class TestPic:
+    SOURCE = """global g[64]; global out[8];
+    func main() { var i, x; i = 4; g[i] = 9; x = g[i]; out[0] = x; return x; }"""
+
+    def test_pic_uses_pc_relative_bases(self):
+        pair, result = run_guest(self.SOURCE, pic=True)
+        pc_adds = [
+            i
+            for i in pair.guest.real_instructions
+            if i.mnemonic == "add" and any(getattr(o, "name", "") == "pc" for o in i.operands)
+        ]
+        assert pc_adds, "PIC compilation should materialize bases PC-relatively"
+        assert out_word(pair, result) == 9
+
+    def test_pic_and_non_pic_agree(self):
+        _, plain = run_guest(self.SOURCE, pic=False)
+        _, pic = run_guest(self.SOURCE, pic=True)
+        assert plain.state.regs["r0"] == pic.state.regs["r0"]
+
+
+class TestFrameSpills:
+    def test_many_locals_spill_and_still_compute(self):
+        decls = ", ".join(f"v{i}" for i in range(12))
+        assigns = "\n".join(f"v{i} = {i + 1};" for i in range(12))
+        total = "\n".join(f"s = s + v{i};" for i in range(12))
+        source = f"""global out[8];
+        func main() {{ var s, {decls}; s = 0;\n{assigns}\n{total}\nout[0] = s; return s; }}"""
+        pair, result = run_guest(source)
+        assert out_word(pair, result) == sum(range(1, 13))
+        assert any(
+            i.mnemonic in ("ldr", "str")
+            and any(getattr(getattr(o, "base", None), "name", "") == "sp" for o in i.operands)
+            for i in pair.guest.real_instructions
+        ), "expected stack spills with 13 locals"

@@ -1,0 +1,177 @@
+"""Host-backend shape tests: the x86 code generator's lowering patterns.
+
+The host binary never executes, but its *shapes* decide what rule learning
+can see — so each destructive-form / aliasing / spill-folding path gets a
+shape assertion here.
+"""
+
+import pytest
+
+from repro.isa.operands import Imm, Mem, Reg
+from repro.lang import parse
+from repro.lang.codegen_x86 import X86Codegen
+from repro.lang.optimizer import optimize
+
+
+def host_for(body: str, params: str = "a, b, c"):
+    """Compile a one-function program; return main's tagged instructions."""
+    source = f"global g[64];\nfunc main({params}) {{ {body} }}"
+    program = optimize(parse(source))
+    codegen = X86Codegen(program)
+    codegen.DEBUG_LOSS_RATE = 0.0  # deterministic mapping for shape checks
+    unit, statements = codegen.compile()
+    # Exclude the trailing `return` statement's code (an ABI move).
+    return_ids = {
+        stmt_id for stmt_id, info in statements.items() if info.text == "return"
+    }
+    return [
+        insn
+        for insn, tag in zip(unit.real_instructions, unit.real_tags)
+        if tag is not None and tag not in return_ids
+    ]
+
+
+def mnemonics(instructions):
+    return [insn.mnemonic for insn in instructions]
+
+
+class TestAluForms:
+    def test_destructive_form(self):
+        insns = host_for("a = a + b; return a;")
+        assert mnemonics(insns) == ["addl"]
+
+    def test_commutative_reversed_alias(self):
+        insns = host_for("a = b * a; return a;")
+        assert mnemonics(insns) == ["imull"]
+
+    def test_three_operand_mov_prefix(self):
+        insns = host_for("c = a + b; return c;")
+        assert mnemonics(insns) == ["movl", "addl"]
+
+    def test_immediate_source(self):
+        insns = host_for("a = a + 9; return a;")
+        assert insns[0].operands[0] == Imm(9)
+
+    def test_subtract_from_constant_nonalias(self):
+        insns = host_for("c = 100 - b; return c;")
+        assert mnemonics(insns) == ["movl", "subl"]
+        assert insns[0].operands[0] == Imm(100)
+
+    def test_subtract_alias_rhs_uses_negate(self):
+        # a = b - a: negl a; addl b, a — no scratch register needed.
+        insns = host_for("a = b - a; return a;")
+        assert mnemonics(insns) == ["negl", "addl"]
+
+    def test_shift_alias_rhs_needs_scratch(self):
+        insns = host_for("a = b << a; return a;")
+        assert mnemonics(insns)[0] == "movl"
+        assert "shll" in mnemonics(insns)
+
+    def test_andnot_nonalias(self):
+        # The inversion always goes through a scratch register — which is
+        # exactly why bic candidates fail the one-to-one mapping check.
+        insns = host_for("c = a &~ b; return c;")
+        assert mnemonics(insns) == ["movl", "notl", "andl", "movl"]
+
+    def test_andnot_alias_dest_is_rhs(self):
+        insns = host_for("b = a &~ b; return b;")
+        assert mnemonics(insns) == ["notl", "andl"]
+
+    def test_andnot_alias_dest_is_lhs_needs_scratch(self):
+        insns = host_for("a = a &~ b; return a;")
+        # movl b, scratch; notl scratch; andl scratch, a (+ possible store)
+        assert mnemonics(insns)[:3] == ["movl", "notl", "andl"]
+
+    def test_unary_not(self):
+        insns = host_for("c = ~a; return c;")
+        assert mnemonics(insns) == ["movl", "notl"]
+
+    def test_unary_neg_alias(self):
+        insns = host_for("a = -a; return a;")
+        assert mnemonics(insns) == ["negl"]
+
+
+class TestMlaAndClz:
+    def test_accumulating_mla_uses_scratch(self):
+        insns = host_for("a = a + b * c; return a;")
+        assert mnemonics(insns) == ["movl", "imull", "addl"]
+        # The product is computed in a scratch register, not in `a`.
+        assert insns[0].operands[1] != insns[2].operands[1]
+
+    def test_clz_is_a_loop(self):
+        insns = host_for("c = clz(a); return c;")
+        names = mnemonics(insns)
+        assert "je" in names and "jmp" in names, "clz must lower to a loop"
+
+
+class TestMemory:
+    def test_load_base_index(self):
+        insns = host_for("c = g[a]; return c;")
+        mem = insns[-1].operands[0]
+        assert isinstance(mem, Mem) and mem.index is not None
+
+    def test_store_form(self):
+        insns = host_for("g[a] = b; return b;")
+        assert insns[-1].mnemonic == "movl_s"
+
+    def test_scaled_index_folds_into_addressing(self):
+        insns = host_for("c = g[a:4]; return c;")
+        loads = [i for i in insns if i.mnemonic == "movl" and isinstance(i.operands[0], Mem)]
+        assert any(m.operands[0].scale == 4 for m in loads)
+
+    def test_byte_sizes(self):
+        insns = host_for("c = loadb(g, a); storeb(g, a, b); return c;")
+        names = mnemonics(insns)
+        assert "movzbl" in names and "movb" in names
+
+
+class TestSpillFolding:
+    DECLS = ", ".join(f"v{i}" for i in range(10))
+
+    def test_spilled_operands_fold_into_alu(self):
+        body = (
+            f"var {self.DECLS}; "
+            + " ".join(f"v{i} = a + {i};" for i in range(10))
+            + " v9 = v8 + v7; "
+            + " ".join(f"a = a + v{i};" for i in range(10))
+            + " return a;"
+        )
+        insns = host_for(body, params="a")
+        esp_operands = [
+            op
+            for insn in insns
+            for op in insn.operands
+            if isinstance(op, Mem) and op.base == Reg("esp")
+        ]
+        assert esp_operands, "cold locals must spill on the host"
+
+    def test_fused_alu_branch_emitted(self):
+        body = (
+            f"var {self.DECLS}; "
+            + " ".join(f"v{i} = a + {i};" for i in range(10))
+            + " fuse (v9 & v8) ne goto l; a = a + 1; l: "
+            + " ".join(f"a = a + v{i};" for i in range(10))
+            + " return a;"
+        )
+        insns = host_for(body, params="a")
+        names = mnemonics(insns)
+        assert "andl" in names and "jne" in names
+
+    def test_fused_alu_to_memory_when_dest_spilled(self):
+        """Direct check: a fused statement with a spilled destination folds
+        the ALU operation into the stack slot."""
+        from repro.lang import ast as A
+        from repro.lang.codegen_base import FrameInfo
+
+        program = optimize(parse("func main(a) { return a; }"))
+        codegen = X86Codegen(program)
+        codegen.frame = FrameInfo(
+            reg_of={"a": "ebx"}, spill_of={"w": 0}, frame_size=4, saved_regs=("ebx",)
+        )
+        codegen._func_name = "main"
+        codegen.reset_temps()
+        codegen.stmt_fused(A.FusedAluGoto("w", "&", A.VarE("a"), "ne", "l"))
+        insns = codegen.out.instructions
+        assert insns[0].mnemonic == "andl"
+        assert isinstance(insns[0].operands[1], Mem)
+        assert insns[1].mnemonic == "jne"

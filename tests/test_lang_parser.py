@@ -1,0 +1,155 @@
+"""Tests for the mini-language parser and optimizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast, parse
+from repro.lang.optimizer import fold_expr, optimize
+
+
+class TestParser:
+    def test_globals(self):
+        program = parse("global data[64];")
+        assert program.globals == {"data": 64}
+
+    def test_function_params(self):
+        program = parse("func f(a, b) { return a; }")
+        assert program.functions["f"].params == ("a", "b")
+
+    def test_assignment_forms(self):
+        program = parse(
+            """func f() {
+              x = 5;
+              y = x + 3;
+              z = x & y;
+              w = ~x;
+              n = -x;
+              c = clz(x);
+            }"""
+        )
+        body = program.functions["f"].body
+        assert isinstance(body[0].expr, ast.ConstE)
+        assert isinstance(body[1].expr, ast.BinE) and body[1].expr.op == "+"
+        assert isinstance(body[3].expr, ast.UnE) and body[3].expr.op == "~"
+        assert body[5].expr.op == "clz"
+
+    def test_mla_pattern(self):
+        program = parse("func f(a, b, c) { a = a + b * c; return a; }")
+        expr = program.functions["f"].body[0].expr
+        assert isinstance(expr, ast.MlaE)
+
+    def test_loads_and_stores(self):
+        program = parse(
+            """global g[16];
+            func f(i, v) {
+              x = g[i];
+              y = g[i + 8];
+              z = g[i:4];
+              b = loadb(g, i);
+              g[i] = v;
+              storeb(g, i, v);
+              storeh(g, i, v);
+              return x;
+            }"""
+        )
+        body = program.functions["f"].body
+        assert body[0].expr.size == 4
+        assert body[1].expr.index.disp == 8
+        assert body[2].expr.index.scale == 4
+        assert body[3].expr.size == 1
+        assert isinstance(body[4], ast.Store) and body[4].size == 4
+        assert body[5].size == 1
+        assert body[6].size == 2
+
+    def test_control_flow(self):
+        program = parse(
+            """func f(a, b) {
+            top:
+              if (a < b) goto top;
+              if ((a & b) != 0) goto top;
+              if ((a ^ b) == 0) goto top;
+              iftest (t = a) goto top;
+              fuse (a & b) ne goto top;
+              goto top;
+            }"""
+        )
+        body = program.functions["f"].body
+        assert isinstance(body[0], ast.LabelStmt)
+        assert body[1].cond.kind == "rel"
+        assert body[2].cond.kind == "tst"
+        assert body[3].cond.kind == "teq"
+        assert isinstance(body[4], ast.IfTestGoto)
+        assert isinstance(body[5], ast.FusedAluGoto)
+        assert isinstance(body[6], ast.Goto)
+
+    def test_calls(self):
+        program = parse(
+            """func g(x) { return x; }
+            func f() { r = call g(3); call g(4); return r; }"""
+        )
+        body = program.functions["f"].body
+        assert isinstance(body[0], ast.Call) and body[0].dest == "r"
+        assert body[1].dest is None
+
+    def test_umlal(self):
+        program = parse("func f(a, b) { umlal(lo, hi, a, b); return lo; }")
+        assert isinstance(program.functions["f"].body[0], ast.UmlalStmt)
+
+    def test_unknown_statement_raises(self):
+        with pytest.raises(ParseError):
+            parse("func f() { !!! }")
+
+    def test_unterminated_raises(self):
+        with pytest.raises(ParseError):
+            parse("func f() { x = 1 }")
+
+    def test_bad_fused_condition(self):
+        with pytest.raises(ParseError):
+            parse("func f(a) { fuse (a + a) zz goto l; }")
+
+    def test_comments_skipped(self):
+        program = parse("// a comment\nfunc f() { return; } // tail")
+        assert "f" in program.functions
+
+
+class TestOptimizer:
+    def test_constant_folding(self):
+        assert fold_expr(ast.BinE("+", ast.ConstE(3), ast.ConstE(4))) == ast.ConstE(7)
+        assert fold_expr(ast.BinE("*", ast.ConstE(6), ast.ConstE(7))) == ast.ConstE(42)
+
+    def test_identity_folding(self):
+        x = ast.VarE("x")
+        assert fold_expr(ast.BinE("+", x, ast.ConstE(0))) is x
+        assert fold_expr(ast.BinE("*", x, ast.ConstE(1))) is x
+        assert fold_expr(ast.BinE("&", x, ast.ConstE(0))) == ast.ConstE(0)
+
+    def test_unary_folding(self):
+        assert fold_expr(ast.UnE("~", ast.ConstE(0))) == ast.ConstE(0xFFFFFFFF)
+        assert fold_expr(ast.UnE("clz", ast.ConstE(1))) == ast.ConstE(31)
+
+    def test_dead_assignment_removed(self):
+        program = optimize(
+            parse("func f(a) { dead = a + 1; live = a + 2; return live; }")
+        )
+        body = program.functions["f"].body
+        assert len(body) == 2
+        assert body[0].dest == "live"
+
+    def test_dead_chain_removed_to_fixpoint(self):
+        program = optimize(
+            parse("func f(a) { t1 = a + 1; t2 = t1 + 1; return a; }")
+        )
+        assert len(program.functions["f"].body) == 1
+
+    def test_live_through_store_kept(self):
+        program = optimize(
+            parse("global g[8];\nfunc f(a) { v = a + 1; g[0] = v; return; }")
+        )
+        assert len(program.functions["f"].body) == 3
+
+    def test_statement_counts_differ_after_optimization(self):
+        """Dead statements produce no binary — an extraction-loss source."""
+        source = "func f(a) { dead = a + 9; return a; }"
+        before = parse(source)
+        after = optimize(before)
+        assert len(after.functions["f"].body) < len(before.functions["f"].body)

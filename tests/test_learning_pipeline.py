@@ -1,0 +1,140 @@
+"""Tests for extraction, the learning pipeline, rule sets, and the store."""
+
+import pytest
+
+from repro.isa.arm import assemble as arm
+from repro.lang import compile_pair
+from repro.learning import (
+    RuleSet,
+    dump_rules,
+    extract,
+    learn_pair,
+    learn_suite,
+    load_rules,
+)
+from repro.learning.extract import (
+    REASON_MULTI_BLOCK,
+    REASON_NO_BINARY,
+)
+
+
+class TestExtraction:
+    def test_demo_extraction(self, demo_pair):
+        result = extract(demo_pair)
+        assert result.statement_count == demo_pair.statement_count
+        assert 0 < result.candidate_count <= result.statement_count
+
+    def test_dead_statement_has_no_binary(self):
+        pair = compile_pair(
+            "t", "func main() { var a, d; a = 1; d = a + 2; return a; }"
+        )
+        result = extract(pair)
+        assert REASON_NO_BINARY in result.outcomes.values()
+
+    def test_clz_host_loop_is_multi_block(self):
+        # Find a seed where debug info for the clz statement survives on
+        # both sides; its host lowering is a loop and must be rejected.
+        pair = compile_pair(
+            "t",
+            """global out[8];
+            func main() { var a, c; a = 12345; c = clz(a); out[0] = c; return c; }""",
+        )
+        result = extract(pair)
+        outcomes = set(result.outcomes.values())
+        # The loop lowering is rejected either as too long or as multi-block
+        # (both before it could ever reach verification).
+        assert outcomes & {REASON_MULTI_BLOCK, "too-long"}
+        assert not any(
+            insn.mnemonic == "clz"
+            for cand in result.candidates
+            for insn in cand.guest
+        )
+
+    def test_sub_candidates_align_positionally(self, demo_pair):
+        result = extract(demo_pair)
+        for sub in result.sub_candidates:
+            assert len(sub.guest) == 1 and len(sub.host) == 1
+
+
+class TestLearning:
+    def test_funnel_shrinks(self, demo_learning):
+        stats = demo_learning.stats
+        assert stats.statements >= stats.candidates >= stats.learned >= stats.unique
+        assert stats.unique > 0
+
+    def test_rules_are_actually_equivalent(self, demo_rules):
+        """Every learned rule re-verifies (soundness of the pipeline)."""
+        from repro.isa.arm.opcodes import ARM
+        from repro.isa.x86.opcodes import X86
+        from repro.verify import check_equivalence
+
+        for rule in demo_rules:
+            result = check_equivalence(
+                ARM, X86, rule.guest, rule.host, allow_temps=len(rule.host_temps)
+            )
+            assert result.equivalent, f"rule {rule.guest} does not re-verify"
+
+    def test_no_unlearnable_instructions(self, demo_rules):
+        """The paper's seven instructions never produce learned rules."""
+        forbidden = {"push", "pop", "b", "bl", "bx", "mla", "umlal", "clz"}
+        for rule in demo_rules:
+            for insn in rule.guest:
+                assert insn.mnemonic not in forbidden
+
+    def test_imm_generalization_present(self, demo_rules):
+        assert any(rule.imm_generalized for rule in demo_rules)
+
+    def test_learn_suite_merges(self, demo_pair):
+        stats, merged = learn_suite([demo_pair, demo_pair])
+        assert len(stats) == 2
+        # Second pass adds nothing new (identical program).
+        single = learn_pair(demo_pair).rules
+        assert len(merged) == len(single)
+
+
+class TestRuleSet:
+    def test_dedup(self, demo_rules):
+        duplicate = RuleSet()
+        duplicate.extend(demo_rules.rules)
+        added = duplicate.extend(demo_rules.rules)
+        assert added == 0
+
+    def test_lookup_prefers_generalized(self, demo_rules):
+        window = arm("add r4, r4, #12345")
+        rule = demo_rules.lookup(window)
+        if rule is not None:
+            assert rule.imm_generalized
+
+    def test_lookup_respects_pattern(self, demo_rules):
+        # If an accumulating add rule exists, a 3-distinct window must not
+        # match it (and vice versa).
+        acc = demo_rules.lookup(arm("add r4, r4, r5"))
+        three = demo_rules.lookup(arm("add r4, r5, r6"))
+        if acc and three:
+            assert acc is not three
+
+    def test_max_guest_length(self, demo_rules):
+        assert demo_rules.max_guest_length() >= 1
+
+    def test_copy_is_independent(self, demo_rules):
+        copy = demo_rules.copy()
+        assert len(copy) == len(demo_rules)
+        assert copy.rules is not demo_rules.rules
+
+
+class TestStore:
+    def test_json_roundtrip(self, demo_rules):
+        text = dump_rules(demo_rules)
+        loaded = load_rules(text)
+        assert len(loaded) == len(demo_rules)
+        assert {r.canonical_identity() for r in loaded} == {
+            r.canonical_identity() for r in demo_rules
+        }
+
+    def test_roundtripped_rules_still_lookup(self, demo_rules):
+        loaded = load_rules(dump_rules(demo_rules))
+        hits = 0
+        for rule in demo_rules:
+            if loaded.lookup(rule.guest) is not None:
+                hits += 1
+        assert hits == len(demo_rules.rules) or hits > 0

@@ -1,0 +1,158 @@
+"""Tests for the translation-rule model: keys, matching, instantiation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import RuleError
+from repro.isa.arm import assemble as arm
+from repro.isa.operands import Imm, Label, Mem, Reg
+from repro.isa.x86 import assemble as x86
+from repro.learning.rule import TranslationRule, guest_key, window_bindings
+
+
+def make_rule(guest: str, host: str, mapping, imm_gen=False, temps=()):
+    return TranslationRule(
+        guest=arm(guest),
+        host=x86(host),
+        reg_mapping=tuple(sorted(mapping.items())),
+        host_temps=tuple(temps),
+        imm_generalized=imm_gen,
+    )
+
+
+ADD_RULE = lambda: make_rule(
+    "add r0, r1, r2",
+    "movl %ecx, %eax\naddl %edx, %eax",
+    {"r0": "eax", "r1": "ecx", "r2": "edx"},
+)
+
+
+class TestGuestKey:
+    def test_renaming_invariance(self):
+        a = guest_key(arm("add r0, r1, r2"), with_values=True)
+        b = guest_key(arm("add r7, r3, r9"), with_values=True)
+        assert a == b
+
+    def test_dependency_pattern_distinguished(self):
+        # fig. 8: dest==src1 is a different rule shape than all-distinct.
+        a = guest_key(arm("add r0, r0, r1"), with_values=True)
+        b = guest_key(arm("add r0, r1, r2"), with_values=True)
+        assert a != b
+
+    def test_imm_values_in_specific_key_only(self):
+        five = arm("add r0, r0, #5")
+        nine = arm("add r0, r0, #9")
+        assert guest_key(five, True) != guest_key(nine, True)
+        assert guest_key(five, False) == guest_key(nine, False)
+
+    def test_imm_equality_pattern(self):
+        # Two equal immediates share a slot; distinct ones do not.
+        same = arm("add r0, r0, #4\nsub r1, r1, #4")
+        diff = arm("add r0, r0, #4\nsub r1, r1, #8")
+        assert guest_key(same, False) != guest_key(diff, False)
+
+    def test_memory_shape_in_key(self):
+        index = guest_key(arm("ldr r0, [r1, r2]"), False)
+        disp = guest_key(arm("ldr r0, [r1, #8]"), False)
+        assert index != disp
+
+    def test_mem_disp_generalizes_with_imm_slots(self):
+        zero = guest_key(arm("ldr r0, [r1]"), False)
+        eight = guest_key(arm("ldr r0, [r1, #8]"), False)
+        assert zero == eight  # displacement is an immediate slot
+
+    def test_window_bindings(self):
+        regs, imms = window_bindings(arm("add r0, r1, #5\nsub r0, r0, #7"))
+        assert regs == ("r0", "r1")
+        assert imms == (5, 7)
+
+
+class TestMatching:
+    def test_matches_renamed_window(self):
+        assert ADD_RULE().matches(arm("add r4, r5, r6"))
+
+    def test_rejects_pattern_violation(self):
+        assert not ADD_RULE().matches(arm("add r4, r4, r6"))
+
+    def test_imm_specific_matching(self):
+        rule = make_rule("add r0, r0, #5", "addl $5, %eax", {"r0": "eax"})
+        assert rule.matches(arm("add r3, r3, #5"))
+        assert not rule.matches(arm("add r3, r3, #6"))
+
+    def test_imm_generalized_matching(self):
+        rule = make_rule("add r0, r0, #5", "addl $5, %eax", {"r0": "eax"}, imm_gen=True)
+        assert rule.matches(arm("add r3, r3, #999"))
+
+
+class TestInstantiation:
+    @staticmethod
+    def instantiate(rule, window_text, scratch_names=("t5", "t6")):
+        return rule.instantiate(
+            arm(window_text),
+            host_reg=lambda name: Reg(f"g_{name}"),
+            scratch=lambda k: Reg(scratch_names[k]),
+            label_map=lambda label: f"L_{label}",
+        )
+
+    def test_registers_substituted(self):
+        host = self.instantiate(ADD_RULE(), "add r4, r5, r6")
+        assert host[0].operands == (Reg("g_r5"), Reg("g_r4"))
+        assert host[1].operands == (Reg("g_r6"), Reg("g_r4"))
+
+    def test_immediates_substituted_when_generalized(self):
+        rule = make_rule("add r0, r0, #5", "addl $5, %eax", {"r0": "eax"}, imm_gen=True)
+        host = self.instantiate(rule, "add r2, r2, #123")
+        assert host[0].operands[0] == Imm(123)
+
+    def test_memory_displacement_substituted(self):
+        rule = make_rule(
+            "ldr r0, [r1, #8]",
+            "movl 8(%ecx), %eax",
+            {"r0": "eax", "r1": "ecx"},
+            imm_gen=True,
+        )
+        host = self.instantiate(rule, "ldr r7, [r3, #64]")
+        mem = host[0].operands[0]
+        assert mem == Mem(base=Reg("g_r3"), disp=64)
+
+    def test_labels_mapped(self):
+        rule = make_rule("bne .X", "jne .X", {})
+        host = self.instantiate(rule, "bne loop_top")
+        assert host[0].operands[0] == Label("L_loop_top")
+
+    def test_scratch_registers_allocated(self):
+        rule = make_rule(
+            "bic r0, r0, r1",
+            "movl %ecx, %edx\nnotl %edx\nandl %edx, %eax",
+            {"r0": "eax", "r1": "ecx"},
+            temps=("edx",),
+        )
+        host = self.instantiate(rule, "bic r8, r8, r9")
+        assert host[0].operands == (Reg("g_r9"), Reg("t5"))
+        assert host[1].operands == (Reg("t5"),)
+        assert host[2].operands == (Reg("t5"), Reg("g_r8"))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(RuleError):
+            self.instantiate(ADD_RULE(), "add r4, r4, r6")
+
+    def test_canonical_identity_dedups_renamings(self):
+        a = ADD_RULE()
+        b = make_rule(
+            "add r5, r6, r7",
+            "movl %edx, %ebx\naddl %ecx, %ebx",
+            {"r5": "ebx", "r6": "edx", "r7": "ecx"},
+        )
+        assert a.canonical_identity() == b.canonical_identity()
+
+    @given(
+        perm=st.permutations(["r3", "r5", "r8"]),
+    )
+    def test_instantiation_then_rekey_is_stable(self, perm):
+        """Instantiating on any renaming preserves the host structure."""
+        rule = ADD_RULE()
+        window = arm(f"add {perm[0]}, {perm[1]}, {perm[2]}")
+        host = self.instantiate(rule, f"add {perm[0]}, {perm[1]}, {perm[2]}")
+        assert host[0].mnemonic == "movl"
+        assert host[1].mnemonic == "addl"
+        assert host[1].operands[1] == Reg(f"g_{perm[0]}")

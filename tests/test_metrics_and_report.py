@@ -1,0 +1,64 @@
+"""Tests for run metrics, the cost model, and table rendering."""
+
+import pytest
+
+from repro.dbt.metrics import DISPATCH_COST, RunMetrics, speedup
+from repro.experiments.report import ExperimentResult, format_table
+
+
+def metrics(**kwargs) -> RunMetrics:
+    base = dict(
+        name="m",
+        host_counts={"rule": 100, "tcg": 50, "data": 30, "control": 20},
+        guest_dynamic=100,
+        covered_dynamic=80,
+        block_executions=10,
+        blocks_translated=4,
+    )
+    base.update(kwargs)
+    return RunMetrics(**base)
+
+
+class TestRunMetrics:
+    def test_coverage(self):
+        assert metrics().coverage == 0.8
+
+    def test_coverage_empty_run(self):
+        assert RunMetrics().coverage == 0.0
+
+    def test_ratios(self):
+        m = metrics()
+        assert m.ratio("rule") == 1.0
+        assert m.ratio("data") == 0.3
+        assert m.translated_ratio == 1.5
+        assert m.total_ratio == 2.0
+
+    def test_cost_includes_dispatch(self):
+        m = metrics()
+        assert m.cost(dispatch_cost=0) == 200
+        assert m.cost() == 200 + DISPATCH_COST * 10
+
+    def test_speedup(self):
+        slow = metrics(host_counts={"tcg": 400}, block_executions=0)
+        fast = metrics(host_counts={"rule": 200}, block_executions=0)
+        assert speedup(slow, fast) == 2.0
+
+
+class TestReport:
+    def test_format_alignment(self):
+        text = format_table("T", ("a", "bb"), [(1, 2.5), (10, 3.0)])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "2.50" in text
+        assert all(len(line) <= 80 for line in lines)
+
+    def test_experiment_result_accessors(self):
+        result = ExperimentResult("x", "t", ("k", "v"))
+        result.add("a", 1)
+        result.add("b", 2)
+        result.note("hello")
+        assert result.column("v") == [1, 2]
+        assert result.row_for("b") == ("b", 2)
+        with pytest.raises(KeyError):
+            result.row_for("zzz")
+        assert "note: hello" in result.format()

@@ -1,0 +1,183 @@
+"""Remaining-surface tests: smart-constructor corners, rule-set preference,
+stage composition, helpers."""
+
+import pytest
+
+from repro.symir import (
+    Const,
+    Extract,
+    Sym,
+    ZeroExt,
+    binop,
+    extract,
+    ite,
+    zero_ext,
+)
+
+
+class TestBuildCorners:
+    def test_extract_of_constant_folds(self):
+        assert extract(Const(0xABCD), 8, 8) == Const(0xAB, 8)
+
+    def test_extract_identity(self):
+        a = Sym("a")
+        assert extract(a, 0, 32) is a
+
+    def test_extract_through_zext_low_bits(self):
+        inner = Sym("a", 8)
+        assert extract(zero_ext(inner, 32), 0, 8) is inner
+
+    def test_extract_through_zext_high_bits_zero(self):
+        inner = Sym("a", 8)
+        assert extract(zero_ext(inner, 32), 8, 8) == Const(0, 8)
+
+    def test_zext_identity(self):
+        a = Sym("a")
+        assert zero_ext(a, 32) is a
+
+    def test_zext_constant(self):
+        assert zero_ext(Const(5, 8), 32) == Const(5, 32)
+
+    def test_nested_structure_preserved_when_unknown(self):
+        expr = extract(Sym("a"), 4, 8)
+        assert isinstance(expr, Extract)
+        expr = zero_ext(Sym("a", 8), 16)
+        assert isinstance(expr, ZeroExt)
+
+    def test_shift_by_huge_ashr_not_folded_to_zero(self):
+        # Arithmetic right shift saturates to the sign, not to zero.
+        result = binop("ashr", Sym("a"), Const(99))
+        from repro.symir import evaluate
+
+        assert evaluate(result, {"a": 0x80000000}) == 0xFFFFFFFF
+
+
+class TestEquivalenceAssignments:
+    def test_many_symbols_random_fallback(self):
+        """With >3 symbols the boundary cross product is capped, but the
+        checker must still distinguish unequal expressions."""
+        from repro.symir import Sym, binop
+        from repro.verify.equivalence import exprs_equal
+
+        syms = [Sym(f"s{i}") for i in range(5)]
+        lhs = syms[0]
+        for s in syms[1:]:
+            lhs = binop("add", lhs, s)
+        rhs = binop("add", lhs, Const(1))
+        assert not exprs_equal(lhs, rhs)
+        assert exprs_equal(lhs, lhs)
+
+    def test_no_symbols(self):
+        from repro.verify.equivalence import exprs_equal
+
+        assert exprs_equal(Const(5), Const(5))
+        assert not exprs_equal(Const(5), Const(6))
+
+
+class TestRuleSetPreference:
+    def test_shorter_host_wins_lookup(self):
+        from repro.isa.arm import assemble as arm
+        from repro.isa.x86 import assemble as x86
+        from repro.learning import RuleSet, TranslationRule
+
+        long_rule = TranslationRule(
+            guest=arm("add r0, r0, r1"),
+            host=x86("movl %eax, %edx\naddl %ecx, %edx\nmovl %edx, %eax"),
+            reg_mapping=(("r0", "eax"), ("r1", "ecx")),
+            host_temps=("edx",),
+        )
+        short_rule = TranslationRule(
+            guest=arm("add r0, r0, r1"),
+            host=x86("addl %ecx, %eax"),
+            reg_mapping=(("r0", "eax"), ("r1", "ecx")),
+        )
+        rules = RuleSet()
+        assert rules.add(long_rule)
+        assert rules.add(short_rule)  # distinct identity: both kept
+        assert len(rules) == 2
+        found = rules.lookup(arm("add r4, r4, r5"))
+        assert found is short_rule
+
+    def test_malformed_rule_rejected(self):
+        from repro.isa.arm import assemble as arm
+        from repro.isa.x86 import assemble as x86
+        from repro.learning import RuleSet, TranslationRule
+
+        # Host references a register outside the mapping and not declared
+        # as a temp: canonicalization fails, add() returns False.
+        bad = TranslationRule(
+            guest=arm("mov r0, r1"),
+            host=x86("movl %edx, %eax"),
+            reg_mapping=(("r0", "eax"), ("r1", "ecx")),
+        )
+        rules = RuleSet()
+        assert not rules.add(bad)
+
+
+class TestStageComposition:
+    def test_stage_order(self):
+        from repro.param import STAGES
+
+        assert STAGES == (
+            "qemu",
+            "wopara",
+            "opcode",
+            "addrmode",
+            "condition",
+            "seqparam",
+            "manual",
+        )
+
+    def test_seqparam_superset_of_condition(self, demo_setup):
+        condition = demo_setup.configs["condition"].rules
+        seqparam = demo_setup.configs["seqparam"].rules
+        assert len(seqparam) >= len(condition)
+
+    def test_manual_flag_only_on_manual(self, demo_setup):
+        for stage, config in demo_setup.configs.items():
+            assert config.manual_other == (stage == "manual")
+
+    def test_invalid_stage_rejected(self):
+        from repro.experiments.common import run_benchmark
+
+        with pytest.raises(ValueError):
+            run_benchmark("mcf", "bogus")
+
+
+class TestHelpers:
+    def test_geomean_and_mean(self):
+        from repro.experiments.common import geomean, mean
+
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_rewrite_imms(self):
+        from repro.isa.arm import assemble as arm
+        from repro.learning.learn import rewrite_imms
+
+        insns = arm("add r0, r0, #5\nldr r1, [r2, #5]")
+        rewritten = rewrite_imms(insns, {5: 99})
+        assert rewritten[0].operands[2].value == 99
+        assert rewritten[1].operands[1].disp == 99
+
+    def test_describe_statement(self):
+        from repro.lang import ast, parse
+        from repro.lang.codegen_base import describe_statement
+
+        program = parse(
+            "global g[8];\nfunc f(a) { x = a + 1; g[a] = x; "
+            "if (a < x) goto l; l: return x; }"
+        )
+        texts = [describe_statement(s) for s in program.functions["f"].body
+                 if not isinstance(s, ast.LabelStmt)]
+        assert texts[0] == "x = a + 1"
+        assert "g[" in texts[1]
+        assert texts[2].startswith("if (")
+
+    def test_check_function_in_every_benchmark(self):
+        from repro.workloads import benchmark_source, BENCHMARK_NAMES
+
+        for name in BENCHMARK_NAMES:
+            assert "func check(seed)" in benchmark_source(name)

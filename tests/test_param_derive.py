@@ -1,0 +1,131 @@
+"""Tests for the derivation engine (opcode + addressing-mode + constraints).
+
+The load-bearing property: *every derived rule re-verifies symbolically* —
+the paper's workflow is parameterize-then-verify, so nothing unverified may
+reach the rule set.
+"""
+
+import pytest
+
+from repro.isa.arm import assemble as arm
+from repro.isa.arm.opcodes import ARM
+from repro.isa.x86.opcodes import X86
+from repro.param import build_setup, derive_rules, host_candidates
+from repro.param.shapes import build_guest_instruction, enumerate_shapes
+from repro.verify import check_equivalence
+
+
+@pytest.fixture(scope="module")
+def derived(demo_rules_module):
+    return derive_rules(demo_rules_module)
+
+
+@pytest.fixture(scope="module")
+def demo_rules_module(request):
+    # Re-use the session demo rules through the conftest fixtures.
+    return request.getfixturevalue("demo_rules")
+
+
+class TestHostCandidates:
+    def test_direct_alu(self):
+        guest = arm("eor r0, r1, r2")[0]
+        candidates = host_candidates(guest)
+        assert candidates, "eor should have host candidates"
+        mnemonics = {tuple(i.mnemonic for i in host) for host, _ in candidates}
+        assert ("movl", "xorl") in mnemonics
+
+    def test_swap_transform_for_rsb(self):
+        guest = arm("rsb r0, r1, r2")[0]
+        candidates = host_candidates(guest)
+        assert any("swap-sources" in tags for _, tags in candidates)
+
+    def test_invert_src_for_bic(self):
+        guest = arm("bic r0, r0, r1")[0]
+        candidates = host_candidates(guest)
+        assert any("aux:invert-src" in tags for _, tags in candidates)
+
+    def test_bic_with_immediate_unavailable(self):
+        guest = arm("bic r0, r0, #3")[0]
+        assert host_candidates(guest) == []
+
+    def test_not_dest_for_mvn(self):
+        guest = arm("mvn r0, r1")[0]
+        candidates = host_candidates(guest)
+        assert any("aux:not-dest" in tags for _, tags in candidates)
+
+    def test_cmn_via_scratch(self):
+        guest = arm("cmn r0, r1")[0]
+        candidates = host_candidates(guest)
+        assert any("aux:flags-scratch" in tags for _, tags in candidates)
+
+
+class TestDerivedRules:
+    def test_expansion(self, derived):
+        counts = derived.counts
+        assert counts.derived_unique > counts.learned_rules
+        assert counts.instantiated_rules > counts.derived_unique
+
+    def test_every_derived_rule_reverifies(self, derived):
+        for rule in derived.derived:
+            result = check_equivalence(
+                ARM, X86, rule.guest, rule.host, allow_temps=len(rule.host_temps) or 2
+            )
+            assert result.dataflow_ok, f"derived rule fails dataflow: {rule.guest}"
+            # Mismatched flags are allowed (delegation-gated) but must be
+            # recorded on the rule.
+            recorded = dict(rule.flag_status)
+            for flag in result.mismatched_flags:
+                assert recorded.get(flag) == "mismatch"
+
+    def test_stage_tagging(self, derived):
+        origins = {rule.origin for rule in derived.derived}
+        assert origins <= {"opcode-param", "addrmode-param"}
+        assert "opcode-param" in origins
+        assert "addrmode-param" in origins
+
+    def test_rsc_derivable_despite_never_learned(self, derived):
+        """The paper's rsc example: no learned rule, derived by opcode param."""
+        rule = derived.derived.lookup(arm("rsc r0, r1, r2"))
+        assert rule is not None
+        assert rule.origin in ("opcode-param", "addrmode-param")
+
+    def test_bic_derived_with_aux(self, derived):
+        rule = derived.derived.lookup(arm("bic r0, r1, r2"))
+        assert rule is not None
+        assert rule.host_temps, "bic host realization needs a scratch register"
+
+    def test_derived_never_covers_other_subgroup(self, derived):
+        for rule in derived.derived:
+            assert ARM.defn(rule.guest[0]).subgroup.value != "other"
+
+    def test_dependency_patterns_enumerated(self, derived):
+        # fig. 8: both the accumulating and the reversed-dependence shapes
+        # of a derivable opcode exist as separate rules.
+        acc = derived.derived.lookup(arm("eor r0, r0, r1"))
+        rev = derived.derived.lookup(arm("eor r0, r1, r0"))
+        three = derived.derived.lookup(arm("eor r0, r1, r2"))
+        present = [r for r in (acc, rev, three) if r is not None]
+        assert len(present) == 3
+        assert len({id(r) for r in present}) == 3
+
+    def test_flag_mismatch_rules_exist_for_movs(self, derived):
+        rule = derived.derived.lookup(arm("movs r0, r1"))
+        assert rule is not None
+        assert "N" in [f for f, s in rule.flag_status if s == "mismatch"] or dict(
+            rule.flag_status
+        )["N"] == "mismatch"
+
+
+class TestSetup:
+    def test_stage_rule_sets_nest(self, demo_setup):
+        wopara = demo_setup.configs["wopara"].rules
+        opcode = demo_setup.configs["opcode"].rules
+        full = demo_setup.configs["condition"].rules
+        assert len(wopara) <= len(opcode) <= len(full)
+        assert demo_setup.configs["qemu"].rules is None
+
+    def test_condition_flags_capability(self, demo_setup):
+        assert not demo_setup.configs["addrmode"].condition
+        assert demo_setup.configs["condition"].condition
+        assert demo_setup.configs["addrmode"].pc_constraint
+        assert not demo_setup.configs["opcode"].pc_constraint

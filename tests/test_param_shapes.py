@@ -1,0 +1,81 @@
+"""Tests for target-shape enumeration and classification tables."""
+
+import pytest
+
+from repro.isa.arm import assemble as arm
+from repro.isa.arm.opcodes import ARM
+from repro.isa.instruction import Subgroup
+from repro.param.classify import OPCODE_MAP, UNPARAMETERIZABLE, parameterizable_opcodes
+from repro.param.shapes import (
+    _set_partitions,
+    build_guest_instruction,
+    enumerate_shapes,
+    shape_of_instruction,
+)
+
+
+class TestSetPartitions:
+    def test_counts_are_bell_numbers(self):
+        assert len(list(_set_partitions(0))) == 1
+        assert len(list(_set_partitions(1))) == 1
+        assert len(list(_set_partitions(2))) == 2
+        assert len(list(_set_partitions(3))) == 5
+        assert len(list(_set_partitions(4))) == 15
+
+    def test_canonical_form(self):
+        for pattern in _set_partitions(3):
+            assert pattern[0] == 0
+            for i in range(1, len(pattern)):
+                assert pattern[i] <= max(pattern[:i]) + 1
+
+
+class TestShapes:
+    def test_alu_reg_shapes(self):
+        shapes = list(enumerate_shapes("add"))
+        # (R,R,R): 5 patterns; (R,R,I): 2 patterns.
+        assert len(shapes) == 7
+
+    def test_mul_has_no_imm_shapes(self):
+        shapes = list(enumerate_shapes("mul"))
+        assert len(shapes) == 5
+
+    def test_load_shapes_cover_mem_subshapes(self):
+        shapes = list(enumerate_shapes("ldr"))
+        mem_shapes = {s.operands[1].mem_shape for s in shapes}
+        assert mem_shapes == {"base", "base+disp", "base+index"}
+
+    def test_roundtrip_build_then_recover(self):
+        for mnemonic in ("add", "ldr", "str", "cmp", "mov", "eors"):
+            for shape in enumerate_shapes(mnemonic):
+                insn = build_guest_instruction(mnemonic, shape)
+                ARM.validate(insn)
+                assert shape_of_instruction(insn) == shape
+
+    def test_shape_of_concrete_instruction(self):
+        shape = shape_of_instruction(arm("add r3, r3, r5")[0])
+        assert shape.pattern == (0, 0, 1)
+        shape = shape_of_instruction(arm("ldr r1, [r2, r1]")[0])
+        assert shape.pattern == (0, 1, 0)
+
+
+class TestClassifyTables:
+    def test_every_parameterizable_opcode_has_host_op(self):
+        for subgroup in (Subgroup.ALU, Subgroup.LOAD, Subgroup.STORE, Subgroup.COMPARE):
+            for mnemonic in parameterizable_opcodes(subgroup):
+                assert mnemonic in OPCODE_MAP
+
+    def test_other_subgroup_unparameterizable(self):
+        for name in ("b", "bl", "bx", "push", "pop", "mla", "umlal", "clz"):
+            assert name in UNPARAMETERIZABLE
+            assert name not in OPCODE_MAP
+
+    def test_complex_siblings_have_transforms(self):
+        assert OPCODE_MAP["bic"].transform == "invert_src"
+        assert OPCODE_MAP["mvn"].transform == "not_dest"
+        assert OPCODE_MAP["rsb"].transform == "swap"
+        assert OPCODE_MAP["cmn"].transform == "via_scratch"
+        assert OPCODE_MAP["add"].transform is None
+
+    @pytest.mark.parametrize("guest,host", [("eor", "xorl"), ("ldrb", "movzbl"), ("str", "movl_s"), ("tst", "testl")])
+    def test_direct_mappings(self, guest, host):
+        assert OPCODE_MAP[guest].mnemonic == host

@@ -1,0 +1,91 @@
+"""Property-based end-to-end testing: random programs through the full stack.
+
+Hypothesis generates small random programs in the mini language; each is
+compiled, learned from, parameterized, and executed under every DBT
+configuration — and every run must match the reference interpreter.  This is
+the fuzzing harness for the whole system.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.dbt import DBTEngine, check_against_reference
+from repro.lang import compile_pair
+from repro.learning import learn_pair
+from repro.param import build_setup
+
+_OPS = ("+", "-", "*", "&", "|", "^", "<<", ">>", ">>>", "&~")
+_RELOPS = ("<", "<=", ">", ">=", "==", "!=", "<u", ">u")
+_VARS = ("a", "b", "c", "d")
+
+
+@st.composite
+def statements(draw):
+    kind = draw(st.sampled_from(["alu", "aluimm", "load", "store", "unary"]))
+    dest = draw(st.sampled_from(_VARS))
+    x = draw(st.sampled_from(_VARS))
+    y = draw(st.sampled_from(_VARS))
+    if kind == "alu":
+        op = draw(st.sampled_from(_OPS))
+        return f"{dest} = {x} {op} {y};"
+    if kind == "aluimm":
+        op = draw(st.sampled_from([o for o in _OPS if o not in ("*", "&~")]))
+        imm = draw(st.integers(min_value=1, max_value=31))
+        return f"{dest} = {x} {op} {imm};"
+    if kind == "load":
+        return f"{dest} = g[i];"
+    if kind == "store":
+        return f"g[i] = {x};"
+    op = draw(st.sampled_from(["~", "-"]))
+    return f"{dest} = {op}{x};"
+
+
+@st.composite
+def programs(draw):
+    body = draw(st.lists(statements(), min_size=3, max_size=10))
+    seed_a = draw(st.integers(min_value=1, max_value=0xFFFF))
+    seed_b = draw(st.integers(min_value=1, max_value=0xFFFF))
+    relop = draw(st.sampled_from(_RELOPS))
+    inner = "\n  ".join(body)
+    return f"""global g[64]; global out[8];
+func main() {{
+  var a, b, c, d, i, s;
+  a = {seed_a}; b = {seed_b}; c = 7; d = 11; i = 0; s = 0;
+loop:
+  {inner}
+  s = s + a;
+  if (c {relop} d) goto skip;
+  s = s ^ b;
+skip:
+  i = i + 4;
+  if (i <u 32) goto loop;
+  out[0] = s;
+  return s;
+}}"""
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(source=programs())
+def test_random_program_all_configs_correct(source):
+    pair = compile_pair("fuzz", source)
+    setup = build_setup(learn_pair(pair).rules)
+    for stage in ("qemu", "wopara", "condition"):
+        engine = DBTEngine(pair.guest, setup.configs[stage])
+        result = engine.run()
+        ok, message = check_against_reference(pair.guest, result)
+        assert ok, f"{stage}: {message}\n{source}"
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(source=programs())
+def test_random_program_coverage_monotone(source):
+    pair = compile_pair("fuzz", source)
+    setup = build_setup(learn_pair(pair).rules)
+    coverages = []
+    for stage in ("wopara", "opcode", "addrmode", "condition"):
+        engine = DBTEngine(pair.guest, setup.configs[stage])
+        coverages.append(engine.run().metrics.coverage)
+    assert coverages == sorted(coverages)

@@ -1,0 +1,109 @@
+"""Property tests: assembler round-trips, rule canonicalization, stores.
+
+These are the invariants the rule store and the experiment pipeline lean
+on: text round-trips must be lossless, canonicalization must be invariant
+under register renaming, and serialization must preserve rule identity.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.arm import assembler as arm_asm
+from repro.isa.x86 import assembler as x86_asm
+from repro.learning.rule import guest_key
+from tests.strategies import arm_instructions, x86_instructions
+
+
+class TestAssemblerRoundtrips:
+    @settings(max_examples=300, deadline=None)
+    @given(insn=arm_instructions())
+    def test_arm_text_roundtrip(self, insn):
+        assert arm_asm.parse_line(str(insn)) == insn
+
+    @settings(max_examples=300, deadline=None)
+    @given(insn=x86_instructions())
+    def test_x86_text_roundtrip(self, insn):
+        text = x86_asm.format_instruction(insn)
+        assert x86_asm.parse_line(text) == insn
+
+    @settings(max_examples=100, deadline=None)
+    @given(insns=st.lists(arm_instructions(), min_size=1, max_size=6))
+    def test_arm_listing_roundtrip(self, insns):
+        listing = arm_asm.disassemble(tuple(insns))
+        assert arm_asm.assemble(listing) == tuple(insns)
+
+    @settings(max_examples=100, deadline=None)
+    @given(insns=st.lists(x86_instructions(), min_size=1, max_size=6))
+    def test_x86_listing_roundtrip(self, insns):
+        listing = x86_asm.disassemble(tuple(insns))
+        assert x86_asm.assemble(listing) == tuple(insns)
+
+
+class TestCanonicalization:
+    @settings(max_examples=200, deadline=None)
+    @given(insn=arm_instructions(exclude=("push", "pop")), data=st.data())
+    def test_guest_key_invariant_under_renaming(self, insn, data):
+        """Renaming registers consistently never changes the rule key."""
+        from repro.isa.operands import Mem, Reg
+        from repro.verify.checker import collect_regs
+
+        regs = collect_regs([insn])
+        pool = [f"r{i}" for i in range(12, -1, -1) if f"r{i}" not in regs]
+        renaming = {}
+        for name in regs:
+            renaming[name] = data.draw(st.sampled_from(pool), label=f"new:{name}")
+            pool.remove(renaming[name])
+
+        def rename(op):
+            if isinstance(op, Reg) and op.name in renaming:
+                return Reg(renaming[op.name])
+            if isinstance(op, Mem):
+                base = rename(op.base) if op.base else None
+                index = rename(op.index) if op.index else None
+                return Mem(base=base, index=index, disp=op.disp, scale=op.scale)
+            return op
+
+        from repro.isa.instruction import Instruction
+
+        renamed = Instruction(insn.mnemonic, tuple(rename(o) for o in insn.operands))
+        assert guest_key([insn], True) == guest_key([renamed], True)
+        assert guest_key([insn], False) == guest_key([renamed], False)
+
+    @settings(max_examples=100, deadline=None)
+    @given(insn=arm_instructions(exclude=("push", "pop")))
+    def test_specific_key_refines_general_key(self, insn):
+        """Two windows with equal value-keys always share the general key."""
+        general = guest_key([insn], False)
+        specific = guest_key([insn], True)
+        # Structural parts must agree (the general key is a projection).
+        assert len(general) == len(specific)
+        for (g_mnem, g_ops), (s_mnem, s_ops) in zip(general, specific):
+            assert g_mnem == s_mnem
+            assert len(g_ops) == len(s_ops)
+
+
+class TestStoreRoundtripProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(insn=arm_instructions(exclude=("push", "pop", "b", "bl", "bx")))
+    def test_rule_survives_json(self, insn):
+        """Any well-formed single-insn rule round-trips through the store."""
+        import json
+
+        from repro.isa.instruction import Instruction
+        from repro.isa.operands import Imm, Reg
+        from repro.learning.rule import TranslationRule
+        from repro.learning.store import rule_from_dict, rule_to_dict
+        from repro.verify.checker import collect_regs
+
+        regs = collect_regs([insn])
+        x86_pool = ["eax", "ecx", "edx", "ebx", "esi", "edi", "ebp"]
+        mapping = {g: x86_pool[i] for i, g in enumerate(regs)}
+        host = Instruction("movl", (Imm(0), Reg("eax")))
+        rule = TranslationRule(
+            guest=(insn,),
+            host=(host,),
+            reg_mapping=tuple(sorted(mapping.items())),
+        )
+        data = json.loads(json.dumps(rule_to_dict(rule)))
+        loaded = rule_from_dict(data)
+        assert loaded.guest == rule.guest
+        assert loaded.reg_mapping == rule.reg_mapping

@@ -1,0 +1,82 @@
+"""Tests for the value-domain layer: concrete/symbolic agreement."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.semantics.domain import CONCRETE, SYMBOLIC, WORD_MASK
+from repro.symir import Const, evaluate
+
+U32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+BIT = st.integers(min_value=0, max_value=1)
+
+_BINARY = ("add", "sub", "mul", "and_", "or_", "xor", "shl", "lshr", "ashr", "eq", "ult")
+_UNARY = ("not_", "neg", "clz")
+
+
+class TestConcreteDomain:
+    def test_addc_plain(self):
+        result, carry, overflow = CONCRETE.addc(2, 3, 0)
+        assert (result, carry, overflow) == (5, 0, 0)
+
+    def test_addc_carry_out(self):
+        result, carry, _ = CONCRETE.addc(WORD_MASK, 1, 0)
+        assert (result, carry) == (0, 1)
+
+    def test_addc_carry_in(self):
+        result, _, _ = CONCRETE.addc(1, 1, 1)
+        assert result == 3
+
+    def test_addc_signed_overflow(self):
+        _, _, overflow = CONCRETE.addc(0x7FFFFFFF, 1, 0)
+        assert overflow == 1
+
+    def test_sub_via_addc_no_borrow_convention(self):
+        # a - b == a + ~b + 1; carry==1 means "no borrow".
+        result, carry, _ = CONCRETE.addc(5, CONCRETE.not_(3), 1)
+        assert (result, carry) == (2, 1)
+        result, carry, _ = CONCRETE.addc(3, CONCRETE.not_(5), 1)
+        assert (result, carry) == ((3 - 5) & WORD_MASK, 0)
+
+    def test_bit(self):
+        assert CONCRETE.bit(0x80000000, 31) == 1
+        assert CONCRETE.bit(0x80000000, 0) == 0
+
+    def test_truth(self):
+        assert CONCRETE.truth(1) is True
+        assert CONCRETE.truth(0) is False
+
+
+class TestSymbolicMatchesConcrete:
+    @pytest.mark.parametrize("op", _BINARY)
+    @given(a=U32, b=U32)
+    def test_binary_agreement(self, op, a, b):
+        concrete = getattr(CONCRETE, op)(a, b)
+        symbolic = getattr(SYMBOLIC, op)(Const(a), Const(b))
+        assert evaluate(symbolic, {}) == concrete
+
+    @pytest.mark.parametrize("op", _UNARY)
+    @given(a=U32)
+    def test_unary_agreement(self, op, a):
+        concrete = getattr(CONCRETE, op)(a)
+        symbolic = getattr(SYMBOLIC, op)(Const(a))
+        assert evaluate(symbolic, {}) == concrete
+
+    @given(a=U32, b=U32, cin=BIT)
+    def test_addc_agreement(self, a, b, cin):
+        c_res, c_carry, c_over = CONCRETE.addc(a, b, cin)
+        s_res, s_carry, s_over = SYMBOLIC.addc(Const(a), Const(b), Const(cin, 1))
+        assert evaluate(s_res, {}) == c_res
+        assert evaluate(s_carry, {}) == c_carry
+        assert evaluate(s_over, {}) == c_over
+
+    @given(c=BIT, a=U32, b=U32)
+    def test_ite_agreement(self, c, a, b):
+        concrete = CONCRETE.ite(c, a, b)
+        symbolic = SYMBOLIC.ite(Const(c, 1), Const(a), Const(b))
+        assert evaluate(symbolic, {}) == concrete
+
+    def test_symbolic_truth_raises_on_nonconstant(self):
+        from repro.symir import Sym
+
+        with pytest.raises(ValueError):
+            SYMBOLIC.truth(Sym("x", 1))

@@ -1,0 +1,133 @@
+"""Tests for the concrete machine state (registers, flags, memory)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ExecutionError
+from repro.isa.operands import Imm, Mem, Reg
+from repro.semantics.state import ConcreteState
+
+U32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def make_state(**regs) -> ConcreteState:
+    state = ConcreteState()
+    state.reset_flags()
+    for name, value in regs.items():
+        state.regs[name] = value
+    return state
+
+
+class TestRegistersAndFlags:
+    def test_uninitialized_register_read_raises(self):
+        with pytest.raises(ExecutionError):
+            ConcreteState().get_reg("r0")
+
+    def test_set_get(self):
+        state = make_state()
+        state.set_reg("r3", 42)
+        assert state.get_reg("r3") == 42
+
+    def test_reset_flags(self):
+        state = ConcreteState()
+        state.reset_flags()
+        assert all(state.get_flag(f) == 0 for f in "NZCV")
+
+    def test_set_nz(self):
+        state = make_state()
+        state.set_nz(0)
+        assert (state.get_flag("N"), state.get_flag("Z")) == (0, 1)
+        state.set_nz(0x80000000)
+        assert (state.get_flag("N"), state.get_flag("Z")) == (1, 0)
+
+
+class TestMemory:
+    def test_word_roundtrip(self):
+        state = make_state()
+        state.store(0x1000, 0xDEADBEEF)
+        assert state.load(0x1000) == 0xDEADBEEF
+
+    def test_default_zero(self):
+        assert make_state().load(0x2000) == 0
+
+    def test_byte_access_within_word(self):
+        state = make_state()
+        state.store(0x1000, 0x44332211)
+        assert state.load(0x1000, 1) == 0x11
+        assert state.load(0x1001, 1) == 0x22
+        assert state.load(0x1003, 1) == 0x44
+
+    def test_byte_store_preserves_neighbours(self):
+        state = make_state()
+        state.store(0x1000, 0x44332211)
+        state.store(0x1001, 0xAA, 1)
+        assert state.load(0x1000) == 0x4433AA11
+
+    def test_halfword_roundtrip(self):
+        state = make_state()
+        state.store(0x1000, 0xBEEF, 2)
+        state.store(0x1002, 0xDEAD, 2)
+        assert state.load(0x1000) == 0xDEADBEEF
+        assert state.load(0x1002, 2) == 0xDEAD
+
+    def test_unaligned_word_access(self):
+        state = make_state()
+        state.store(0x1000, 0x44332211)
+        state.store(0x1004, 0x88776655)
+        assert state.load(0x1002) == 0x66554433
+
+    @given(
+        writes=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=63),
+                U32,
+                st.sampled_from([1, 2, 4]),
+            ),
+            max_size=24,
+        )
+    )
+    def test_matches_bytearray_model(self, writes):
+        """Memory behaves like a flat little-endian byte array."""
+        state = make_state()
+        model = bytearray(96)
+        for offset, value, size in writes:
+            state.store(0x1000 + offset, value, size)
+            model[offset : offset + size] = (value & ((1 << (size * 8)) - 1)).to_bytes(
+                size, "little"
+            )
+        for offset in range(0, 60, 4):
+            expected = int.from_bytes(model[offset : offset + 4], "little")
+            assert state.load(0x1000 + offset) == expected
+
+
+class TestOperandAccess:
+    def test_read_reg_imm(self):
+        state = make_state(r1=7)
+        assert state.read_operand(Reg("r1")) == 7
+        assert state.read_operand(Imm(-1)) == 0xFFFFFFFF
+
+    def test_mem_effective_address(self):
+        state = make_state(r1=0x1000, r2=8)
+        state.store(0x1010, 99)
+        mem = Mem(base=Reg("r1"), index=Reg("r2"), scale=2)
+        assert state.read_operand(mem) == 99
+
+    def test_mem_disp(self):
+        state = make_state(r1=0x1000)
+        state.store(0x1004, 5)
+        assert state.read_operand(Mem(base=Reg("r1"), disp=4)) == 5
+
+    def test_write_operand_mem(self):
+        state = make_state(r1=0x1000)
+        state.write_operand(Mem(base=Reg("r1")), 123)
+        assert state.load(0x1000) == 123
+
+    def test_write_imm_raises(self):
+        with pytest.raises(ExecutionError):
+            make_state().write_operand(Imm(1), 2)
+
+    def test_snapshot_is_copy(self):
+        state = make_state(r1=1)
+        snap = state.snapshot()
+        state.set_reg("r1", 2)
+        assert snap["regs"]["r1"] == 1

@@ -1,0 +1,100 @@
+"""Tests for concrete evaluation of symbolic expressions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.symir import BinOp, Const, Extract, Ite, Sym, UnOp, ZeroExt, evaluate
+
+U32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+MASK = 0xFFFFFFFF
+
+
+def _s(value: int) -> int:
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+class TestBinops:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("add", 2, 3, 5),
+            ("add", MASK, 1, 0),
+            ("sub", 0, 1, MASK),
+            ("mul", 0x10000, 0x10000, 0),
+            ("and", 0b1100, 0b1010, 0b1000),
+            ("or", 0b1100, 0b1010, 0b1110),
+            ("xor", 0b1100, 0b1010, 0b0110),
+            ("shl", 1, 31, 0x80000000),
+            ("shl", 1, 32, 0),
+            ("lshr", 0x80000000, 31, 1),
+            ("lshr", 0x80000000, 32, 0),
+            ("ashr", 0x80000000, 31, MASK),
+            ("ashr", 0x80000000, 100, MASK),
+            ("eq", 5, 5, 1),
+            ("ne", 5, 5, 0),
+            ("ult", 1, 0x80000000, 1),
+            ("slt", 1, 0x80000000, 0),
+            ("ule", 5, 5, 1),
+            ("sle", 0xFFFFFFFF, 0, 1),
+        ],
+    )
+    def test_cases(self, op, a, b, expected):
+        expr = BinOp(op, Const(a), Const(b))
+        assert evaluate(expr, {}) == expected
+
+    @given(a=U32, b=U32)
+    def test_add_matches_python(self, a, b):
+        expr = BinOp("add", Sym("a"), Sym("b"))
+        assert evaluate(expr, {"a": a, "b": b}) == (a + b) & MASK
+
+    @given(a=U32, b=U32)
+    def test_slt_matches_python(self, a, b):
+        expr = BinOp("slt", Sym("a"), Sym("b"))
+        assert evaluate(expr, {"a": a, "b": b}) == int(_s(a) < _s(b))
+
+
+class TestUnops:
+    def test_not(self):
+        assert evaluate(UnOp("not", Const(0)), {}) == MASK
+
+    def test_neg(self):
+        assert evaluate(UnOp("neg", Const(1)), {}) == MASK
+        assert evaluate(UnOp("neg", Const(0)), {}) == 0
+
+    @pytest.mark.parametrize(
+        "value,expected", [(0, 32), (1, 31), (0x80000000, 0), (0xFF, 24)]
+    )
+    def test_clz(self, value, expected):
+        assert evaluate(UnOp("clz", Const(value)), {}) == expected
+
+
+class TestStructural:
+    def test_ite(self):
+        expr = Ite(Sym("c", 1), Const(10), Const(20))
+        assert evaluate(expr, {"c": 1}) == 10
+        assert evaluate(expr, {"c": 0}) == 20
+
+    def test_extract(self):
+        expr = Extract(Const(0xABCD1234), 8, 8)
+        assert evaluate(expr, {}) == 0x12
+
+    def test_zero_ext(self):
+        expr = ZeroExt(Const(0xFF, 8), 32)
+        assert evaluate(expr, {}) == 0xFF
+
+    def test_symbol_masked_to_width(self):
+        assert evaluate(Sym("x", 8), {"x": 0x1FF}) == 0xFF
+
+    def test_missing_symbol_raises(self):
+        with pytest.raises(KeyError):
+            evaluate(Sym("missing"), {})
+
+    def test_shared_subtree_cached(self):
+        shared = BinOp("add", Sym("a"), Const(1))
+        expr = BinOp("xor", shared, shared)
+        assert evaluate(expr, {"a": 41}) == 0
+
+    @given(value=U32)
+    def test_evaluate_respects_width(self, value):
+        expr = BinOp("add", Sym("x", 8), Const(1, 8))
+        assert evaluate(expr, {"x": value}) <= 0xFF

@@ -1,0 +1,94 @@
+"""Tests for the symbolic expression node layer."""
+
+import pytest
+
+from repro.symir import (
+    BinOp,
+    Const,
+    Expr,
+    Extract,
+    Ite,
+    Sym,
+    UnOp,
+    ZeroExt,
+    expr_size,
+    free_symbols,
+)
+
+
+class TestConst:
+    def test_masks_to_width(self):
+        assert Const(0x1FF, 8).value == 0xFF
+
+    def test_negative_values_wrap(self):
+        assert Const(-1, 32).value == 0xFFFFFFFF
+        assert Const(-1, 1).value == 1
+
+    def test_equality_includes_width(self):
+        assert Const(1, 32) != Const(1, 1)
+        assert Const(5, 32) == Const(5, 32)
+
+    def test_hashable(self):
+        assert len({Const(1), Const(1), Const(2)}) == 2
+
+
+class TestWidths:
+    def test_binop_width_follows_operands(self):
+        expr = BinOp("add", Sym("a"), Sym("b"))
+        assert expr.width == 32
+
+    def test_comparison_width_is_one(self):
+        assert BinOp("ult", Sym("a"), Sym("b")).width == 1
+        assert BinOp("eq", Sym("a"), Sym("b")).width == 1
+
+    def test_unop_width(self):
+        assert UnOp("not", Sym("a", 8)).width == 8
+
+    def test_ite_width_follows_branches(self):
+        expr = Ite(Sym("c", 1), Const(1, 16), Const(2, 16))
+        assert expr.width == 16
+
+    def test_extract_width(self):
+        assert Extract(Sym("a"), 4, 8).width == 8
+
+    def test_zext_width(self):
+        assert ZeroExt(Sym("a", 8), 32).width == 32
+
+    def test_mask(self):
+        assert Const(0, 8).mask() == 0xFF
+        assert Sym("a", 1).mask() == 1
+
+
+class TestFreeSymbols:
+    def test_const_has_none(self):
+        assert free_symbols(Const(3)) == ()
+
+    def test_order_is_first_seen(self):
+        expr = BinOp("add", Sym("b"), BinOp("sub", Sym("a"), Sym("b")))
+        assert [s.name for s in free_symbols(expr)] == ["b", "a"]
+
+    def test_dedup(self):
+        expr = BinOp("xor", Sym("x"), Sym("x"))
+        assert len(free_symbols(expr)) == 1
+
+    def test_ite_and_extract(self):
+        expr = Ite(Sym("c", 1), Extract(Sym("v"), 0, 8), ZeroExt(Sym("w", 8), 8))
+        names = {s.name for s in free_symbols(expr)}
+        assert names == {"c", "v", "w"}
+
+
+class TestExprSize:
+    def test_leaf(self):
+        assert expr_size(Const(1)) == 1
+        assert expr_size(Sym("a")) == 1
+
+    def test_composite(self):
+        expr = BinOp("add", Sym("a"), UnOp("not", Sym("b")))
+        assert expr_size(expr) == 4
+
+    def test_unknown_node_raises(self):
+        class Bogus(Expr):
+            pass
+
+        with pytest.raises(TypeError):
+            expr_size(Bogus())

@@ -1,0 +1,143 @@
+"""Tests for the smart constructors and the simplifier.
+
+The key property: simplification never changes the value of an expression
+under any assignment (checked exhaustively on random expressions with
+hypothesis).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.symir import (
+    BinOp,
+    Const,
+    Sym,
+    UnOp,
+    binop,
+    const,
+    evaluate,
+    free_symbols,
+    ite,
+    simplify,
+    sym,
+    unop,
+)
+from repro.symir.expr import BINARY_OPS, UNARY_OPS
+
+U32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+_SYMS = ("a", "b", "c")
+
+
+def exprs(depth: int = 3):
+    """Strategy producing random well-formed 32-bit expressions."""
+    leaf = st.one_of(
+        st.sampled_from([Sym(n) for n in _SYMS]),
+        U32.map(lambda v: Const(v)),
+    )
+
+    def extend(children):
+        binary = st.builds(
+            BinOp,
+            st.sampled_from(sorted(BINARY_OPS - {"eq", "ne", "ult", "ule", "slt", "sle"})),
+            children,
+            children,
+        )
+        unary = st.builds(UnOp, st.sampled_from(sorted(UNARY_OPS)), children)
+        return st.one_of(binary, unary)
+
+    return st.recursive(leaf, extend, max_leaves=8)
+
+
+class TestIdentities:
+    def test_add_zero(self):
+        a = sym("a")
+        assert binop("add", a, const(0)) is a
+
+    def test_sub_self_is_zero(self):
+        a = sym("a")
+        assert binop("sub", a, a) == const(0)
+
+    def test_xor_self_is_zero(self):
+        a = sym("a")
+        assert binop("xor", a, a) == const(0)
+
+    def test_and_self(self):
+        a = sym("a")
+        assert binop("and", a, a) is a
+
+    def test_and_ones(self):
+        a = sym("a")
+        assert binop("and", a, const(0xFFFFFFFF)) is a
+
+    def test_or_zero(self):
+        a = sym("a")
+        assert binop("or", a, const(0)) is a
+
+    def test_mul_one(self):
+        a = sym("a")
+        assert binop("mul", a, const(1)) is a
+
+    def test_mul_zero(self):
+        assert binop("mul", sym("a"), const(0)) == const(0)
+
+    def test_sub_const_becomes_add(self):
+        result = binop("sub", sym("a"), const(5))
+        assert isinstance(result, BinOp) and result.op == "add"
+
+    def test_add_const_chains_fold(self):
+        result = binop("add", binop("add", sym("a"), const(3)), const(4))
+        assert result == binop("add", sym("a"), const(7))
+
+    def test_double_not(self):
+        a = sym("a")
+        assert unop("not", unop("not", a)) is a
+
+    def test_double_neg(self):
+        a = sym("a")
+        assert unop("neg", unop("neg", a)) is a
+
+    def test_commutative_canonical_order(self):
+        ab = binop("add", sym("a"), sym("b"))
+        ba = binop("add", sym("b"), sym("a"))
+        assert ab == ba
+
+    def test_eq_self_true(self):
+        assert binop("eq", sym("a"), sym("a")) == const(1, 1)
+
+    def test_constant_folding(self):
+        assert binop("mul", const(6), const(7)) == const(42)
+
+    def test_ite_constant_condition(self):
+        assert ite(const(1, 1), sym("a"), sym("b")) == sym("a")
+        assert ite(const(0, 1), sym("a"), sym("b")) == sym("b")
+
+    def test_ite_same_branches(self):
+        assert ite(sym("c", 1), sym("a"), sym("a")) == sym("a")
+
+    def test_shift_by_zero(self):
+        a = sym("a")
+        assert binop("shl", a, const(0)) is a
+
+    def test_shift_overflow_folds_to_zero(self):
+        assert binop("shl", sym("a"), const(40)) == const(0)
+
+
+class TestSimplifyProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(expr=exprs(), a=U32, b=U32, c=U32)
+    def test_simplify_preserves_semantics(self, expr, a, b, c):
+        env = {"a": a, "b": b, "c": c}
+        assert evaluate(simplify(expr), env) == evaluate(expr, env)
+
+    @settings(max_examples=100, deadline=None)
+    @given(expr=exprs())
+    def test_simplify_idempotent(self, expr):
+        once = simplify(expr)
+        assert simplify(once) == once
+
+    @settings(max_examples=100, deadline=None)
+    @given(expr=exprs())
+    def test_simplify_never_adds_symbols(self, expr):
+        before = {s.name for s in free_symbols(expr)}
+        after = {s.name for s in free_symbols(simplify(expr))}
+        assert after <= before

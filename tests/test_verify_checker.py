@@ -1,0 +1,221 @@
+"""Tests for rule-candidate verification — the paper's strictness rules.
+
+Each scenario mirrors a case from the paper: three-operand emulation with a
+leading mov (fig. 6), scratch-register rejection (why ``bic``/``mla`` are
+unlearnable), flag-status classification (the raw material of condition-flag
+delegation), operand-mapping one-to-one-ness, and the rejection of
+unconditional control transfers / ABI instructions.
+"""
+
+import pytest
+
+from repro.isa.arm import ARM, assemble as arm
+from repro.isa.x86 import X86, assemble as x86
+from repro.verify import check_equivalence
+from repro.verify.checker import (
+    FLAG_CLOBBERED,
+    FLAG_EQUIV,
+    FLAG_MISMATCH,
+    FLAG_PRESERVED,
+)
+
+
+def check(guest: str, host: str, allow_temps: int = 0):
+    return check_equivalence(ARM, X86, arm(guest), x86(host), allow_temps)
+
+
+class TestDataflow:
+    def test_three_operand_add(self):
+        result = check("add r0, r1, r2", "movl %ecx, %eax\naddl %edx, %eax")
+        assert result.equivalent
+        assert result.reg_mapping == {"r0": "eax", "r1": "ecx", "r2": "edx"}
+
+    def test_destructive_add(self):
+        assert check("add r0, r0, r1", "addl %ecx, %eax").equivalent
+
+    def test_wrong_operation_rejected(self):
+        assert not check("add r0, r0, r1", "subl %ecx, %eax").dataflow_ok
+
+    def test_subtraction_operand_order(self):
+        # sub is non-commutative; the mapping search must find the order.
+        result = check("sub r0, r0, r1", "subl %ecx, %eax")
+        assert result.equivalent
+        assert result.reg_mapping == {"r0": "eax", "r1": "ecx"}
+
+    def test_swapped_subtraction_rejected(self):
+        # Host computes b - a instead of a - b.
+        result = check(
+            "sub r0, r1, r2", "movl %edx, %eax\nsubl %ecx, %eax"
+        )
+        # The checker may find the *valid* mapping r1->edx, r2->ecx instead —
+        # commuted register names are just renaming.  What must hold is that
+        # the mapping it reports is actually correct.
+        assert result.equivalent
+        mapping = result.reg_mapping
+        assert mapping["r0"] == "eax"
+        assert mapping["r1"] == "edx" and mapping["r2"] == "ecx"
+
+    def test_immediates_must_match(self):
+        assert not check("add r0, r0, #5", "addl $6, %eax").dataflow_ok
+        assert check("add r0, r0, #5", "addl $5, %eax").equivalent
+
+    def test_immediate_count_mismatch(self):
+        result = check("mov r0, r1", "movl $3, %eax")
+        assert not result.dataflow_ok
+        assert "immediate" in result.reason
+
+    def test_load_with_displacement(self):
+        assert check("ldr r0, [r1, #8]", "movl 8(%ecx), %eax").equivalent
+
+    def test_load_base_index(self):
+        assert check("ldr r0, [r1, r2]", "movl (%ecx,%edx), %eax").equivalent
+
+    def test_store(self):
+        assert check("str r0, [r1]", "movl %eax, (%ecx)").equivalent
+
+    def test_store_value_mismatch(self):
+        assert not check("str r0, [r1]", "movl %ecx, (%ecx)").dataflow_ok
+
+    def test_byte_load_zero_extends(self):
+        assert check("ldrb r0, [r1, r2]", "movzbl (%ecx,%edx), %eax").equivalent
+
+    def test_byte_vs_word_size_mismatch(self):
+        assert not check("ldrb r0, [r1, r2]", "movl (%ecx,%edx), %eax").dataflow_ok
+
+    def test_store_size_mismatch(self):
+        assert not check("strb r0, [r1]", "movl %eax, (%ecx)").dataflow_ok
+
+    def test_mapped_register_must_be_restored(self):
+        # Host clobbers a mapped register that the guest leaves unchanged.
+        assert not check(
+            "add r0, r0, r1", "addl %ecx, %eax\nmovl $0, %ecx"
+        ).dataflow_ok
+
+
+class TestScratchRegisters:
+    def test_scratch_rejected_in_learning_mode(self):
+        result = check(
+            "bic r0, r0, r1", "movl %ecx, %edx\nnotl %edx\nandl %edx, %eax"
+        )
+        assert not result.dataflow_ok
+        assert "scratch" in result.reason
+
+    def test_scratch_allowed_when_declared(self):
+        result = check(
+            "bic r0, r0, r1",
+            "movl %ecx, %edx\nnotl %edx\nandl %edx, %eax",
+            allow_temps=1,
+        )
+        assert result.equivalent
+        assert result.host_temps == ("edx",)
+
+    def test_scratch_read_before_write_rejected(self):
+        # edx carries live-in data: not a true temporary.
+        result = check("mov r0, r1", "addl %edx, %ecx\nmovl %ecx, %eax", allow_temps=1)
+        assert not result.dataflow_ok
+
+    def test_mla_needs_scratch(self):
+        result = check(
+            "mla r0, r1, r2, r0", "movl %ecx, %edx\nimull %ebx, %edx\naddl %edx, %eax"
+        )
+        assert not result.dataflow_ok
+
+
+class TestFlagStatus:
+    def test_fully_equivalent_flags(self):
+        result = check("adds r0, r0, r1", "addl %ecx, %eax")
+        assert result.equivalent
+        assert all(result.flag_status[f] == FLAG_EQUIV for f in "NZCV")
+
+    def test_logical_clobber_classified(self):
+        result = check("eors r0, r0, r1", "xorl %ecx, %eax")
+        assert result.equivalent
+        assert result.flag_status["N"] == FLAG_EQUIV
+        assert result.flag_status["Z"] == FLAG_EQUIV
+        assert result.flag_status["C"] == FLAG_CLOBBERED
+        assert result.flag_status["V"] == FLAG_CLOBBERED
+
+    def test_movs_mismatch(self):
+        result = check("movs r0, r1", "movl %ecx, %eax")
+        assert result.dataflow_ok and not result.equivalent
+        assert result.mismatched_flags == ("N", "Z")
+
+    def test_movs_with_testl_fix(self):
+        result = check("movs r0, r1", "movl %ecx, %eax\ntestl %eax, %eax")
+        assert result.equivalent
+
+    def test_teq_n_mismatch(self):
+        # teq sets N from a^b; cmpl sets N from a-b: Z agrees, N does not.
+        result = check("teq r0, r1", "cmpl %ecx, %eax")
+        assert result.dataflow_ok
+        assert result.flag_status["Z"] == FLAG_EQUIV
+        assert result.flag_status["N"] == FLAG_MISMATCH
+
+    def test_non_flag_rule_preserves(self):
+        result = check("mov r0, r1", "movl %ecx, %eax")
+        assert all(result.flag_status[f] == FLAG_PRESERVED for f in "NZCV")
+
+
+class TestBranches:
+    def test_compare_and_branch_pair(self):
+        result = check("cmp r0, r1\nblt .L", "cmpl %ecx, %eax\njl .L")
+        assert result.equivalent
+        assert result.reg_mapping == {"r0": "eax", "r1": "ecx"}
+
+    def test_commuted_compare_found_but_not_flag_exact(self):
+        # cmpl with commuted operands + jg computes the same branch outcome
+        # as cmp+blt (a real compiler idiom).  The checker finds the commuted
+        # mapping — but the residual flags are those of the *reversed*
+        # subtraction, so the rule is not fully equivalent and is not
+        # learnable.
+        result = check("cmp r0, r1\nblt .L", "cmpl %ecx, %eax\njg .L")
+        assert result.dataflow_ok
+        assert not result.equivalent
+        assert "N" in result.mismatched_flags
+
+    def test_wrong_condition_rejected(self):
+        assert not check("cmp r0, r1\nblt .L", "cmpl %edx, %eax\njle .L").dataflow_ok
+
+    def test_signed_vs_unsigned_rejected(self):
+        assert not check("cmp r0, r1\nblt .L", "cmpl %ecx, %eax\njb .L").dataflow_ok
+
+    def test_lone_conditional_branch(self):
+        assert check("bne .L", "jne .L").equivalent
+        assert not check("bne .L", "je .L").dataflow_ok
+
+    def test_fused_alu_branch(self):
+        result = check("ands r0, r0, r1\nbne .L", "andl %ecx, %eax\njne .L")
+        assert result.equivalent
+
+    def test_branch_count_mismatch(self):
+        assert not check("cmp r0, r1\nbne .L", "cmpl %ecx, %eax").dataflow_ok
+
+
+class TestPaperRejections:
+    def test_unconditional_b(self):
+        result = check("b .L", "jmp .L")
+        assert not result.dataflow_ok
+        assert "unconditional" in result.reason
+
+    def test_bl_rejected(self):
+        assert not check("bl .L", "call .L").dataflow_ok
+
+    def test_push_rejected(self):
+        assert not check("push {r4}", "pushl %ebx").dataflow_ok
+
+    def test_umlal_rejected(self):
+        result = check(
+            "umlal r0, r1, r2, r3",
+            "movl %ecx, %eax\nimull %edx, %eax",
+        )
+        assert not result.dataflow_ok
+
+    def test_pc_operand_rejected(self):
+        result = check("add r0, pc, #8", "movl $16, %eax")
+        assert not result.dataflow_ok
+        assert "PC" in result.reason
+
+    def test_guest_sp_rejected(self):
+        result = check("ldr r0, [sp, #4]", "movl 4(%ecx), %eax")
+        assert not result.dataflow_ok
+        assert "stack" in result.reason

@@ -1,0 +1,109 @@
+"""Tests for the symbolic machine state and executor internals."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.isa.arm import ARM, assemble as arm
+from repro.symir import BinOp, Const, Sym
+from repro.verify.symstate import SymbolicState, run_symbolic
+
+
+class TestSymbolGeneration:
+    def test_lazy_register_symbols(self):
+        state = SymbolicState("g")
+        value = state.get_reg("r3")
+        assert isinstance(value, Sym)
+        assert "r3" in state.lazy_reads
+        assert state.get_reg("r3") is value  # memoized
+
+    def test_bound_registers_not_lazy(self):
+        state = SymbolicState("g")
+        state.bind_reg("r0", Sym("v0"))
+        state.get_reg("r0")
+        assert "r0" not in state.lazy_reads
+
+    def test_written_registers_tracked(self):
+        state = SymbolicState("g")
+        state.set_reg("r1", Const(5))
+        assert "r1" in state.written_regs
+
+    def test_lazy_flag_symbols(self):
+        state = SymbolicState("g")
+        assert isinstance(state.get_flag("C"), Sym)
+
+
+class TestStoreBuffer:
+    def test_store_then_load_forwards(self):
+        state = SymbolicState("g")
+        addr = Sym("a")
+        state.store(addr, Const(7))
+        assert state.load(addr) == Const(7)
+
+    def test_latest_store_wins(self):
+        state = SymbolicState("g")
+        addr = Sym("a")
+        state.store(addr, Const(1))
+        state.store(addr, Const(2))
+        assert state.load(addr) == Const(2)
+
+    def test_canonicalized_addresses_match(self):
+        state = SymbolicState("g")
+        a, b = Sym("a"), Sym("b")
+        state.store(BinOp("add", a, b), Const(9))
+        # Commuted address must forward (canonical ordering).
+        assert state.load(BinOp("add", b, a)) == Const(9)
+
+    def test_unresolvable_alias_rejected(self):
+        state = SymbolicState("g")
+        state.store(Sym("a"), Const(1))
+        with pytest.raises(VerificationError):
+            state.load(Sym("b"))  # may or may not alias the store
+
+    def test_size_mismatch_rejected(self):
+        state = SymbolicState("g")
+        state.store(Sym("a"), Const(1), size=4)
+        with pytest.raises(VerificationError):
+            state.load(Sym("a"), size=1)
+
+
+class TestLoadOracle:
+    def test_shared_oracle_across_states(self):
+        oracle = {}
+        guest = SymbolicState("g", load_oracle=oracle)
+        host = SymbolicState("h", load_oracle=oracle)
+        shared_base = Sym("v0")
+        guest.bind_reg("r1", shared_base)
+        host.bind_reg("ecx", shared_base)
+        assert guest.load(guest.get_reg("r1")) == host.load(host.get_reg("ecx"))
+
+    def test_distinct_addresses_distinct_values(self):
+        state = SymbolicState("g")
+        assert state.load(Sym("a")) != state.load(Sym("b"))
+
+
+class TestRunSymbolic:
+    def test_straight_line(self):
+        state = SymbolicState("g")
+        state.bind_reg("r0", Sym("x"))
+        state.bind_reg("r1", Sym("y"))
+        run_symbolic(ARM, arm("add r2, r0, r1\nsub r2, r2, r0"), state)
+        from repro.verify import exprs_equal
+
+        assert exprs_equal(state.regs["r2"], Sym("y"))
+
+    def test_branch_must_be_last(self):
+        state = SymbolicState("g")
+        with pytest.raises(VerificationError):
+            run_symbolic(ARM, arm("bne .L\nmov r0, #1"), state)
+
+    def test_abi_instructions_refuse(self):
+        for text in ("push {r4}", "bl .L", "bx lr", "umlal r0, r1, r2, r3"):
+            state = SymbolicState("g")
+            with pytest.raises(VerificationError):
+                run_symbolic(ARM, arm(text), state)
+
+    def test_labels_skipped(self):
+        state = SymbolicState("g")
+        state.bind_reg("r0", Sym("x"))
+        run_symbolic(ARM, arm(".L:\nmov r1, r0"), state)
+        assert state.regs["r1"] == Sym("x")

@@ -1,0 +1,94 @@
+"""Fuzzing the workload generator: random profiles must always yield
+programs that parse, compile on both backends, terminate, and translate
+correctly."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.dbt import DBTEngine, check_against_reference
+from repro.dbt.guest_interp import GuestInterpreter
+from repro.dbt.translator import TranslationConfig
+from repro.lang import compile_pair
+from repro.workloads.generator import generate_source
+from repro.workloads.profiles import FORMS, Profile
+
+_OPS = ("+", "-", "*", "&", "|", "^", "<<", ">>", ">>>", "&~")
+_FUSABLE = ("+", "-", "&", "|", "^", "<<")
+
+
+@st.composite
+def profiles(draw):
+    ops = draw(
+        st.lists(st.sampled_from(_OPS), min_size=2, max_size=6, unique=True)
+    )
+    op_weights = {op: draw(st.floats(min_value=0.1, max_value=1.5)) for op in ops}
+    op_form = {op: draw(st.sampled_from(FORMS)) for op in ops}
+    fusion = None
+    if draw(st.booleans()):
+        fusion = (
+            draw(st.sampled_from(_FUSABLE)),
+            draw(st.sampled_from(("ne", "eq", "mi", "pl"))),
+        )
+    stmt_weights = {
+        "alu": 1.0,
+        "load": draw(st.floats(min_value=0.0, max_value=1.0)),
+        "store": draw(st.floats(min_value=0.0, max_value=1.0)),
+        "branch": draw(st.floats(min_value=0.05, max_value=0.6)),
+        "diamond": draw(st.floats(min_value=0.0, max_value=0.3)),
+        "iftest": draw(st.floats(min_value=0.0, max_value=0.5)),
+        "fusion": draw(st.floats(min_value=0.0, max_value=0.5)) if fusion else 0.0,
+        "mla": draw(st.floats(min_value=0.0, max_value=0.4)),
+        "unary": draw(st.floats(min_value=0.0, max_value=0.3)),
+    }
+    return Profile(
+        name="fuzz",
+        seed=draw(st.integers(min_value=1, max_value=10_000)),
+        kernels=draw(st.integers(min_value=1, max_value=3)),
+        body_statements=draw(st.integers(min_value=4, max_value=20)),
+        locals_count=draw(st.integers(min_value=2, max_value=8)),
+        loop_iters=draw(st.integers(min_value=2, max_value=8)),
+        repeats=draw(st.integers(min_value=1, max_value=2)),
+        stmt_weights=stmt_weights,
+        op_weights=op_weights,
+        op_form=op_form,
+        load_weights={"index": 0.6, "disp": 0.2, "byte": 0.1, "half": 0.1},
+        store_weights={"index": 0.7, "disp": 0.1, "byte": 0.1, "half": 0.1},
+        unary_weights={"~": 0.5, "-": 0.3, "clz": 0.2},
+        cond_imm_bias=draw(st.floats(min_value=0.0, max_value=1.0)),
+        pic=draw(st.booleans()),
+        fusion=fusion,
+        use_umlal=draw(st.booleans()),
+    )
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(profile=profiles())
+def test_random_profile_compiles_and_translates(profile):
+    source = generate_source(profile)
+    pair = compile_pair("fuzz", source, pic=profile.pic)
+    reference = GuestInterpreter(pair.guest).run()
+    assert reference.steps > 0
+    engine = DBTEngine(pair.guest, TranslationConfig("qemu"))
+    result = engine.run()
+    ok, message = check_against_reference(pair.guest, result)
+    assert ok, message
+    assert result.metrics.guest_dynamic == reference.steps
+
+
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(profile=profiles())
+def test_random_profile_full_pipeline(profile):
+    """Learning + parameterization + full-stage translation stay correct."""
+    from repro.learning import learn_pair
+    from repro.param import build_setup
+
+    pair = compile_pair("fuzz", generate_source(profile), pic=profile.pic)
+    setup = build_setup(learn_pair(pair).rules)
+    for stage in ("wopara", "condition", "manual"):
+        engine = DBTEngine(pair.guest, setup.configs[stage])
+        result = engine.run()
+        ok, message = check_against_reference(pair.guest, result)
+        assert ok, f"{stage}: {message}"

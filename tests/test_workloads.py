@@ -1,0 +1,107 @@
+"""Tests for the synthetic SPEC CINT 2006 workload suite."""
+
+import pytest
+
+from repro.dbt import DBTEngine, check_against_reference
+from repro.dbt.guest_interp import GuestInterpreter
+from repro.workloads import (
+    BENCHMARK_NAMES,
+    PROFILE_BY_NAME,
+    benchmark_source,
+    compiled_benchmark,
+    generate_source,
+    suite_summary,
+)
+
+
+class TestSuiteStructure:
+    def test_twelve_benchmarks(self):
+        assert len(BENCHMARK_NAMES) == 12
+        assert BENCHMARK_NAMES[0] == "perlbench"
+        assert "libquantum" in BENCHMARK_NAMES
+
+    def test_generation_deterministic(self):
+        for name in ("mcf", "sjeng"):
+            assert generate_source(PROFILE_BY_NAME[name]) == benchmark_source(name)
+
+    def test_sources_differ(self):
+        assert benchmark_source("gcc") != benchmark_source("mcf")
+
+    def test_sizes_follow_profiles(self):
+        summary = suite_summary()
+        assert summary["gcc"]["statements"] > summary["mcf"]["statements"]
+        assert summary["xalancbmk"]["statements"] > summary["libquantum"]["statements"]
+
+    def test_every_op_form_declared(self):
+        for profile in PROFILE_BY_NAME.values():
+            for op in profile.op_weights:
+                assert op in profile.op_form, (profile.name, op)
+
+    def test_signature_exclusivity_of_fusions(self):
+        fusions = [p.fusion for p in PROFILE_BY_NAME.values() if p.fusion]
+        ops = [op for op, _ in fusions]
+        assert len(ops) == len(set(ops)), "fused operators must be exclusive"
+
+    def test_libquantum_owns_iftest(self):
+        heavy = [
+            p.name
+            for p in PROFILE_BY_NAME.values()
+            if p.stmt_weights.get("iftest", 0) > 0
+        ]
+        assert heavy == ["libquantum"]
+
+    def test_pic_benchmarks(self):
+        assert PROFILE_BY_NAME["omnetpp"].pic
+        assert PROFILE_BY_NAME["xalancbmk"].pic
+        assert not PROFILE_BY_NAME["mcf"].pic
+
+
+@pytest.mark.parametrize("name", ["mcf", "libquantum", "astar"])
+class TestBenchmarkExecution:
+    def test_runs_to_completion(self, name):
+        pair = compiled_benchmark(name)
+        result = GuestInterpreter(pair.guest).run()
+        assert result.steps > 5_000
+        out = pair.guest.globals_layout["out"]
+        # out[4] holds r ^ 0x12345678, so at least one of the two slots is
+        # nonzero for every possible checksum value.
+        assert result.state.load(out) != 0 or result.state.load(out + 4) != 0
+
+    def test_dbt_qemu_matches_reference(self, name):
+        from repro.dbt.translator import TranslationConfig
+
+        pair = compiled_benchmark(name)
+        engine = DBTEngine(pair.guest, TranslationConfig("qemu"))
+        ok, message = check_against_reference(pair.guest, engine.run())
+        assert ok, message
+
+
+class TestDynamicMix:
+    def test_residual_instructions_present(self):
+        """The paper's seven unlearnable instructions occur dynamically."""
+        seen = set()
+        for name in ("hmmer", "sjeng", "gcc"):
+            pair = compiled_benchmark(name)
+            result = GuestInterpreter(pair.guest).run()
+            seen |= set(result.dynamic_mnemonic_counts(pair.guest.real_instructions))
+        assert {"b", "bl", "bx", "push", "pop", "mla"} <= seen
+        assert "clz" in seen or "umlal" in seen
+
+    def test_libquantum_movs_share(self):
+        pair = compiled_benchmark("libquantum")
+        result = GuestInterpreter(pair.guest).run()
+        counts = result.dynamic_mnemonic_counts(pair.guest.real_instructions)
+        movs_share = counts.get("movs", 0) / result.steps
+        assert movs_share > 0.02, "libquantum must be move-and-test heavy"
+
+    def test_h264ref_few_instruction_types(self):
+        pair = compiled_benchmark("h264ref")
+        result = GuestInterpreter(pair.guest).run()
+        counts = result.dynamic_mnemonic_counts(pair.guest.real_instructions)
+        rich = {m for m, c in counts.items() if c > result.steps * 0.01}
+        diverse = set()
+        pair_gcc = compiled_benchmark("gcc")
+        result_gcc = GuestInterpreter(pair_gcc.guest).run()
+        counts_gcc = result_gcc.dynamic_mnemonic_counts(pair_gcc.guest.real_instructions)
+        diverse = {m for m, c in counts_gcc.items() if c > result_gcc.steps * 0.01}
+        assert len(rich) < len(diverse)
