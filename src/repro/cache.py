@@ -1,0 +1,301 @@
+"""Content-addressed on-disk cache + process-wide cache lifecycle.
+
+Everything expensive in the pipeline — per-benchmark rule learning, symbolic
+verification of derivation targets, whole rule-set derivation — is memoized
+at two levels:
+
+* an **in-memory** level (bounded :class:`BoundedMemo` instances and the
+  ``lru_cache``-decorated helpers in :mod:`repro.experiments.common`), all
+  registered with the lifecycle registry here so that
+  :func:`clear_all_caches` resets every one of them in one call;
+* an **on-disk** level (:class:`DiskCache`), content-addressed: the key of
+  an entry is a SHA-256 digest over a *kind* tag, the
+  :data:`PIPELINE_VERSION` stamp, and the JSON-serialized inputs (e.g. the
+  learned rule-set dump and the guest-target string).  Entries therefore
+  survive process boundaries and are shared between parallel workers, and
+  any change to the derivation/verification semantics is invalidated by
+  bumping the version stamp.
+
+Disk entries are plain JSON (reusing the serialization in
+:mod:`repro.learning.store`), written atomically (temp file + rename) so a
+crashed or concurrent writer can never leave a truncated entry behind.  A
+corrupted or version-stale entry is treated as a miss and recomputed — never
+an error.
+
+Observability: every level counts hits/misses (and derivations performed)
+in the module-wide :data:`STATS`, surfaced by ``repro cache stats`` and in
+per-experiment reports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+#: Bump whenever learning/derivation/verification semantics change: every
+#: on-disk entry is stamped with this and a mismatch is a cache miss.
+PIPELINE_VERSION = "mwl-cache-v1"
+
+#: Sentinel distinguishing "cached None" from "not cached".
+MISS = object()
+
+
+# ---------------------------------------------------------------------------
+# Statistics
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/time counters for both cache levels (process-wide)."""
+
+    disk_hits: int = 0
+    disk_misses: int = 0
+    disk_writes: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    #: symbolic derivations actually performed (cache-miss work).
+    derivations: int = 0
+    #: wall-clock seconds of recorded compute skipped thanks to disk hits.
+    seconds_saved: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return asdict(self)
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(**self.as_dict())
+
+    def delta(self, since: "CacheStats") -> "CacheStats":
+        """Counters accumulated after the *since* snapshot."""
+        old = since.as_dict()
+        return CacheStats(**{k: v - old[k] for k, v in self.as_dict().items()})
+
+    def reset(self) -> None:
+        fresh = CacheStats()
+        for key in self.as_dict():
+            setattr(self, key, getattr(fresh, key))
+
+    def summary(self) -> str:
+        return (
+            f"disk {self.disk_hits} hits / {self.disk_misses} misses, "
+            f"memo {self.memo_hits} hits / {self.memo_misses} misses, "
+            f"{self.derivations} derivations, "
+            f"~{self.seconds_saved:.1f}s recompute avoided"
+        )
+
+
+#: Process-wide counters (parallel workers keep their own copies).
+STATS = CacheStats()
+
+
+def reset_stats() -> None:
+    STATS.reset()
+
+
+# ---------------------------------------------------------------------------
+# Cache lifecycle registry
+
+
+_CLEARERS: List[Callable[[], None]] = []
+
+
+def register_cache(clearer: Callable[[], None]) -> Callable[[], None]:
+    """Register an in-memory cache's clear function with the lifecycle API.
+
+    Returns the clearer so it can be used as a decorator-style one-liner.
+    """
+    _CLEARERS.append(clearer)
+    return clearer
+
+
+def clear_all_caches() -> None:
+    """Reset every registered **in-memory** cache (disk entries persist).
+
+    Long-lived processes call this to bound memory or to force recomputation
+    after mutating global configuration; it replaces the ad-hoc module
+    globals the caches grew out of.
+    """
+    for clearer in _CLEARERS:
+        clearer()
+
+
+# ---------------------------------------------------------------------------
+# Bounded in-memory memo
+
+
+class BoundedMemo:
+    """A small LRU dict for per-process memoization.
+
+    Unlike a bare module-global dict it (a) has a bound, so long-lived
+    processes cannot grow it without limit, and (b) registers itself with
+    :func:`clear_all_caches`.
+    """
+
+    def __init__(self, maxsize: int = 4096, register: bool = True) -> None:
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Any, Any]" = OrderedDict()
+        if register:
+            register_cache(self.clear)
+
+    def get(self, key: Any, default: Any = MISS) -> Any:
+        try:
+            value = self._data[key]
+        except KeyError:
+            STATS.memo_misses += 1
+            return default
+        self._data.move_to_end(key)
+        STATS.memo_hits += 1
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+# ---------------------------------------------------------------------------
+# On-disk cache
+
+
+def digest_key(kind: str, *parts: Any) -> str:
+    """Content digest of a cache key: kind + version stamp + JSON'd parts."""
+    payload = json.dumps(
+        [kind, PIPELINE_VERSION, list(parts)], sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class DiskCache:
+    """Content-addressed JSON entry store under one root directory."""
+
+    def __init__(self, root: Optional[os.PathLike] = None, enabled: bool = True) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR") or (
+                Path.home() / ".cache" / "repro-mwl"
+            )
+        self.root = Path(root)
+        self.enabled = enabled and not os.environ.get("REPRO_CACHE_DISABLE")
+
+    # -- key/path helpers ---------------------------------------------------
+
+    def _path(self, digest: str) -> Path:
+        return self.root / f"{digest[:2]}" / f"{digest}.json"
+
+    # -- entry API ----------------------------------------------------------
+
+    def get(self, kind: str, *parts: Any) -> Any:
+        """Payload for (kind, parts), or :data:`MISS`.
+
+        A missing, corrupted, or version-stale entry is a miss; the caller
+        recomputes (and re-puts) — corruption is never an error.
+        """
+        if not self.enabled:
+            return MISS
+        path = self._path(digest_key(kind, *parts))
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            STATS.disk_misses += 1
+            return MISS
+        if (
+            not isinstance(entry, dict)
+            or entry.get("version") != PIPELINE_VERSION
+            or entry.get("kind") != kind
+            or "payload" not in entry
+        ):
+            STATS.disk_misses += 1
+            return MISS
+        STATS.disk_hits += 1
+        STATS.seconds_saved += float(entry.get("elapsed") or 0.0)
+        return entry["payload"]
+
+    def put(self, kind: str, *parts: Any, payload: Any, elapsed: float = 0.0) -> None:
+        """Store a JSON payload atomically (temp file + rename)."""
+        if not self.enabled:
+            return
+        path = self._path(digest_key(kind, *parts))
+        entry = {
+            "version": PIPELINE_VERSION,
+            "kind": kind,
+            "elapsed": round(elapsed, 6),
+            "payload": payload,
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(entry, handle)
+                os.replace(tmp, path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            return  # a read-only or full cache dir disables persistence only
+        STATS.disk_writes += 1
+
+    # -- maintenance --------------------------------------------------------
+
+    def _entries(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return
+        yield from self.root.glob("*/*.json")
+
+    def entry_count(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def total_bytes(self) -> int:
+        total = 0
+        for path in self._entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def clear(self) -> int:
+        """Delete all entries; returns how many were removed."""
+        removed = 0
+        for path in list(self._entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+_DISK: Optional[DiskCache] = None
+
+
+def disk_cache() -> DiskCache:
+    """The process-wide disk cache (created lazily from the environment)."""
+    global _DISK
+    if _DISK is None:
+        _DISK = DiskCache()
+    return _DISK
+
+
+def reset_disk_cache(
+    root: Optional[os.PathLike] = None, enabled: bool = True
+) -> DiskCache:
+    """Point the process-wide disk cache somewhere else (tests, CLI)."""
+    global _DISK
+    _DISK = DiskCache(root, enabled=enabled)
+    return _DISK

@@ -4,13 +4,17 @@ Usage::
 
     repro list                      # available experiments
     repro run fig12                 # reproduce one table/figure
-    repro run all                   # reproduce everything
+    repro run all --jobs 4          # reproduce everything, 4 worker processes
     repro suite                     # workload suite summary
     repro rules [--benchmark NAME] [--out FILE]   # learn + dump rules
     repro translate NAME [--stage condition]      # run one benchmark's DBT
+    repro cache stats               # on-disk pipeline cache overview
+    repro cache clear               # drop disk + in-memory caches
 
 Every experiment prints the same rows the paper reports, with a note giving
-the paper's numbers for comparison.
+the paper's numbers for comparison.  ``--jobs N`` (0 = all CPUs) fans the
+expensive phases — target derivation and the leave-one-out sweep — out over
+worker processes; results are byte-identical to ``--jobs 1``.
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_run(args) -> int:
+    from repro.cache import STATS
     from repro.experiments import EXPERIMENTS
     from repro.experiments.charts import render_chart
 
@@ -42,6 +47,7 @@ def _cmd_run(args) -> int:
         return 2
     for ident in idents:
         started = time.time()
+        before = STATS.snapshot()
         result = EXPERIMENTS[ident]()
         if args.chart and ident == "fig16":
             from repro.experiments.charts import render_series
@@ -61,7 +67,26 @@ def _cmd_run(args) -> int:
         else:
             print(result.format())
         print(f"[{ident} completed in {time.time() - started:.1f}s]")
+        print(f"[cache: {STATS.delta(before).summary()}]")
         print()
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.cache import STATS, clear_all_caches, disk_cache
+
+    cache = disk_cache()
+    if args.action == "clear":
+        removed = cache.clear()
+        clear_all_caches()
+        print(f"cleared {removed} disk entries under {cache.root} "
+              "(and all in-memory caches)")
+        return 0
+    print(f"cache directory : {cache.root}")
+    print(f"enabled         : {cache.enabled}")
+    print(f"disk entries    : {cache.entry_count()}")
+    print(f"disk bytes      : {cache.total_bytes()}")
+    print(f"this process    : {STATS.summary()}")
     return 0
 
 
@@ -179,6 +204,13 @@ def _cmd_translate(args) -> int:
     return 0
 
 
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes for derivation/sweeps (0 = all CPUs; default 1)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -193,6 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment", help="experiment id (e.g. fig12) or 'all'")
     run.add_argument("--chart", action="store_true",
                      help="render figures as ASCII bar charts")
+    _add_jobs(run)
     run.set_defaults(fn=_cmd_run)
 
     verify = sub.add_parser(
@@ -209,11 +242,14 @@ def build_parser() -> argparse.ArgumentParser:
     rules = sub.add_parser("rules", help="learn and dump translation rules")
     rules.add_argument("--benchmark", help="learn from one benchmark only")
     rules.add_argument("--out", help="write JSON to a file")
+    _add_jobs(rules)
     rules.set_defaults(fn=_cmd_rules)
 
-    sub.add_parser(
+    losses = sub.add_parser(
         "losses", help="learning-funnel loss reasons (paper §II-B)"
-    ).set_defaults(fn=_cmd_losses)
+    )
+    _add_jobs(losses)
+    losses.set_defaults(fn=_cmd_losses)
 
     analyze = sub.add_parser(
         "analyze", help="rule-usage and coverage-attribution report"
@@ -223,6 +259,7 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--top", type=int, default=15)
     analyze.add_argument("--ruleset", action="store_true",
                          help="also print rule-set composition")
+    _add_jobs(analyze)
     analyze.set_defaults(fn=_cmd_analyze)
 
     translate = sub.add_parser("translate", help="run one benchmark under the DBT")
@@ -230,12 +267,23 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.param import STAGES
 
     translate.add_argument("--stage", default="condition", choices=STAGES)
+    _add_jobs(translate)
     translate.set_defaults(fn=_cmd_translate)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk pipeline cache"
+    )
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.set_defaults(fn=_cmd_cache)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "jobs", None) is not None:
+        from repro.parallel import set_jobs
+
+        set_jobs(args.jobs)
     try:
         return args.fn(args)
     except BrokenPipeError:  # e.g. `repro run all | head`

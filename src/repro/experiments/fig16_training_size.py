@@ -5,36 +5,68 @@ applied to the remaining benchmarks, and mean dynamic coverage is reported
 for the parameterized and non-parameterized systems.  Paper: both curves
 saturate around 6 training programs; para stays above w/o-para throughout,
 ending at ~95.5% vs ~69.7%.
+
+Training subsets are canonicalized (sorted) before rule merging, so two
+draws of the same subset — in any order, in any process — share one cached
+derivation; all draws for a sweep are made up front from the seeded RNG
+(so results are independent of ``--jobs``) and then evaluated, possibly in
+parallel.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.dbt import DBTEngine, check_against_reference
 from repro.errors import ExecutionError
-from repro.experiments.common import mean, rules_from
+from repro.experiments.common import mean, setup_for, warm_learning
 from repro.experiments.report import ExperimentResult
-from repro.param import build_setup
+from repro.parallel import get_jobs, parallel_map
 from repro.workloads import BENCHMARK_NAMES, compiled_benchmark
 
 DEFAULT_SIZES = tuple(range(1, 9))
 DEFAULT_REPETITIONS = 5
 
+#: One sweep repetition: (training subset, held-out benchmarks to evaluate).
+Draw = Tuple[Tuple[str, ...], Tuple[str, ...]]
 
-def _coverage(train: Tuple[str, ...], evaluate: Sequence[str], stage: str) -> float:
-    setup = build_setup(rules_from(train))
-    config = setup.configs[stage]
+
+def _coverage(config, evaluate: Sequence[str]) -> float:
     coverages = []
     for name in evaluate:
         pair = compiled_benchmark(name)
         result = DBTEngine(pair.guest, config).run()
         ok, message = check_against_reference(pair.guest, result)
         if not ok:
-            raise ExecutionError(f"{name}/{stage}: {message}")
+            raise ExecutionError(f"{name}/{config.name}: {message}")
         coverages.append(100 * result.metrics.coverage)
     return mean(coverages)
+
+
+def _evaluate_draw(draw: Draw) -> Tuple[float, float]:
+    """(w/o-para coverage, para coverage) for one training draw."""
+    train, evaluate = draw
+    setup = setup_for(train)
+    return (
+        _coverage(setup.configs["wopara"], evaluate),
+        _coverage(setup.configs["condition"], evaluate),
+    )
+
+
+def _make_draws(
+    sizes: Sequence[int], repetitions: int, eval_limit: int, seed: int
+) -> List[Tuple[int, Draw]]:
+    """All (size, draw) pairs, from one seeded RNG, canonicalized."""
+    rng = random.Random(seed)
+    draws: List[Tuple[int, Draw]] = []
+    for size in sizes:
+        for _ in range(repetitions):
+            train = tuple(sorted(rng.sample(BENCHMARK_NAMES, size)))
+            held_out = [n for n in BENCHMARK_NAMES if n not in train]
+            evaluate = tuple(rng.sample(held_out, min(eval_limit, len(held_out))))
+            draws.append((size, (train, evaluate)))
+    return draws
 
 
 def run(
@@ -46,20 +78,24 @@ def run(
     """``eval_limit`` caps how many held-out benchmarks each repetition
     evaluates (coverage averages converge quickly; the cap keeps the sweep
     tractable)."""
-    rng = random.Random(seed)
+    draws = _make_draws(sizes, repetitions, eval_limit, seed)
+    if get_jobs() > 1:
+        warm_learning()  # forked workers inherit the learned rules
+    outcomes = parallel_map(_evaluate_draw, [draw for _, draw in draws])
+
+    by_size: Dict[int, Tuple[List[float], List[float]]] = {}
+    for (size, _), (base, para) in zip(draws, outcomes):
+        base_values, para_values = by_size.setdefault(size, ([], []))
+        base_values.append(base)
+        para_values.append(para)
+
     result = ExperimentResult(
         ident="fig16",
         title="Fig. 16 — mean dynamic coverage (%) vs training-set size",
         headers=("training size", "w/o para.", "para."),
     )
     for size in sizes:
-        base_values, para_values = [], []
-        for _ in range(repetitions):
-            train = tuple(rng.sample(BENCHMARK_NAMES, size))
-            held_out = [n for n in BENCHMARK_NAMES if n not in train]
-            evaluate = rng.sample(held_out, min(eval_limit, len(held_out)))
-            base_values.append(_coverage(train, evaluate, "wopara"))
-            para_values.append(_coverage(train, evaluate, "condition"))
+        base_values, para_values = by_size[size]
         result.add(size, mean(base_values), mean(para_values))
     result.note(
         "paper: both curves saturate near 6 training programs; "

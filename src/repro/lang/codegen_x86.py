@@ -296,7 +296,12 @@ class X86Codegen(CodegenBase):
                 self.out.emit("movl", src, dest)
             self.out.emit(mnemonic, dest)
         elif expr.op == "clz":
-            self._emit_clz(dest, self.use(expr.operand))
+            # _place, not use(): the operand is only ever the source of the
+            # initial movl into the clz scratch register, so spilled/constant
+            # operands need no staging register of their own.  (With use(),
+            # a spilled dest + spilled operand + the scratch need three
+            # temps, and the pool can be down to two when ecx holds a local.)
+            self._emit_clz(dest, self._place(expr.operand))
         else:
             raise CodegenError(f"unknown unary op {expr.op!r}")
         self.finish_dest(dest_var, dest)

@@ -10,7 +10,15 @@ from repro.learning.learn import (
 )
 from repro.learning.rule import TranslationRule, guest_key, window_bindings
 from repro.learning.ruleset import RuleSet
-from repro.learning.store import dump_rules, load_rules, load_rules_file, save_rules
+from repro.learning.store import (
+    dump_rules,
+    learning_from_dict,
+    learning_to_dict,
+    load_rules,
+    load_rules_file,
+    ruleset_fingerprint,
+    save_rules,
+)
 
 __all__ = [
     "Candidate",
@@ -29,4 +37,7 @@ __all__ = [
     "load_rules",
     "save_rules",
     "load_rules_file",
+    "ruleset_fingerprint",
+    "learning_to_dict",
+    "learning_from_dict",
 ]

@@ -2,16 +2,22 @@
 
 Rules round-trip through the two assemblers' text syntax, so a stored rule
 file is human-readable: each rule shows its guest and host assembly, the
-register mapping, flag verdicts, and constraints.
+register mapping, flag verdicts, and constraints.  The same dict forms back
+the on-disk pipeline cache (:mod:`repro.cache`): per-benchmark learning
+results and derived rule sets persist as JSON keyed by
+:func:`ruleset_fingerprint`-style content digests.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+from dataclasses import asdict
 from typing import List
 
 from repro.isa.arm import assembler as arm_asm
 from repro.isa.x86 import assembler as x86_asm
+from repro.learning.learn import LearnStats, PairLearning
 from repro.learning.rule import TranslationRule
 from repro.learning.ruleset import RuleSet
 
@@ -63,3 +69,29 @@ def save_rules(rules: RuleSet, path: str) -> None:
 def load_rules_file(path: str) -> RuleSet:
     with open(path) as handle:
         return load_rules(handle.read())
+
+
+def ruleset_fingerprint(rules: RuleSet) -> str:
+    """Content digest of a rule set (cache key for everything derived).
+
+    Two rule sets holding the same rules in the same order share a
+    fingerprint regardless of which process built them.
+    """
+    text = json.dumps([rule_to_dict(rule) for rule in rules], sort_keys=True)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def learning_to_dict(learning: PairLearning) -> dict:
+    """JSON form of one benchmark's learning output (stats + rules)."""
+    return {
+        "stats": asdict(learning.stats),
+        "rules": [rule_to_dict(rule) for rule in learning.rules],
+    }
+
+
+def learning_from_dict(data: dict) -> PairLearning:
+    stats = LearnStats(**data["stats"])
+    rules = RuleSet()
+    for entry in data["rules"]:
+        rules.add(rule_from_dict(entry))
+    return PairLearning(stats=stats, rules=rules)

@@ -24,9 +24,12 @@ rule-application time (§IV-D).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.cache import MISS, STATS, BoundedMemo, disk_cache
+from repro.isa.arm import assembler as arm_asm
 from repro.isa.arm.opcodes import ARM
 from repro.isa.instruction import Instruction, Subgroup
 from repro.isa.operands import Imm, Mem, Operand, OperandKind as K, Reg
@@ -34,6 +37,8 @@ from repro.isa.x86.opcodes import X86
 from repro.learning.learn import try_generalize_imms
 from repro.learning.rule import TranslationRule
 from repro.learning.ruleset import RuleSet
+from repro.learning.store import rule_from_dict, rule_to_dict, ruleset_fingerprint
+from repro.parallel import parallel_map, resolve_jobs
 from repro.param.classify import (
     HOST_PARAM_MNEMONICS,
     OPCODE_MAP,
@@ -222,8 +227,24 @@ def _pararule_identity(rule: TranslationRule, merge_addrmode: bool) -> Tuple:
 def derive_rules(
     learned: RuleSet,
     include_addrmode: bool = True,
+    jobs: Optional[int] = None,
 ) -> ParamResult:
-    """Run opcode (+ optionally addressing-mode) parameterization."""
+    """Run opcode (+ optionally addressing-mode) parameterization.
+
+    The whole result is cached on disk, keyed by a content digest of the
+    learned rule set: a warm rerun performs zero symbolic derivations.  On a
+    cold run, target verification fans out across *jobs* worker processes
+    (``None`` = the process-wide ``--jobs`` setting; 1 = serial), with
+    byte-identical results either way.
+    """
+    fingerprint = ruleset_fingerprint(learned)
+    cached = disk_cache().get("derive-rules", fingerprint, include_addrmode)
+    if cached is not MISS:
+        restored = _param_result_from_dict(cached)
+        if restored is not None:
+            return restored
+    started = time.perf_counter()
+
     counts = ParamCounts(learned_rules=len(learned))
     pararules = _parameterizable_single_rules(learned)
     counts.parameterizable_learned = len(pararules)
@@ -252,10 +273,12 @@ def derive_rules(
         subgroup = ARM.lookup(rule.guest[0].mnemonic).subgroup
         pararules_per_subgroup[subgroup] = pararules_per_subgroup.get(subgroup, 0) + 1
 
+    # Enumerate every target up front (deterministic order), then resolve
+    # them — possibly fanning the misses out to worker processes.
+    targets: List[Tuple[Subgroup, str, TargetShape, str, Instruction]] = []
     for subgroup in _PARAM_SUBGROUPS:
         if subgroup not in authorized:
             continue
-        verified_targets = 0
         for mnemonic in parameterizable_opcodes(subgroup):
             for shape in enumerate_shapes(mnemonic):
                 stage = (
@@ -266,42 +289,120 @@ def derive_rules(
                 if stage == "addrmode" and not include_addrmode:
                     continue
                 guest = build_guest_instruction(mnemonic, shape)
-                rule = _derive_target(guest)
-                if rule is None:
-                    continue
-                verified_targets += 1
-                result.target_stage[(mnemonic, shape)] = stage
-                if learned.lookup([guest]) is not None:
-                    continue  # already covered by a learned rule
-                derived.add(
-                    rule.with_origin(
-                        "opcode-param" if stage == "opcode" else "addrmode-param"
-                    )
-                )
-        counts.instantiated_rules += (
-            pararules_per_subgroup.get(subgroup, 0) * verified_targets
+                targets.append((subgroup, mnemonic, shape, stage, guest))
+    _prefetch_targets([t[4] for t in targets], jobs)
+
+    verified_targets: Dict[Subgroup, int] = {}
+    for subgroup, mnemonic, shape, stage, guest in targets:
+        rule = _derive_target(guest)
+        if rule is None:
+            continue
+        verified_targets[subgroup] = verified_targets.get(subgroup, 0) + 1
+        result.target_stage[(mnemonic, shape)] = stage
+        if learned.lookup([guest]) is not None:
+            continue  # already covered by a learned rule
+        derived.add(
+            rule.with_origin(
+                "opcode-param" if stage == "opcode" else "addrmode-param"
+            )
         )
+    counts.instantiated_rules = sum(
+        pararules_per_subgroup.get(subgroup, 0) * verified
+        for subgroup, verified in verified_targets.items()
+    )
 
     counts.derived_unique = len(derived)
+    disk_cache().put(
+        "derive-rules",
+        fingerprint,
+        include_addrmode,
+        payload=_param_result_to_dict(result),
+        elapsed=time.perf_counter() - started,
+    )
     return result
 
 
+def _param_result_to_dict(result: ParamResult) -> dict:
+    """JSON form of a ParamResult (targets stored as guest assembly)."""
+    return {
+        "counts": asdict(result.counts),
+        "derived": [rule_to_dict(rule) for rule in result.derived.rules],
+        "stages": [
+            [str(build_guest_instruction(mnemonic, shape)), stage]
+            for (mnemonic, shape), stage in result.target_stage.items()
+        ],
+    }
+
+
+def _param_result_from_dict(data: object) -> Optional[ParamResult]:
+    """Rebuild a ParamResult; ``None`` if the payload shape is stale."""
+    try:
+        derived = RuleSet()
+        for entry in data["derived"]:
+            derived.add(rule_from_dict(entry))
+        result = ParamResult(derived=derived, counts=ParamCounts(**data["counts"]))
+        for text, stage in data["stages"]:
+            insn = arm_asm.parse_line(text)
+            result.target_stage[(insn.mnemonic, shape_of_instruction(insn))] = stage
+        return result
+    except Exception:
+        return None
+
+
 #: Derivation is independent of the learned set (it only authorizes and
-#: stages); memoize per target so leave-one-out sweeps pay once.
-_TARGET_CACHE: Dict[str, Optional[TranslationRule]] = {}
+#: stages); memoize per target so leave-one-out sweeps pay once.  The memo
+#: is bounded and registered with :func:`repro.cache.clear_all_caches`,
+#: replacing the old unbounded module-global dict.
+_TARGET_MEMO = BoundedMemo(maxsize=8192)
 
 
 def _derive_target(guest: Instruction) -> Optional[TranslationRule]:
-    """Verify host candidates for one target; return the best rule."""
-    cache_key = str(guest)
-    if cache_key in _TARGET_CACHE:
-        return _TARGET_CACHE[cache_key]
-    rule = _derive_target_uncached(guest)
-    _TARGET_CACHE[cache_key] = rule
+    """Verify host candidates for one target; return the best rule.
+
+    Three levels: the in-process memo, the on-disk cache (shared across
+    processes and parallel workers), then actual symbolic derivation.
+    """
+    key = str(guest)
+    memoized = _TARGET_MEMO.get(key)
+    if memoized is not MISS:
+        return memoized
+    stored = disk_cache().get("derive-target", key)
+    if stored is not MISS:
+        rule = rule_from_dict(stored) if stored is not None else None
+    else:
+        started = time.perf_counter()
+        rule = _derive_target_uncached(guest)
+        disk_cache().put(
+            "derive-target",
+            key,
+            payload=rule_to_dict(rule) if rule is not None else None,
+            elapsed=time.perf_counter() - started,
+        )
+    _TARGET_MEMO.put(key, rule)
     return rule
 
 
+def _derive_target_text(guest_text: str) -> Optional[dict]:
+    """Worker entry point: derive one target from its assembly text."""
+    rule = _derive_target(arm_asm.parse_line(guest_text))
+    return rule_to_dict(rule) if rule is not None else None
+
+
+def _prefetch_targets(
+    guests: Sequence[Instruction], jobs: Optional[int] = None
+) -> None:
+    """Resolve memo misses in parallel, populating the memo in order."""
+    pending = [guest for guest in guests if str(guest) not in _TARGET_MEMO]
+    if resolve_jobs(jobs) <= 1 or len(pending) <= 1:
+        return
+    derived = parallel_map(_derive_target_text, [str(g) for g in pending], jobs)
+    for guest, data in zip(pending, derived):
+        rule = rule_from_dict(data) if data is not None else None
+        _TARGET_MEMO.put(str(guest), rule)
+
+
 def _derive_target_uncached(guest: Instruction) -> Optional[TranslationRule]:
+    STATS.derivations += 1
     best: Optional[TranslationRule] = None
     best_rank: Tuple[int, int] = (99, 99)
     for host, tags in host_candidates(guest):

@@ -10,8 +10,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
+from repro.cache import MISS, BoundedMemo
 from repro.dbt.translator import TranslationConfig
 from repro.learning.ruleset import RuleSet
+from repro.learning.store import ruleset_fingerprint
 from repro.param.derive import ParamCounts, ParamResult, derive_rules
 from repro.param.seqderive import derive_sequence_rules
 
@@ -28,8 +30,24 @@ class SystemSetup:
     configs: Dict[str, TranslationConfig]
 
 
+#: Setups are memoized by rule-set content, so e.g. the same training subset
+#: drawn twice in a sweep (or in two stages of one experiment) derives once.
+#: Returned SystemSetups are shared — treat them as immutable.
+_SETUP_MEMO = BoundedMemo(maxsize=64)
+
+
 def build_setup(learned: RuleSet) -> SystemSetup:
     """Derive rules and assemble one TranslationConfig per stage."""
+    fingerprint = ruleset_fingerprint(learned)
+    memoized = _SETUP_MEMO.get(fingerprint)
+    if memoized is not MISS:
+        return memoized
+    setup = _build_setup_uncached(learned)
+    _SETUP_MEMO.put(fingerprint, setup)
+    return setup
+
+
+def _build_setup_uncached(learned: RuleSet) -> SystemSetup:
     param = derive_rules(learned, include_addrmode=True)
 
     opcode_rules = learned.copy()

@@ -8,19 +8,27 @@ from a rule store) reach the same form.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Tuple
 
 from repro.symir import build
 from repro.symir.expr import BinOp, Const, Expr, Extract, Ite, Sym, UnOp, ZeroExt
 
+#: The memo maps ``id(node) -> (node, simplified)``.  Keying by id alone
+#: would be unsound: once a source node is garbage-collected its id can be
+#: handed to a brand-new node, which would then receive the *stale*
+#: simplification.  Storing the source node in the entry keeps it alive for
+#: the cache's lifetime (ids of live objects are unique), and the lookup
+#: additionally verifies identity before trusting a hit.
+SimplifyCache = Dict[int, Tuple[Expr, Expr]]
 
-def simplify(expr: Expr, _cache: Dict[int, Expr] | None = None) -> Expr:
+
+def simplify(expr: Expr, _cache: SimplifyCache | None = None) -> Expr:
     """Return a canonically simplified version of *expr*."""
     if _cache is None:
         _cache = {}
-    cached = _cache.get(id(expr))
-    if cached is not None:
-        return cached
+    entry = _cache.get(id(expr))
+    if entry is not None and entry[0] is expr:
+        return entry[1]
 
     if isinstance(expr, (Const, Sym)):
         result: Expr = expr
@@ -41,5 +49,5 @@ def simplify(expr: Expr, _cache: Dict[int, Expr] | None = None) -> Expr:
     else:
         raise TypeError(f"unknown expression node: {expr!r}")
 
-    _cache[id(expr)] = result
+    _cache[id(expr)] = (expr, result)
     return result

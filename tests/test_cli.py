@@ -42,3 +42,34 @@ class TestCli:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestCacheCli:
+    def test_cache_stats(self, capsys):
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "cache directory" in out and "disk entries" in out
+
+    def test_cache_clear(self, capsys):
+        from repro.cache import disk_cache
+
+        disk_cache().put("cli-test", "entry", payload=1)
+        assert main(["cache", "clear"]) == 0
+        out = capsys.readouterr().out
+        assert "cleared" in out
+        assert disk_cache().entry_count() == 0
+
+    def test_run_reports_cache_stats(self, capsys):
+        assert main(["run", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "[cache:" in out and "derivations" in out
+
+    def test_run_with_jobs_flag(self, capsys):
+        from repro.parallel import set_jobs
+
+        try:
+            assert main(["run", "fig02", "--jobs", "2"]) == 0
+            out = capsys.readouterr().out
+            assert "Fig. 2" in out
+        finally:
+            set_jobs(1)

@@ -113,3 +113,29 @@ class TestTable3:
         instantiated = table.row_for("instantiated (applicable) rules")[1]
         assert learned > opcode > addrmode
         assert instantiated > 10 * learned
+
+
+class TestFig16Determinism:
+    def test_same_seed_identical_tables(self):
+        """Canonicalized training subsets: two sweeps with one seed agree.
+
+        Regression for the unsorted-``rng.sample`` bug — equal subsets drawn
+        in different orders built distinct (uncacheable) rule merges, and a
+        rerun could disagree with itself once caches were involved.
+        """
+        from repro.experiments import fig16_training_size
+
+        kwargs = dict(sizes=(2, 3), repetitions=2, eval_limit=1, seed=99)
+        first = fig16_training_size.run(**kwargs)
+        second = fig16_training_size.run(**kwargs)
+        assert first.rows == second.rows
+
+    def test_draws_are_canonical_and_seeded(self):
+        from repro.experiments.fig16_training_size import _make_draws
+
+        draws = _make_draws(sizes=(3,), repetitions=4, eval_limit=2, seed=7)
+        again = _make_draws(sizes=(3,), repetitions=4, eval_limit=2, seed=7)
+        assert draws == again
+        for _, (train, evaluate) in draws:
+            assert list(train) == sorted(train)
+            assert not set(train) & set(evaluate)

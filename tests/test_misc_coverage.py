@@ -153,6 +153,23 @@ class TestHelpers:
         assert mean([1.0, 2.0, 3.0]) == 2.0
         assert mean([]) == 0.0
 
+    def test_geomean_log_domain_no_overflow(self):
+        from repro.experiments.common import geomean
+
+        # The old product-then-root implementation overflowed to inf here
+        # (1e308 ** 10) and underflowed to 0.0 on the tiny case.
+        assert geomean([1e308] * 10) == pytest.approx(1e308, rel=1e-9)
+        assert geomean([1e-308] * 10) == pytest.approx(1e-308, rel=1e-9)
+        # Long lists of modest ratios must not drift either.
+        assert geomean([1.1] * 5000) == pytest.approx(1.1)
+
+    def test_geomean_zero_and_negative(self):
+        from repro.experiments.common import geomean
+
+        assert geomean([0.0, 2.0, 8.0]) == 0.0
+        with pytest.raises(ValueError):
+            geomean([1.0, -2.0])
+
     def test_rewrite_imms(self):
         from repro.isa.arm import assemble as arm
         from repro.learning.learn import rewrite_imms

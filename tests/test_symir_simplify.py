@@ -141,3 +141,50 @@ class TestSimplifyProperty:
         before = {s.name for s in free_symbols(expr)}
         after = {s.name for s in free_symbols(simplify(expr))}
         assert after <= before
+
+
+class TestSimplifyCacheSafety:
+    """Regression: the memo used to key on ``id(expr)`` alone, so a node
+    garbage-collected mid-lifetime could hand its id to a *different* new
+    node, which then received the stale simplification."""
+
+    def test_cache_keeps_source_nodes_alive(self):
+        import gc
+
+        cache = {}
+        simplify(binop("add", sym("a"), const(0)), cache)
+        cached_ids = set(cache)
+        gc.collect()
+        # Because entries hold their source node, every cached id must still
+        # refer to a live object — ids cannot be recycled out from under us.
+        for entry_id, (node, _) in cache.items():
+            assert id(node) == entry_id
+
+    def test_recycled_id_cannot_return_stale_result(self):
+        import gc
+
+        cache = {}
+        victim = binop("add", sym("a"), const(0))
+        simplify(victim, cache)  # simplifies to sym("a")
+        victim_id = id(victim)
+        del victim
+        gc.collect()
+        # Allocate fresh, structurally different nodes; even if CPython
+        # recycles the old id, the identity check must reject the entry.
+        for value in range(1, 200):
+            fresh = BinOp("xor", Sym("b"), Const(value))
+            result = simplify(fresh, cache)
+            env = {"a": 7, "b": 9, "c": 0}
+            assert evaluate(result, env) == evaluate(fresh, env), (
+                f"stale cache entry returned for recycled id {id(fresh)}"
+                f" (victim id was {victim_id})"
+            )
+
+    def test_shared_cache_across_calls_still_correct(self):
+        cache = {}
+        shared = binop("add", sym("a"), sym("b"))
+        tree1 = binop("xor", shared, const(0))
+        tree2 = binop("or", shared, const(0))
+        env = {"a": 5, "b": 6, "c": 0}
+        assert evaluate(simplify(tree1, cache), env) == evaluate(tree1, env)
+        assert evaluate(simplify(tree2, cache), env) == evaluate(tree2, env)
