@@ -204,6 +204,35 @@ def _cmd_translate(args) -> int:
     return 0
 
 
+def _cmd_difftest(args) -> int:
+    """Coverage-guided differential fuzzing of the full DBT pipeline."""
+    from repro.difftest import DifftestOptions, run_difftest
+
+    options = DifftestOptions(
+        seed=args.seed,
+        programs=args.programs,
+        stage=args.stage,
+        fault=args.fault,
+        corpus_dir=args.corpus_dir,
+        max_shrinks=args.max_shrinks,
+        time_budget=args.time_budget,
+    )
+    log = None if args.quiet else (lambda message: print(f"# {message}"))
+    report = run_difftest(options, log=log)
+    print(report.render(), end="")
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"json report: {args.json}")
+    if args.fault:
+        # Self-check mode: the planted fault *must* be found.
+        return 0 if report.failures else 1
+    return 0 if report.ok else 1
+
+
 def _add_jobs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", "-j", type=int, default=1, metavar="N",
@@ -269,6 +298,30 @@ def build_parser() -> argparse.ArgumentParser:
     translate.add_argument("--stage", default="condition", choices=STAGES)
     _add_jobs(translate)
     translate.set_defaults(fn=_cmd_translate)
+
+    difftest = sub.add_parser(
+        "difftest", help="coverage-guided differential fuzzing of the DBT"
+    )
+    difftest.add_argument("--seed", type=int, default=0)
+    difftest.add_argument("--programs", type=int, default=200,
+                          help="number of generated guest programs")
+    difftest.add_argument("--stage", default="condition", choices=STAGES)
+    from repro.difftest.oracle import FAULTS
+
+    difftest.add_argument("--fault", choices=FAULTS,
+                          help="inject a translator fault (oracle self-check)")
+    difftest.add_argument("--corpus-dir", metavar="DIR",
+                          help="persist shrunk reproducers as JSON here")
+    difftest.add_argument("--max-shrinks", type=int, default=4,
+                          help="failures to shrink before giving up")
+    difftest.add_argument("--time-budget", type=float, metavar="SECONDS",
+                          help="wall-clock cap (CI smoke mode)")
+    difftest.add_argument("--json", metavar="FILE",
+                          help="also write the full report as JSON")
+    difftest.add_argument("--quiet", action="store_true",
+                          help="suppress progress lines")
+    _add_jobs(difftest)
+    difftest.set_defaults(fn=_cmd_difftest)
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the on-disk pipeline cache"

@@ -50,6 +50,25 @@ class DBTRunResult:
             if not is_env_address(word_addr * 4) and value
         }
 
+    def architectural_snapshot(self) -> Dict[str, Dict]:
+        """Final guest architectural state read out of the CPU environment.
+
+        Normalized to the same shape as
+        :meth:`repro.dbt.guest_interp.RunResult.architectural_snapshot` so a
+        differential-testing oracle can diff the two directly.  Flags are
+        included for diagnostics but may legitimately differ from the
+        reference when they are dead at program exit (the translator never
+        materializes dead guest flags).
+        """
+        regs = {f"r{i}": self.guest_reg(f"r{i}") for i in range(13)}
+        regs["sp"] = self.guest_reg("sp")
+        regs["lr"] = self.guest_reg("lr")
+        return {
+            "regs": regs,
+            "flags": {f: self.guest_flag(f) for f in ("N", "Z", "C", "V")},
+            "memory": self.guest_memory(),
+        }
+
 
 def _initial_state() -> ConcreteState:
     state = ConcreteState()

@@ -28,14 +28,19 @@ class HostExecutor:
 
     def __init__(self, state: ConcreteState) -> None:
         self.state = state
-        self._defs_cache: Dict[int, Tuple] = {}
+        # id(tb) -> (tb, defs).  The block itself is pinned in the entry:
+        # without the pin, a freed TranslatedBlock whose id() is recycled by
+        # a new block would return the *old* block's defs (the same
+        # unsoundness class as the symir/simplify id()-memo).
+        self._defs_cache: Dict[int, Tuple[TranslatedBlock, Tuple]] = {}
 
     def _defs(self, tb: TranslatedBlock):
         cached = self._defs_cache.get(id(tb))
-        if cached is None:
-            cached = tuple(X86.defn(insn) for insn in tb.host)
-            self._defs_cache[id(tb)] = cached
-        return cached
+        if cached is not None and cached[0] is tb:
+            return cached[1]
+        defs = tuple(X86.defn(insn) for insn in tb.host)
+        self._defs_cache[id(tb)] = (tb, defs)
+        return defs
 
     def run_block(self, tb: TranslatedBlock, counts: Dict[str, int]) -> None:
         """Execute one translated block to its dispatch exit.

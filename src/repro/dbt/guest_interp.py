@@ -42,6 +42,21 @@ class RunResult:
             counts[mnemonic] = counts.get(mnemonic, 0) + count
         return counts
 
+    def architectural_snapshot(self) -> Dict[str, Dict]:
+        """Final guest-visible architectural state, in the normalized form
+        shared with :meth:`repro.dbt.engine.DBTRunResult.architectural_snapshot`
+        (the differential-testing oracle diffs the two)."""
+        regs = {f"r{i}": self.state.regs[f"r{i}"] for i in range(13)}
+        regs["sp"] = self.state.regs["sp"]
+        regs["lr"] = self.state.regs["lr"]
+        return {
+            "regs": regs,
+            "flags": {f: self.state.flags[f] for f in ("N", "Z", "C", "V")},
+            "memory": {
+                addr: value for addr, value in self.state.memory.items() if value
+            },
+        }
+
 
 def initial_state() -> ConcreteState:
     state = ConcreteState()

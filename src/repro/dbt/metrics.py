@@ -79,6 +79,37 @@ class RunMetrics:
         dispatched = self.block_executions - self.chained_executions
         return self.total_host + dispatch_cost * dispatched
 
+    # -- bucket-coverage hooks (consumed by repro.difftest) --------------------
+
+    def rule_origin_counts(self) -> Dict[str, int]:
+        """Dynamically translated guest instructions per rule origin.
+
+        Origins are the rule provenance tags ("learned", "opcode-param",
+        "addrmode-param", ...); this is how a fuzzing campaign tells whether
+        *derived* rules — not just learned ones — were actually executed.
+        """
+        counts: Dict[str, int] = {}
+        for rule, hits in self.rule_hits.items():
+            origin = getattr(rule, "origin", "unknown")
+            counts[origin] = counts.get(origin, 0) + hits
+        return counts
+
+    def rule_bucket_counts(self, bucket_of) -> Dict:
+        """Aggregate :attr:`rule_hits` by ``bucket_of(rule)``.
+
+        ``bucket_of`` maps a rule to any hashable bucket key (``None`` skips
+        the rule).  Kept generic so callers — e.g. the coverage-guided
+        fuzzer, which buckets by (pseudo-opcode, operand shape) — can define
+        bucket spaces without this module importing their machinery.
+        """
+        counts: Dict = {}
+        for rule, hits in self.rule_hits.items():
+            bucket = bucket_of(rule)
+            if bucket is None:
+                continue
+            counts[bucket] = counts.get(bucket, 0) + hits
+        return counts
+
 
 def speedup(baseline: RunMetrics, other: RunMetrics) -> float:
     """How much faster *other* is than *baseline* under the cost model."""

@@ -110,6 +110,14 @@ def lower(
         out.extend(pre)
         out.append(Instruction("movl", (a, t0)))
         out.append(Instruction(_ALU_HOST[base], (b, t0)))
+        if defn.flags_set:
+            from repro.isa.x86.opcodes import X86
+
+            if not defn.flags_set <= X86.lookup(_ALU_HOST[base]).flags_set:
+                # The host op leaves flags undefined (imull): recompute N/Z
+                # from the result before spilling, or the stores would
+                # persist whatever flags happened to be live.
+                out.append(Instruction("testl", (t0, t0)))
         out.extend(_flag_stores(defn.flags_set))
         out.append(Instruction("movl", (t0, guest_reg(dest.name))))
         return out

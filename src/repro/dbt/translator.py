@@ -330,6 +330,66 @@ class BlockTranslator:
                     if seg_r.rule is not None:
                         seg_r.reader_ldf |= defs[j].flags_read & flags_set
 
+        # Live-out spills: a flag that survives to the block exit and is read
+        # at the entry of some block must be architecturally current in the
+        # environment.  The spill has to happen *at the setter* — later host
+        # code clobbers the host flags, so an end-of-block spill would store
+        # garbage — and mismatched flags need recomputation first.
+        for s in range(n):
+            flags_set = defs[s].flags_set
+            if not flags_set:
+                continue
+            survive = set(flags_set)
+            readers_after: List[int] = []
+            for j in range(s + 1, n):
+                if defs[j].flags_read & survive:
+                    readers_after.append(j)
+                survive -= defs[j].flags_set
+                if not survive:
+                    break
+            liveout = survive & self.live_in_global
+            seg_s = seg_of[s]
+            if not liveout or seg_s.rule is None:
+                continue  # dead at exit, or TCG keeps the environment current
+            if liveout <= seg_s.post_stf:
+                continue  # already spilled for an in-block reader
+            status = seg_s.rule.flags
+            mismatched = {f for f in liveout if status.get(f) != "equiv"}
+            external = [j for j in readers_after if seg_of[j] is not seg_s]
+            if not mismatched:
+                seg_s.post_stf |= liveout
+                continue
+            dest = _rule_dest_reg(seg_s)
+
+            def reroute_readers() -> None:
+                for j in external:
+                    seg_r = seg_of[j]
+                    if seg_r.rule is not None:
+                        seg_r.reader_ldf |= defs[j].flags_read & flags_set
+
+            if mismatched - {"N", "Z"} or dest is None:
+                # C/V cannot be recomputed from the result: fall back to
+                # TCG, which keeps the environment current.
+                demote(seg_s)
+                reroute_readers()
+                continue
+            if external and not seg_s.post_testl:
+                # In-block readers rely on host-flag delegation, and the new
+                # testl clobbers host C/O.  Reroute them through the
+                # environment instead: spill what they read (equiv C/V flags
+                # are stored before the testl) and make rule readers reload.
+                needed = set().union(
+                    *(defs[j].flags_read & flags_set for j in external)
+                )
+                if any(status.get(f) != "equiv" for f in needed - {"N", "Z"}):
+                    demote(seg_s)
+                    reroute_readers()
+                    continue
+                seg_s.post_stf |= needed
+                reroute_readers()
+            seg_s.post_testl = True
+            seg_s.post_stf |= liveout
+
     def _resolve_entry_reads(
         self, insns: Sequence[Instruction], segments: List[_Segment]
     ) -> None:
@@ -455,18 +515,27 @@ class BlockTranslator:
                 covered[k] = True
                 env_stale |= defs[k].flags_set
 
+            # testl recomputes N/Z but clobbers host C/O: spill equivalent
+            # C/V flags from the rule's own host flags *before* it.
+            early = segment.post_stf - {"N", "Z"} if segment.post_testl else set()
+            for flag in sorted(early):
+                emit(Instruction(f"st{flag.lower()}f", (env_flag_mem(flag),)), CAT_RULE)
+                env_stale.discard(flag)
             if segment.post_testl:
                 dest = _rule_dest_reg(segment)
                 emit(Instruction("testl", (guest_reg(dest), guest_reg(dest))), CAT_RULE)
-            for flag in sorted(segment.post_stf):
+            for flag in sorted(segment.post_stf - early):
                 emit(Instruction(f"st{flag.lower()}f", (env_flag_mem(flag),)), CAT_RULE)
                 env_stale.discard(flag)
             for item in tail:
                 emit(item, CAT_RULE)
 
-        # Safety net for hand-written guest code with cross-block flag use.
-        for flag in sorted(self.live_in_global & env_stale):
-            emit(Instruction(f"st{flag.lower()}f", (env_flag_mem(flag),)), CAT_RULE)
+        # Cross-block flag use needs no end-of-block spill: every setter of a
+        # block-entry-read flag either spilled it eagerly (post_stf above,
+        # where the host flags are still the rule's own) or went through the
+        # TCG path, which keeps the environment current natively.  A blind
+        # spill here would store host flags already clobbered by later
+        # windows' host code.
 
         # Exits.
         term = defs[-1] if n else None

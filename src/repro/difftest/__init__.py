@@ -1,0 +1,53 @@
+"""Differential-testing subsystem: coverage-guided end-to-end fuzzing.
+
+The oracle runs every generated guest program twice — through the reference
+ARM interpreter and through the full learn→parameterize→translate→execute
+DBT pipeline — and diffs the final architectural state.  Any divergence is
+a bug in translation, parameterization constraints, or flag delegation.
+
+Modules
+-------
+``gen``
+    Seeded, coverage-guided program generation over the rule-bucket space
+    of :mod:`repro.param.classify` (pseudo-opcode × operand shape ×
+    flag liveness).
+``oracle``
+    The differential oracle, the shared training rule set, and the fault
+    injector used to prove the oracle can catch translator bugs.
+``shrink``
+    Delta-debugging of failing programs down to a minimal reproducing
+    instruction sequence.
+``corpus``
+    JSON reproducers: every fuzz-found failure becomes a permanent
+    regression test replayed by ``tests/test_difftest_corpus.py``.
+``campaign``
+    The fuzzing loop wiring the above together, behind ``repro difftest``.
+"""
+
+from repro.difftest.campaign import CampaignReport, DifftestOptions, run_difftest
+from repro.difftest.corpus import Reproducer, load_corpus, save_reproducer
+from repro.difftest.gen import BucketCoverage, ProgramGenerator, bucket_universe
+from repro.difftest.oracle import (
+    Divergence,
+    config_with_fault,
+    run_oracle,
+    training_setup,
+)
+from repro.difftest.shrink import shrink_program
+
+__all__ = [
+    "CampaignReport",
+    "DifftestOptions",
+    "run_difftest",
+    "Reproducer",
+    "load_corpus",
+    "save_reproducer",
+    "BucketCoverage",
+    "ProgramGenerator",
+    "bucket_universe",
+    "Divergence",
+    "config_with_fault",
+    "run_oracle",
+    "training_setup",
+    "shrink_program",
+]

@@ -1,0 +1,369 @@
+"""The fuzzing campaign: generate → differentially execute → shrink → persist.
+
+Deterministic by construction:
+
+* program generation is sequential in the parent process, seeded per
+  program index;
+* oracle executions fan out via :func:`repro.parallel.parallel_map`
+  (order-preserving), and coverage/aggregate merges happen only at round
+  boundaries through commutative operations (set union, counter addition),
+  so results are identical for any ``--jobs`` value;
+* shrinking is serial, memoized, and budgeted;
+* reports and corpus entries contain no timestamps and render with sorted
+  keys, so two runs with the same seed are byte-identical.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from repro.difftest.corpus import Reproducer, save_reproducer
+from repro.difftest.gen import (
+    BucketCoverage,
+    ProgramGenerator,
+    bucket_id,
+    program_buckets,
+)
+from repro.difftest.oracle import (
+    InvalidProgram,
+    assemble_program,
+    config_with_fault,
+    run_oracle,
+    stage_config,
+)
+from repro.difftest.shrink import DEFAULT_BUDGET, shrink_program
+from repro.parallel import parallel_map
+from repro.param.shapes import shape_of_instruction
+
+from repro.difftest.gen import shape_signature
+
+#: Rule origins that exist only thanks to parameterization.
+DERIVED_ORIGINS = ("opcode-param", "addrmode-param", "seq-param")
+
+
+@dataclass
+class DifftestOptions:
+    """Knobs for one fuzzing campaign."""
+
+    seed: int = 0
+    programs: int = 200
+    stage: str = "condition"
+    #: inject a deliberate translator fault (oracle self-check mode).
+    fault: Optional[str] = None
+    #: where to persist shrunk reproducers (None: don't persist).
+    corpus_dir: Optional[str] = None
+    shrink_budget: int = DEFAULT_BUDGET
+    #: how many distinct failures to shrink/persist before giving up.
+    max_shrinks: int = 4
+    targets_per_program: int = 3
+    #: programs per generate/execute round (coverage feedback granularity).
+    round_size: int = 16
+    #: wall-clock cap in seconds (None: none).  Early exit trades
+    #: reproducibility of the *program count* for a bounded runtime — meant
+    #: for CI smoke jobs, not for determinism-sensitive runs.
+    time_budget: Optional[float] = None
+
+
+@dataclass
+class Failure:
+    """One diverging program, before and after shrinking."""
+
+    index: int
+    kind: str
+    detail: str
+    lines: List[str]
+    shrunk: Optional[List[str]] = None
+    #: reference-interpreter step count of the original failure (bounds the
+    #: execution budget of shrink candidates).
+    ref_steps: int = 0
+
+    @property
+    def shrunk_instructions(self) -> int:
+        """Real instructions (labels excluded) in the shrunk reproducer."""
+        lines = self.shrunk if self.shrunk is not None else self.lines
+        return sum(1 for line in lines if not line.strip().endswith(":"))
+
+
+@dataclass
+class CampaignReport:
+    """Everything one campaign observed, renderable deterministically."""
+
+    seed: int
+    stage: str
+    requested: int
+    fault: Optional[str] = None
+    executed: int = 0
+    invalid: int = 0
+    coverage_hit: int = 0
+    coverage_total: int = 0
+    #: (mnemonic, shape signature, origin) -> dynamic guest-instruction hits.
+    rule_buckets: Dict[Tuple[str, str, str], int] = field(default_factory=dict)
+    origin_counts: Dict[str, int] = field(default_factory=dict)
+    failures: List[Failure] = field(default_factory=list)
+    saved_paths: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def derived_rule_buckets(self) -> int:
+        """Distinct (opcode, shape) buckets executed through derived rules."""
+        return len(
+            {
+                (mnemonic, sig)
+                for (mnemonic, sig, origin) in self.rule_buckets
+                if origin in DERIVED_ORIGINS
+            }
+        )
+
+    @property
+    def derived_hits(self) -> int:
+        return sum(
+            hits
+            for (_, _, origin), hits in self.rule_buckets.items()
+            if origin in DERIVED_ORIGINS
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"difftest: seed={self.seed} stage={self.stage}"
+            + (f" fault={self.fault}" if self.fault else "")
+            + f" programs={self.requested}",
+            f"executed: {self.executed} (invalid: {self.invalid})",
+            f"bucket coverage: {self.coverage_hit}/{self.coverage_total}",
+            f"derived-rule buckets exercised: {self.derived_rule_buckets}"
+            f" ({self.derived_hits} guest instructions via derived rules)",
+            "rule-origin hits: "
+            + (
+                ", ".join(
+                    f"{origin}={hits}"
+                    for origin, hits in sorted(self.origin_counts.items())
+                )
+                or "none"
+            ),
+            f"divergences: {len(self.failures)}",
+        ]
+        for failure in self.failures:
+            lines.append("")
+            lines.append(
+                f"-- divergence at program {failure.index}"
+                f" [{failure.kind}] {failure.detail}"
+            )
+            shown = failure.shrunk if failure.shrunk is not None else failure.lines
+            tag = "shrunk" if failure.shrunk is not None else "unshrunk"
+            lines.append(f"   {tag} reproducer ({failure.shrunk_instructions} insns):")
+            lines.extend(f"     {line}" for line in shown)
+        for path in self.saved_paths:
+            lines.append(f"saved: {path}")
+        return "\n".join(lines) + "\n"
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "stage": self.stage,
+            "fault": self.fault,
+            "requested": self.requested,
+            "executed": self.executed,
+            "invalid": self.invalid,
+            "coverage": [self.coverage_hit, self.coverage_total],
+            "derived_rule_buckets": self.derived_rule_buckets,
+            "origin_counts": dict(sorted(self.origin_counts.items())),
+            "rule_buckets": {
+                f"{m}[{sig}]{origin}": hits
+                for (m, sig, origin), hits in sorted(self.rule_buckets.items())
+            },
+            "failures": [
+                {
+                    "index": f.index,
+                    "kind": f.kind,
+                    "detail": f.detail,
+                    "lines": list(f.lines),
+                    "shrunk": list(f.shrunk) if f.shrunk is not None else None,
+                }
+                for f in self.failures
+            ],
+        }
+
+
+def _rule_bucket(rule) -> Optional[Tuple[str, str, str]]:
+    """(mnemonic, shape signature, origin) for single-instruction rules."""
+    if rule.guest_length != 1:
+        return None
+    insn = rule.guest[0]
+    try:
+        shape = shape_of_instruction(insn)
+    except Exception:
+        return None
+    return (insn.mnemonic, shape_signature(shape), rule.origin)
+
+
+@lru_cache(maxsize=None)
+def _campaign_config(stage: str, fault: Optional[str]):
+    """Resolve (and cache) the translation config for one campaign.
+
+    Warmed in the parent before any fan-out, so forked oracle workers
+    inherit the built setup instead of re-deriving rules.
+    """
+    config = stage_config(stage)
+    return config_with_fault(config, fault) if fault else config
+
+
+def _oracle_worker(item: Tuple) -> Dict:
+    """Run the oracle on one generated program (parallel_map entry point)."""
+    lines, stage, fault = item
+    config = _campaign_config(stage, fault)
+    try:
+        outcome = run_oracle(list(lines), config)
+    except InvalidProgram as exc:
+        return {"invalid": str(exc)}
+    result: Dict = {"divergence": None, "ref_steps": outcome.ref_steps}
+    if outcome.divergence is not None:
+        result["divergence"] = [outcome.divergence.kind, outcome.divergence.detail]
+    if outcome.metrics is not None:
+        result["origins"] = outcome.metrics.rule_origin_counts()
+        result["buckets"] = [
+            [mnemonic, sig, origin, hits]
+            for (mnemonic, sig, origin), hits in sorted(
+                outcome.metrics.rule_bucket_counts(_rule_bucket).items()
+            )
+        ]
+    return result
+
+
+def _target_rng(seed: int, index: int):
+    """Bucket-targeting stream, independent of the program-body stream."""
+    import random
+
+    return random.Random((seed + 1) * 0xC2B2AE35 + 2 * index + 1)
+
+
+def run_difftest(options: DifftestOptions, log=None) -> CampaignReport:
+    """Run one campaign and return its report.
+
+    ``log(message)`` — if given — receives human-oriented progress lines.
+    """
+    emit = log or (lambda message: None)
+    config = _campaign_config(options.stage, options.fault)
+    emit(f"config: {config.name} ({len(config.rules or ())} rules)")
+
+    generator = ProgramGenerator(options.seed)
+    coverage = BucketCoverage()
+    report = CampaignReport(
+        seed=options.seed,
+        stage=options.stage,
+        fault=options.fault,
+        requested=options.programs,
+        coverage_total=coverage.total,
+    )
+    started = time.monotonic()
+    index = 0
+    while index < options.programs:
+        if (
+            options.time_budget is not None
+            and time.monotonic() - started > options.time_budget
+        ):
+            emit(f"time budget exhausted after {index} programs")
+            break
+        round_size = min(options.round_size, options.programs - index)
+        programs = []
+        # Buckets already handed to a program this round: spreads the round's
+        # programs over different unexercised buckets without polluting the
+        # (truthful, post-execution) coverage set.
+        claimed = set()
+        for _ in range(round_size):
+            pool = sorted(
+                coverage.universe - coverage.exercised - claimed, key=bucket_id
+            ) or sorted(coverage.universe, key=bucket_id)
+            rng = _target_rng(options.seed, index)
+            count = min(options.targets_per_program, len(pool))
+            targets = rng.sample(pool, count) if count else []
+            claimed.update(targets)
+            programs.append(generator.generate(index, targets))
+            index += 1
+        outcomes = parallel_map(
+            _oracle_worker,
+            [(program.lines, options.stage, options.fault) for program in programs],
+        )
+        for program, outcome in zip(programs, outcomes):
+            if "invalid" in outcome:
+                report.invalid += 1
+                continue
+            report.executed += 1
+            unit = assemble_program(program.lines)
+            coverage.note(program_buckets(unit.instructions))
+            for origin, hits in outcome.get("origins", {}).items():
+                report.origin_counts[origin] = (
+                    report.origin_counts.get(origin, 0) + hits
+                )
+            for mnemonic, sig, origin, hits in outcome.get("buckets", ()):
+                key = (mnemonic, sig, origin)
+                report.rule_buckets[key] = report.rule_buckets.get(key, 0) + hits
+            if outcome["divergence"] is not None:
+                kind, detail = outcome["divergence"]
+                report.failures.append(
+                    Failure(
+                        index=program.index,
+                        kind=kind,
+                        detail=detail,
+                        lines=[line.strip() for line in program.lines],
+                        ref_steps=outcome.get("ref_steps", 0),
+                    )
+                )
+                emit(f"program {program.index}: divergence [{kind}] {detail}")
+        emit(
+            f"{index}/{options.programs} programs,"
+            f" coverage {coverage.summary()},"
+            f" {len(report.failures)} divergence(s)"
+        )
+
+    report.coverage_hit = coverage.hit_count
+    _shrink_failures(report, config, options, emit)
+    return report
+
+
+def _shrink_failures(report, config, options: DifftestOptions, emit) -> None:
+    for failure in report.failures[: options.max_shrinks]:
+        original_kind = failure.kind
+        # Removing a loop's decrement turns it into a runaway; cap candidate
+        # executions near the original's cost so such splices fail fast.
+        limit = max(4 * failure.ref_steps, 2_000)
+
+        def interesting(lines: List[str]) -> bool:
+            try:
+                outcome = run_oracle(lines, config, max_steps=limit, max_blocks=limit)
+            except InvalidProgram:
+                return False
+            divergence = outcome.divergence
+            if divergence is None:
+                return False
+            # Don't let shrinking wander from a state divergence into an
+            # artificial structural error (or vice versa).
+            return (divergence.kind == "dbt-error") == (original_kind == "dbt-error")
+
+        failure.shrunk = shrink_program(
+            failure.lines, interesting, budget=options.shrink_budget
+        )
+        emit(
+            f"program {failure.index}: shrunk to"
+            f" {failure.shrunk_instructions} instruction(s)"
+        )
+        if options.corpus_dir is not None:
+            entry = Reproducer(
+                name=f"fuzz-s{options.seed}-p{failure.index:05d}",
+                lines=list(failure.shrunk),
+                stage=options.stage,
+                expect="diverge",
+                description=f"[{failure.kind}] {failure.detail}",
+                provenance={
+                    "seed": options.seed,
+                    "program": failure.index,
+                    "stage": options.stage,
+                    "fault": options.fault,
+                    "original_instructions": len(failure.lines),
+                },
+            )
+            report.saved_paths.append(save_reproducer(entry, options.corpus_dir))

@@ -1,0 +1,94 @@
+"""JSON reproducers: fuzz findings as permanent regression tests.
+
+Every shrunk failing program (and every hand-written stress program) is a
+small JSON document in a corpus directory — ``tests/corpus/`` in this
+repository — replayed deterministically by ``tests/test_difftest_corpus.py``.
+
+Each entry records the guest assembly lines, the DBT stage to run them
+under, and an ``expect`` verdict:
+
+* ``"pass"`` — the oracle must report no divergence (the committed corpus:
+  once a bug is fixed its reproducer guards against regression, and the
+  hand-seeded entries pin down historically tricky constructs);
+* ``"diverge"`` — the oracle must still report a divergence (used for
+  corpora written against deliberately faulted configurations in tests).
+
+Serialization is canonical (sorted keys, fixed indent, trailing newline, no
+timestamps) so identical findings produce byte-identical files — the
+determinism tests rely on this.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9._-]*$")
+
+
+@dataclass
+class Reproducer:
+    """One corpus entry."""
+
+    name: str
+    lines: List[str]
+    #: which DBT configuration stage to replay under (see repro.param.STAGES).
+    stage: str = "condition"
+    #: "pass" (must not diverge) or "diverge" (must diverge).
+    expect: str = "pass"
+    description: str = ""
+    #: free-form provenance: generator seed, program index, injected fault,
+    #: original divergence text, ... — everything needed to re-derive it.
+    provenance: Dict = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "stage": self.stage,
+            "expect": self.expect,
+            "lines": list(self.lines),
+            "provenance": dict(self.provenance),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Reproducer":
+        return cls(
+            name=data["name"],
+            lines=list(data["lines"]),
+            stage=data.get("stage", "condition"),
+            expect=data.get("expect", "pass"),
+            description=data.get("description", ""),
+            provenance=dict(data.get("provenance", {})),
+        )
+
+    def render(self) -> str:
+        """Canonical JSON text (byte-stable for identical content)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+def save_reproducer(reproducer: Reproducer, directory: str) -> str:
+    """Write one reproducer as ``<directory>/<name>.json``; returns the path."""
+    if not _NAME_RE.match(reproducer.name):
+        raise ValueError(f"corpus entry name {reproducer.name!r} is not filesafe")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{reproducer.name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(reproducer.render())
+    return path
+
+
+def load_corpus(directory: str) -> List[Reproducer]:
+    """All reproducers in a directory, sorted by file name."""
+    if not os.path.isdir(directory):
+        return []
+    entries: List[Reproducer] = []
+    for filename in sorted(os.listdir(directory)):
+        if not filename.endswith(".json"):
+            continue
+        with open(os.path.join(directory, filename), "r", encoding="utf-8") as handle:
+            entries.append(Reproducer.from_dict(json.load(handle)))
+    return entries

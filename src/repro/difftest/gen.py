@@ -1,0 +1,405 @@
+"""Coverage-guided guest-program generation.
+
+Programs are generated directly at the guest-assembly level (the substrate
+shrinking operates on) and are *safe by construction*:
+
+* every register is initialized by the machine's initial state, so no read
+  can trap;
+* all memory addresses stay inside a low arena far below the emulated CPU
+  environment (:data:`repro.dbt.runtime.ENV_BASE`), so translated loads and
+  stores can never alias guest architectural state;
+* loops are bounded countdown idioms and branches are forward, so every
+  program terminates.
+
+Generation is *coverage-guided* over the rule-bucket space derived from
+:mod:`repro.param.classify`: one bucket is a ``(pseudo-opcode, operand
+shape, flag-liveness)`` triple, where the shape is the (operand-kind,
+register-dependency-pattern) combination of :mod:`repro.param.shapes` and
+flag liveness says whether a flag reader consumes the instruction's flags
+within the translator's delegation window.  The campaign feeds the set of
+not-yet-exercised buckets back into the generator, which materializes
+instructions for them — so the fuzzer preferentially drives *derived*
+(never-learned) rules and both sides of every flag-delegation decision.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.isa.arm.opcodes import ARM
+from repro.isa.instruction import Instruction
+from repro.isa.operands import Imm, Mem, OperandKind as K, Reg
+from repro.param.classify import OPCODE_MAP
+from repro.param.shapes import TargetShape, enumerate_shapes, shape_of_instruction
+
+#: How far (in instructions) a flag reader may trail a flag setter and still
+#: count as "live" — the translator's delegation window (windows are at most
+#: 4 guest instructions; a reader more than 3 behind is a separate cluster).
+LIVENESS_WINDOW = 3
+
+#: (mnemonic, shape, liveness) — liveness is "live"/"dead" for flag-setting
+#: opcodes and "-" for everything else.
+Bucket = Tuple[str, TargetShape, str]
+
+#: General-purpose registers the generator allocates from.  r8-r12 are kept
+#: out of the pool so idiom scaffolding (loop counters, arena bases seeded in
+#: the prologue) cannot be silently clobbered by target materialization.
+_POOL = tuple(f"r{i}" for i in range(8))
+
+#: Memory arena: [0x4000, 0x8000).  Doubling the base (base+index with
+#: base == index) stays below 0x10000, far from both the stack top
+#: (0x7FF000) and the CPU environment (0xF00000).
+_ARENA_LO = 0x4000
+_ARENA_HI = 0x8000
+
+_COND_FOR = {
+    frozenset({"N", "Z"}): ("eq", "ne", "mi", "pl"),
+    frozenset({"N", "Z", "C", "V"}): (
+        "eq", "ne", "mi", "pl", "cs", "cc", "vs", "vc",
+        "ge", "lt", "gt", "le", "hi", "ls",
+    ),
+}
+
+
+def shape_signature(shape: TargetShape) -> str:
+    """Deterministic compact rendering of a target shape."""
+    parts = []
+    for op in shape.operands:
+        if op.kind is K.MEM:
+            parts.append(f"mem:{op.mem_shape}")
+        else:
+            parts.append(op.kind.value)
+    pattern = ",".join(str(slot) for slot in shape.pattern)
+    return "+".join(parts) + "|" + pattern
+
+
+def bucket_id(bucket: Bucket) -> str:
+    mnemonic, shape, liveness = bucket
+    return f"{mnemonic}[{shape_signature(shape)}]{liveness}"
+
+
+def bucket_universe() -> FrozenSet[Bucket]:
+    """Every generatable (opcode, shape, liveness) combination."""
+    buckets: Set[Bucket] = set()
+    for mnemonic in OPCODE_MAP:
+        if mnemonic not in ARM.defs:
+            continue
+        tags = ("live", "dead") if ARM.defs[mnemonic].flags_set else ("-",)
+        for shape in enumerate_shapes(mnemonic):
+            for tag in tags:
+                buckets.add((mnemonic, shape, tag))
+    return frozenset(buckets)
+
+
+def program_buckets(instructions: Sequence[Instruction]) -> Set[Bucket]:
+    """Buckets a concrete guest instruction sequence exercises."""
+    real = [insn for insn in instructions if insn.mnemonic != ".label"]
+    defs = [ARM.defn(insn) for insn in real]
+    buckets: Set[Bucket] = set()
+    for i, (insn, defn) in enumerate(zip(real, defs)):
+        if insn.mnemonic not in OPCODE_MAP:
+            continue
+        try:
+            shape = shape_of_instruction(insn)
+        except (ValueError, AttributeError):
+            continue
+        if not defn.flags_set:
+            buckets.add((insn.mnemonic, shape, "-"))
+            continue
+        live = False
+        remaining = set(defn.flags_set)
+        for j in range(i + 1, min(i + 1 + LIVENESS_WINDOW, len(real))):
+            if defs[j].flags_read & remaining:
+                live = True
+                break
+            remaining -= defs[j].flags_set
+            if not remaining:
+                break
+        buckets.add((insn.mnemonic, shape, "live" if live else "dead"))
+    return buckets
+
+
+class BucketCoverage:
+    """Tracks which buckets of the universe have been exercised."""
+
+    def __init__(self, universe: Optional[Iterable[Bucket]] = None) -> None:
+        self.universe: FrozenSet[Bucket] = (
+            frozenset(universe) if universe is not None else bucket_universe()
+        )
+        self.exercised: Set[Bucket] = set()
+
+    def note(self, buckets: Iterable[Bucket]) -> None:
+        self.exercised |= set(buckets) & self.universe
+
+    def unexercised(self) -> List[Bucket]:
+        """Deterministically ordered not-yet-hit buckets."""
+        return sorted(self.universe - self.exercised, key=bucket_id)
+
+    @property
+    def hit_count(self) -> int:
+        return len(self.exercised)
+
+    @property
+    def total(self) -> int:
+        return len(self.universe)
+
+    def summary(self) -> str:
+        return f"{self.hit_count}/{self.total} buckets"
+
+
+@dataclass
+class GeneratedProgram:
+    """One generated guest program plus its generation metadata."""
+
+    index: int
+    lines: Tuple[str, ...]
+    targeted: Tuple[Bucket, ...] = ()
+
+    @property
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class ProgramGenerator:
+    """Seeded generator; each program index yields a reproducible program."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+
+    def rng_for(self, index: int) -> random.Random:
+        # Independent, reproducible stream per program.
+        return random.Random((self.seed + 1) * 0x9E3779B1 + index)
+
+    def generate(
+        self, index: int, targets: Sequence[Bucket] = ()
+    ) -> GeneratedProgram:
+        rng = self.rng_for(index)
+        builder = _ProgramBuilder(rng, index)
+        builder.prologue()
+        events: List = [("target", t) for t in targets]
+        for _ in range(rng.randint(6, 12)):
+            events.append(("filler", None))
+        rng.shuffle(events)
+        for kind, payload in events:
+            if kind == "target":
+                builder.emit_target(payload)
+            else:
+                builder.emit_filler_event()
+        builder.epilogue()
+        return GeneratedProgram(
+            index=index, lines=tuple(builder.lines), targeted=tuple(targets)
+        )
+
+
+class _ProgramBuilder:
+    def __init__(self, rng: random.Random, index: int) -> None:
+        self.rng = rng
+        self.index = index
+        self.lines: List[str] = []
+        self.label_counter = 0
+
+    def emit(self, line: str) -> None:
+        self.lines.append(f"    {line}")
+
+    def fresh_label(self) -> str:
+        self.label_counter += 1
+        return f"L{self.index}_{self.label_counter}"
+
+    def reg(self) -> str:
+        return self.rng.choice(_POOL)
+
+    def imm(self) -> int:
+        r = self.rng.random()
+        if r < 0.3:
+            return self.rng.randint(0, 15)
+        if r < 0.6:
+            return self.rng.randint(16, 4095)
+        if r < 0.8:
+            return self.rng.randint(-2048, -1)
+        return self.rng.choice((0xFF, 0xFFFF, 0x7FFFFFFF, 0xFFFFFFFF, 0x80000000))
+
+    def arena_addr(self) -> int:
+        return self.rng.randrange(_ARENA_LO, _ARENA_HI, 4)
+
+    # -- program skeleton ---------------------------------------------------
+
+    def prologue(self) -> None:
+        for name in _POOL:
+            self.emit(f"mov {name}, #{self.imm() & 0xFFFFFFFF}")
+        # Seed a few arena words so loads observe nonzero data.
+        self.emit(f"mov r8, #{_ARENA_LO}")
+        for k in range(4):
+            src = self.rng.choice(_POOL)
+            self.emit(f"str {src}, [r8, #{4 * k}]")
+
+    def epilogue(self) -> None:
+        self.emit("bx lr")
+
+    # -- filler -------------------------------------------------------------
+
+    def filler_insn(self) -> str:
+        """One flag-neutral data instruction (sets and reads no flags)."""
+        op = self.rng.choice(
+            ("add", "sub", "and", "orr", "eor", "mov", "mvn", "lsl", "lsr", "asr")
+        )
+        dest = self.reg()
+        if op in ("mov", "mvn"):
+            if self.rng.random() < 0.5:
+                return f"{op} {dest}, {self.reg()}"
+            return f"{op} {dest}, #{self.imm()}"
+        if op in ("lsl", "lsr", "asr"):
+            return f"{op} {dest}, {self.reg()}, #{self.rng.randint(1, 31)}"
+        if self.rng.random() < 0.4:
+            return f"{op} {dest}, {self.reg()}, #{self.imm()}"
+        return f"{op} {dest}, {self.reg()}, {self.reg()}"
+
+    def emit_filler_event(self) -> None:
+        roll = self.rng.random()
+        if roll < 0.55:
+            self.emit(self.filler_insn())
+        elif roll < 0.7:
+            self._emit_branch_idiom()
+        elif roll < 0.8:
+            self._emit_loop_idiom()
+        elif roll < 0.9:
+            self._emit_pc_read()
+        else:
+            self._emit_special()
+
+    def _emit_branch_idiom(self) -> None:
+        label = self.fresh_label()
+        cond = self.rng.choice(
+            ("eq", "ne", "mi", "pl", "cs", "cc", "ge", "lt", "hi", "ls")
+        )
+        self.emit(f"b{cond} {label}")
+        for _ in range(self.rng.randint(1, 2)):
+            self.emit(self.filler_insn())
+        self.lines.append(f"{label}:")
+
+    def _emit_loop_idiom(self) -> None:
+        label = self.fresh_label()
+        counter = "r9"
+        self.emit(f"mov {counter}, #{self.rng.randint(2, 4)}")
+        self.lines.append(f"{label}:")
+        for _ in range(self.rng.randint(1, 2)):
+            self.emit(self.filler_insn())
+        self.emit(f"subs {counter}, {counter}, #1")
+        self.emit(f"bne {label}")
+
+    def _emit_pc_read(self) -> None:
+        dest = self.reg()
+        choice = self.rng.random()
+        if choice < 0.4:
+            self.emit(f"add {dest}, pc, #{self.rng.randrange(0, 64, 4)}")
+        elif choice < 0.7:
+            self.emit(f"sub {dest}, pc, #{self.rng.randrange(0, 64, 4)}")
+        else:
+            self.emit(f"mov {dest}, pc")
+
+    def _emit_special(self) -> None:
+        roll = self.rng.random()
+        if roll < 0.35:
+            dest = self.reg()
+            self.emit(f"clz {dest}, {self.reg()}")
+        elif roll < 0.6:
+            a, b = self.rng.sample(_POOL, 2)
+            self.emit(f"mla {a}, {b}, {self.reg()}, {self.reg()}")
+        elif roll < 0.8:
+            lo, hi, m, s = self.rng.sample(_POOL, 4)
+            self.emit(f"umlal {lo}, {hi}, {m}, {s}")
+        else:
+            a, b = sorted(self.rng.sample(_POOL, 2), key=lambda r: int(r[1:]))
+            self.emit(f"push {{{a}, {b}}}")
+            self.emit(self.filler_insn())
+            self.emit(f"pop {{{a}, {b}}}")
+
+    # -- target materialization ---------------------------------------------
+
+    def emit_target(self, bucket: Bucket) -> None:
+        mnemonic, shape, liveness = bucket
+        defn = ARM.defs[mnemonic]
+        slots = self._slot_registers(shape)
+        text = self._materialize(mnemonic, shape, slots)
+        if text is None:
+            return
+        self.emit(text)
+        if liveness == "live":
+            self._emit_flag_reader(defn.flags_set)
+        elif liveness == "dead":
+            # Clobber all four flags before anything can read the target's:
+            # a flag-neutral filler would leave them observable downstream.
+            self.emit(f"cmp {self.reg()}, #{self.rng.randint(0, 15)}")
+
+    def _slot_registers(self, shape: TargetShape) -> List[str]:
+        count = shape.distinct_regs
+        return self.rng.sample(_POOL, count) if count else []
+
+    def _materialize(
+        self, mnemonic: str, shape: TargetShape, slots: List[str]
+    ) -> Optional[str]:
+        """Emit safety setup and return the target instruction's text."""
+        is_shift = mnemonic.rstrip("s") in ("lsl", "lsr", "asr") and mnemonic in (
+            "lsl", "lsls", "lsr", "lsrs", "asr", "asrs",
+        )
+        byte_sized = mnemonic in ("ldrb", "strb", "ldrh", "strh")
+        slot_iter = iter(shape.pattern)
+        operands: List[str] = []
+        mem_base: Optional[str] = None
+        mem_index: Optional[str] = None
+        for op_shape in shape.operands:
+            if op_shape.kind is K.REG:
+                operands.append(slots[next(slot_iter)])
+            elif op_shape.kind is K.IMM:
+                if is_shift:
+                    operands.append(f"#{self.rng.randint(1, 31)}")
+                else:
+                    operands.append(f"#{self.imm()}")
+            elif op_shape.kind is K.MEM:
+                base = slots[next(slot_iter)]
+                mem_base = base
+                if op_shape.mem_shape == "base":
+                    operands.append(f"[{base}]")
+                elif op_shape.mem_shape == "base+disp":
+                    if byte_sized:
+                        disp = self.rng.randint(1, 255)
+                    else:
+                        disp = self.rng.randrange(4, 1024, 4)
+                    operands.append(f"[{base}, #{disp}]")
+                else:  # base+index
+                    idx = slots[next(slot_iter)]
+                    mem_index = idx
+                    operands.append(f"[{base}, {idx}]")
+            else:
+                return None
+        # Safety setup: the base register must point into the arena and the
+        # index must be a small offset, *at the moment of the access*.
+        if mem_base is not None:
+            self.emit(f"mov {mem_base}, #{self.arena_addr()}")
+            if mem_index is not None and mem_index != mem_base:
+                self.emit(f"mov {mem_index}, #{self.rng.randrange(0, 1024, 4)}")
+            if ARM.defs[mnemonic].subgroup.value == "load" and self.rng.random() < 0.6:
+                # Store a known value first so the load reads nonzero data.
+                self.emit(f"str {self.reg()}, [{mem_base}]" if mem_index is None
+                          else f"str {self.reg()}, [{mem_base}, {mem_index}]")
+        return f"{mnemonic} " + ", ".join(operands)
+
+    def _emit_flag_reader(self, flags_set: FrozenSet[str]) -> None:
+        """Consume just-set flags within the delegation window."""
+        for _ in range(self.rng.randint(0, 2)):
+            self.emit(self.filler_insn())
+        conds = _COND_FOR.get(frozenset(flags_set))
+        use_carry_alu = "C" in flags_set and self.rng.random() < 0.3
+        if use_carry_alu:
+            op = self.rng.choice(("adc", "sbc", "rsc"))
+            self.emit(f"{op} {self.reg()}, {self.reg()}, {self.reg()}")
+            return
+        if conds is None:
+            # Flag sets other than NZ / NZCV do not occur in the guest ISA,
+            # but fall back to a Z-reader rather than crash.
+            conds = ("eq", "ne")
+        label = self.fresh_label()
+        self.emit(f"b{self.rng.choice(conds)} {label}")
+        self.emit(self.filler_insn())
+        self.lines.append(f"{label}:")

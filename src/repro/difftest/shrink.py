@@ -1,0 +1,153 @@
+"""Delta-debugging shrinker for failing difftest programs.
+
+Two phases, both driven by an ``is_interesting(lines)`` predicate supplied
+by the caller (the campaign re-runs the differential oracle and reports
+whether the divergence is still present):
+
+1. **Line reduction** — classic ddmin over the program's instruction lines:
+   remove chunks of geometrically decreasing size as long as the failure
+   reproduces.  Splices that no longer assemble or that the reference
+   interpreter itself rejects simply make the predicate return ``False``.
+2. **Operand reduction** — per-instruction simplification: immediates are
+   driven toward 0/1 (halving on the way down), registers toward ``r0``.
+
+Every candidate evaluation is memoized (shrinking revisits the same splice
+often) and the total predicate budget is capped so shrinking is time-boxed
+even for stubborn failures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.isa.arm import assemble
+from repro.isa.instruction import Instruction
+from repro.isa.operands import Imm, Mem, Reg
+
+#: Default cap on predicate evaluations per shrink.
+DEFAULT_BUDGET = 400
+
+_LOW_REGS = ("r0", "r1", "r2")
+
+
+class _Budget:
+    """Memoizing, budgeted wrapper around the interestingness predicate."""
+
+    def __init__(self, predicate: Callable[[List[str]], bool], budget: int) -> None:
+        self._predicate = predicate
+        self.remaining = budget
+        self._seen: Dict[Tuple[str, ...], bool] = {}
+
+    def __call__(self, lines: Sequence[str]) -> bool:
+        key = tuple(lines)
+        if key in self._seen:
+            return self._seen[key]
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        verdict = bool(self._predicate(list(lines)))
+        self._seen[key] = verdict
+        return verdict
+
+
+def _ddmin_lines(lines: List[str], interesting: _Budget) -> List[str]:
+    """Greedy ddmin: drop chunks of decreasing size while still failing."""
+    chunk = max(1, len(lines) // 2)
+    while chunk >= 1 and interesting.remaining > 0:
+        removed_any = False
+        i = 0
+        while i < len(lines):
+            candidate = lines[:i] + lines[i + chunk :]
+            if candidate and interesting(candidate):
+                lines = candidate
+                removed_any = True
+                # same position now holds the next chunk: retry in place
+            else:
+                i += chunk
+        if chunk == 1:
+            if not removed_any:
+                break
+        else:
+            chunk //= 2
+    return lines
+
+
+def _instruction_of(line: str) -> "Instruction | None":
+    """Parse one instruction line (labels and malformed text give None)."""
+    stripped = line.strip()
+    if not stripped or stripped.endswith(":"):
+        return None
+    try:
+        parsed = assemble(stripped)
+    except ReproError:
+        return None
+    real = [insn for insn in parsed if insn.mnemonic != ".label"]
+    return real[0] if len(real) == 1 else None
+
+
+def _operand_variants(insn: Instruction) -> List[Instruction]:
+    """Simpler single-operand rewrites of one instruction, best first."""
+    variants: List[Instruction] = []
+    for position, op in enumerate(insn.operands):
+        replacements = []
+        if isinstance(op, Imm) and op.value > 0:
+            # Strictly decreasing candidates only: 0 <-> 1 oscillation (both
+            # "simple") would otherwise loop forever on memoized verdicts.
+            for value in (0, 1, op.value // 2, op.value - 1):
+                if 0 <= value < op.value:
+                    replacements.append(Imm(value))
+        elif isinstance(op, Reg) and op.name not in _LOW_REGS:
+            replacements.extend(Reg(name) for name in _LOW_REGS)
+        elif isinstance(op, Mem) and op.disp not in (0, 4):
+            for disp in (0, 4, op.disp // 8 * 4):
+                if disp != op.disp and disp >= 0:
+                    replacements.append(Mem(base=op.base, index=op.index, disp=disp, scale=op.scale))
+        for replacement in replacements:
+            operands = list(insn.operands)
+            operands[position] = replacement
+            variants.append(Instruction(insn.mnemonic, tuple(operands)))
+    return variants
+
+
+def _shrink_operands(lines: List[str], interesting: _Budget) -> List[str]:
+    """Per-line operand simplification to a (budgeted) fixpoint."""
+    changed = True
+    sweeps = 0
+    while changed and interesting.remaining > 0 and sweeps < 50:
+        sweeps += 1
+        changed = False
+        for index, line in enumerate(lines):
+            insn = _instruction_of(line)
+            if insn is None:
+                continue
+            for variant in _operand_variants(insn):
+                candidate = list(lines)
+                candidate[index] = str(variant)
+                if candidate[index] == line:
+                    continue
+                if interesting(candidate):
+                    lines = candidate
+                    changed = True
+                    break
+    return lines
+
+
+def shrink_program(
+    lines: Sequence[str],
+    is_interesting: Callable[[List[str]], bool],
+    budget: int = DEFAULT_BUDGET,
+) -> List[str]:
+    """Minimize a failing program while ``is_interesting`` stays true.
+
+    ``lines`` are assembly source lines (labels included).  The original
+    program is returned unchanged if the predicate unexpectedly rejects it
+    (a flaky failure is not worth a misleading "minimal" reproducer).
+    """
+    lines = [line.strip() for line in lines if line.strip()]
+    tracked = _Budget(is_interesting, budget)
+    if not tracked(lines):
+        return list(lines)
+    lines = _ddmin_lines(list(lines), tracked)
+    lines = _shrink_operands(lines, tracked)
+    return lines

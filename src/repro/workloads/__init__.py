@@ -1,6 +1,11 @@
 """Synthetic SPEC CINT 2006 stand-in workloads."""
 
-from repro.workloads.generator import generate_source
+from repro.workloads.generator import (
+    KernelGen,
+    generate_kernel,
+    generate_source,
+    mutate_profile,
+)
 from repro.workloads.profiles import BENCHMARK_NAMES, PROFILE_BY_NAME, PROFILES, Profile
 from repro.workloads.spec import (
     all_benchmarks,
@@ -10,7 +15,10 @@ from repro.workloads.spec import (
 )
 
 __all__ = [
+    "KernelGen",
+    "generate_kernel",
     "generate_source",
+    "mutate_profile",
     "Profile",
     "PROFILES",
     "PROFILE_BY_NAME",

@@ -21,7 +21,8 @@ Structural properties the generator guarantees:
 from __future__ import annotations
 
 import random
-from typing import List
+from dataclasses import replace
+from typing import Dict, List, Optional
 
 from repro.workloads.profiles import Profile
 
@@ -30,8 +31,13 @@ _DATA_BYTES = 4096
 _FILL_BYTES = 1024
 
 
-class _KernelGen:
-    """Generates one kernel function body."""
+class KernelGen:
+    """Generates one kernel function body.
+
+    Public so fuzzers and tests can drive kernel generation directly (a
+    mutation hook: hand in a biased profile and a seeded ``random.Random``
+    and get one kernel's mini-language source back).
+    """
 
     def __init__(self, profile: Profile, rng: random.Random, index: int) -> None:
         self.profile = profile
@@ -243,6 +249,51 @@ class _KernelGen:
         return "\n".join(header + self.lines + footer)
 
 
+#: Backwards-compatible private alias.
+_KernelGen = KernelGen
+
+
+def _reweighted(weights: Dict[str, float], bias: Dict[str, float]) -> Dict[str, float]:
+    unknown = set(bias) - set(weights)
+    if unknown:
+        raise ValueError(f"bias for unknown keys: {sorted(unknown)}")
+    return {key: value * bias.get(key, 1.0) for key, value in weights.items()}
+
+
+def mutate_profile(
+    profile: Profile,
+    seed: int,
+    stmt_bias: Optional[Dict[str, float]] = None,
+    op_bias: Optional[Dict[str, float]] = None,
+) -> Profile:
+    """A deterministic variant of *profile* with reweighted distributions.
+
+    The mutation hook for coverage-guided fuzzing: multiply statement-kind
+    and/or operator weights by a bias factor (``0`` disables a kind, ``>1``
+    favours it) and reseed, so repeated calls explore different program
+    compositions while :func:`generate_source` stays fully deterministic.
+    Biases may only reference keys the profile already has — a profile
+    cannot be biased toward statements its palette does not contain.
+    """
+    mutated = replace(
+        profile,
+        name=f"{profile.name}~{seed}",
+        seed=profile.seed ^ (0x9E3779B1 * (seed + 1) & 0x7FFFFFFF),
+    )
+    if stmt_bias:
+        mutated = replace(mutated, stmt_weights=_reweighted(profile.stmt_weights, stmt_bias))
+    if op_bias:
+        mutated = replace(mutated, op_weights=_reweighted(profile.op_weights, op_bias))
+    if all(weight == 0 for weight in mutated.stmt_weights.values()):
+        raise ValueError("mutation disabled every statement kind")
+    return mutated
+
+
+def generate_kernel(profile: Profile, seed: int, index: int = 0) -> str:
+    """Generate one standalone kernel function body (fuzzing entry point)."""
+    return KernelGen(profile, random.Random(seed), index).generate()
+
+
 def generate_source(profile: Profile) -> str:
     """Deterministically generate a benchmark's mini-language source."""
     rng = random.Random(profile.seed)
@@ -257,7 +308,7 @@ def generate_source(profile: Profile) -> str:
     parts.append(_check_function())
     kernels = []
     for index in range(profile.kernels):
-        kernels.append(_KernelGen(profile, rng, index).generate())
+        kernels.append(KernelGen(profile, rng, index).generate())
     parts.extend(kernels)
     parts.append(_main_function(profile, rng))
     return "\n\n".join(parts) + "\n"

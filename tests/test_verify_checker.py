@@ -219,3 +219,148 @@ class TestPaperRejections:
         result = check("ldr r0, [sp, #4]", "movl 4(%ecx), %eax")
         assert not result.dataflow_ok
         assert "stack" in result.reason
+
+
+# -- property tests: flag verdicts vs. concrete execution ----------------------
+#
+# The four-way flag verdict (equiv/mismatch/preserved/clobbered) is the raw
+# material of condition-flag delegation, so a wrong FLAG_EQUIV is a silent
+# translation bug.  Property: whenever the checker reports ``equiv`` for a
+# guest-set flag, concretely executing both sides from the same initial state
+# (registers related by the reported mapping) must agree on that flag.
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.instruction import Instruction
+from repro.isa.operands import Imm, Label, Mem, Reg
+from repro.semantics.state import ConcreteState
+from tests.strategies import arm_instructions, x86_instructions
+
+_GUEST_ALU = (
+    "add", "adds", "sub", "subs", "rsb", "rsbs", "and", "ands",
+    "orr", "orrs", "eor", "eors", "bic", "bics", "lsl", "lsls",
+    "lsr", "lsrs", "asr", "asrs", "mul", "muls", "mov", "movs",
+)
+_HOST_ALU = ("addl", "subl", "andl", "orl", "xorl", "shll", "shrl", "sarl", "imull")
+
+
+@st.composite
+def _alu_pairs(draw):
+    """Single-instruction pairs biased toward dataflow-equivalent shapes.
+
+    Fully random pairs almost never pass the dataflow check (making the flag
+    property vacuous), so the host side is a ``movl`` + ALU template over the
+    canonical mapping r0->eax, r1->ecx, r2->edx; the ALU opcode itself is
+    drawn independently, so matching and non-matching combinations both
+    occur.
+    """
+    guest_mnemonic = draw(st.sampled_from(_GUEST_ALU))
+    if guest_mnemonic.rstrip("s") in ("mov",) or guest_mnemonic in ("mov", "movs"):
+        guest = Instruction(guest_mnemonic, (Reg("r0"), Reg("r1")))
+    else:
+        guest = Instruction(guest_mnemonic, (Reg("r0"), Reg("r1"), Reg("r2")))
+    host_op = draw(st.sampled_from(_HOST_ALU))
+    host = (
+        Instruction("movl", (Reg("ecx"), Reg("eax"))),
+        Instruction(host_op, (Reg("edx"), Reg("eax"))),
+    )
+    if draw(st.booleans()):
+        host = (
+            Instruction("movl", (Reg("ecx"), Reg("eax"))),
+            Instruction("testl", (Reg("eax"), Reg("eax"))),
+        )
+    return guest, host
+
+
+def _concrete_flags(isa, instructions, reg_values, flag_values):
+    """Execute instructions concretely; final flag file (None on any error)."""
+    state = ConcreteState()
+    for name, value in reg_values.items():
+        state.set_reg(name, value)
+    state.flags.update(flag_values)
+    try:
+        for insn in instructions:
+            state.clear_branch()
+            isa.defn(insn).semantics(state, insn)
+    except Exception:
+        return None
+    return dict(state.flags)
+
+
+def _assert_equiv_verdicts_hold(guest, host, result, seeds):
+    from repro.isa.flags import FLAG_NAMES
+
+    guest_sets = ARM.defn(guest).flags_set
+    claimed = [
+        f for f in guest_sets if result.flag_status.get(f) == FLAG_EQUIV
+    ]
+    if result.reg_mapping is None or not claimed:
+        return
+    base = {"pc": 0x1000, "sp": 0x7FF000, "lr": 0}
+    for trial, (va, vb, vc, flag_bits) in enumerate(seeds):
+        guest_regs = dict(base)
+        for i, name in enumerate(f"r{j}" for j in range(13)):
+            guest_regs[name] = (va, vb, vc)[i % 3] ^ (i * 0x01010101)
+        host_regs = {"esp": 0x7FF000}
+        for name in ("eax", "ecx", "edx", "ebx", "esi", "edi", "ebp"):
+            host_regs[name] = 0xDEAD0000 + len(name)
+        for g, h in result.reg_mapping.items():
+            host_regs[h] = guest_regs[g]
+        flags = {name: (flag_bits >> i) & 1 for i, name in enumerate(FLAG_NAMES)}
+        gflags = _concrete_flags(ARM, (guest,), guest_regs, flags)
+        hflags = _concrete_flags(X86, host, host_regs, flags)
+        if gflags is None or hflags is None:
+            continue
+        for f in claimed:
+            assert gflags[f] == hflags[f], (
+                f"checker reported {f}=equiv for {guest} vs {list(host)} "
+                f"but concrete execution disagrees "
+                f"(guest {gflags[f]} != host {hflags[f]}; trial {trial})"
+            )
+
+
+class TestFlagVerdictProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        pair=_alu_pairs(),
+        seeds=st.lists(
+            st.tuples(
+                st.integers(0, 0xFFFFFFFF),
+                st.integers(0, 0xFFFFFFFF),
+                st.integers(0, 0xFFFFFFFF),
+                st.integers(0, 15),
+            ),
+            min_size=2,
+            max_size=4,
+        ),
+    )
+    def test_equiv_verdict_never_contradicted(self, pair, seeds):
+        guest, host = pair
+        result = check_equivalence(ARM, X86, (guest,), host)
+        _assert_equiv_verdicts_hold(guest, host, result, seeds)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        guest=arm_instructions(exclude=("push", "pop", "bl", "b", "bx")),
+        host=x86_instructions(exclude=("pushl", "popl", "call", "jmp", "ret")),
+        seeds=st.lists(
+            st.tuples(
+                st.integers(0, 0xFFFFFFFF),
+                st.integers(0, 0xFFFFFFFF),
+                st.integers(0, 0xFFFFFFFF),
+                st.integers(0, 15),
+            ),
+            min_size=1,
+            max_size=2,
+        ),
+    )
+    def test_random_pairs_equiv_verdicts_hold(self, guest, host, seeds):
+        # Mostly vacuous (random pairs rarely pass dataflow), but the checker
+        # must never crash and any equiv claim it does make must hold.
+        try:
+            result = check_equivalence(ARM, X86, (guest,), (host,))
+        except Exception as exc:  # noqa: BLE001 - any crash is a failure
+            raise AssertionError(f"checker crashed on {guest} / {host}: {exc}")
+        if not result.dataflow_ok:
+            return
+        _assert_equiv_verdicts_hold(guest, (host,), result, seeds)

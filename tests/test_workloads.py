@@ -105,3 +105,60 @@ class TestDynamicMix:
         counts_gcc = result_gcc.dynamic_mnemonic_counts(pair_gcc.guest.real_instructions)
         diverse = {m for m, c in counts_gcc.items() if c > result_gcc.steps * 0.01}
         assert len(rich) < len(diverse)
+
+
+class TestMutationHooks:
+    """Public fuzzing hooks: profile mutation and standalone kernel gen."""
+
+    def test_mutate_profile_deterministic(self):
+        from repro.workloads import mutate_profile
+
+        base = PROFILE_BY_NAME["mcf"]
+        a = mutate_profile(base, seed=3, stmt_bias={"alu": 2.0})
+        b = mutate_profile(base, seed=3, stmt_bias={"alu": 2.0})
+        assert a == b
+        assert a.seed != base.seed
+        assert generate_source(a) == generate_source(b)
+        assert generate_source(a) != generate_source(base)
+
+    def test_mutate_profile_bias_shifts_composition(self):
+        from repro.workloads import mutate_profile
+
+        base = PROFILE_BY_NAME["mcf"]
+        loaded = mutate_profile(
+            base, seed=1, stmt_bias={"load": 10.0, "alu": 0.1}
+        )
+        assert loaded.stmt_weights["load"] == base.stmt_weights["load"] * 10.0
+        assert loaded.op_weights == base.op_weights
+
+    def test_mutate_profile_rejects_unknown_keys(self):
+        from repro.workloads import mutate_profile
+
+        with pytest.raises(ValueError):
+            mutate_profile(PROFILE_BY_NAME["mcf"], seed=0, stmt_bias={"nope": 2.0})
+
+    def test_mutate_profile_rejects_all_zero(self):
+        from repro.workloads import mutate_profile
+
+        base = PROFILE_BY_NAME["mcf"]
+        bias = {kind: 0.0 for kind in base.stmt_weights}
+        with pytest.raises(ValueError):
+            mutate_profile(base, seed=0, stmt_bias=bias)
+
+    def test_generate_kernel_standalone(self):
+        from repro.workloads import generate_kernel
+
+        kernel = generate_kernel(PROFILE_BY_NAME["mcf"], seed=5, index=2)
+        assert kernel.startswith("func k2(")
+        assert generate_kernel(PROFILE_BY_NAME["mcf"], seed=5, index=2) == kernel
+        assert generate_kernel(PROFILE_BY_NAME["mcf"], seed=6, index=2) != kernel
+
+    def test_mutated_profile_still_compiles_and_runs(self):
+        from repro.lang import compile_pair
+        from repro.workloads import mutate_profile
+
+        base = PROFILE_BY_NAME["mcf"]
+        mutated = mutate_profile(base, seed=9, op_bias={"+": 3.0})
+        pair = compile_pair("mutated", generate_source(mutated), pic=base.pic)
+        result = GuestInterpreter(pair.guest).run()
+        assert result.steps > 0
