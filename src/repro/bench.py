@@ -1,0 +1,210 @@
+"""Execution-backend benchmark harness (``repro bench``).
+
+Times every benchmark under the four engine configurations — ``interp`` and
+``jit``, each with chaining off and on — and writes the results to
+``BENCH_dbt.json``.  The protocol per configuration:
+
+* one **cold** run on a fresh engine (pays translation, and for the jit
+  backend closure compilation);
+* ``repeats`` **warm** runs on the same engine (code cache and chain maps
+  hot), keeping the minimum — throughput numbers come from this;
+* ``translate_seconds`` is the cold/warm delta, an upper bound on the
+  translate+compile cost.
+
+Every configuration's final architectural snapshot is checked against the
+interpreter baseline before its timing is trusted: a benchmark number from a
+diverging backend would be meaningless.
+
+``--quick`` trades rule quality for setup time: it benchmarks a three-name
+subset under the cheap two-benchmark training configuration from
+:mod:`repro.difftest.oracle` instead of the full leave-one-out setup, so a
+cold CI container finishes in seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.dbt import DBTEngine
+from repro.experiments.common import geomean
+
+#: benchmarks used by ``--quick`` (small, distinct control-flow shapes).
+QUICK_NAMES = ("mcf", "libquantum", "astar")
+
+#: (backend, chaining) configurations, keyed as they appear in the report.
+CONFIGS: Tuple[Tuple[str, str, bool], ...] = (
+    ("interp", "interp", False),
+    ("interp+chain", "interp", True),
+    ("jit", "jit", False),
+    ("jit+chain", "jit", True),
+)
+
+STAGE = "condition"
+
+
+def _bench_config(name: str, quick: bool):
+    if quick:
+        from repro.difftest.oracle import stage_config
+
+        return stage_config(STAGE)
+    from repro.experiments.common import setup_excluding
+
+    return setup_excluding(name).configs[STAGE]
+
+
+def _bench_one(
+    name: str, config, repeats: int
+) -> Dict[str, Dict[str, float]]:
+    """Time one benchmark under all four configurations."""
+    from repro.workloads import compiled_benchmark
+
+    unit = compiled_benchmark(name).guest
+    rows: Dict[str, Dict[str, float]] = {}
+    baseline_snapshot = None
+    for key, backend, chaining in CONFIGS:
+        engine = DBTEngine(unit, config, chaining=chaining, backend=backend)
+        started = time.perf_counter()
+        result = engine.run()
+        cold = time.perf_counter() - started
+        warm = cold
+        for _ in range(repeats):
+            started = time.perf_counter()
+            result = engine.run()
+            warm = min(warm, time.perf_counter() - started)
+        snapshot = result.architectural_snapshot()
+        if baseline_snapshot is None:
+            baseline_snapshot = snapshot
+        elif snapshot != baseline_snapshot:
+            raise RuntimeError(
+                f"{name}/{key}: architectural snapshot diverged from the "
+                "interpreter baseline; refusing to report its timings"
+            )
+        metrics = result.metrics
+        rows[key] = {
+            "cold_seconds": round(cold, 6),
+            "warm_seconds": round(warm, 6),
+            "translate_seconds": round(max(0.0, cold - warm), 6),
+            "guest_insns_per_sec": round(metrics.guest_dynamic / warm, 1),
+            "blocks_per_sec": round(metrics.block_executions / warm, 1),
+            "chain_rate": round(metrics.chain_rate, 4),
+            "guest_dynamic": metrics.guest_dynamic,
+            "block_executions": metrics.block_executions,
+            "blocks_translated": metrics.blocks_translated,
+        }
+    return rows
+
+
+def _summary(benchmarks: Dict[str, Dict]) -> Dict[str, object]:
+    per_config: Dict[str, List[float]] = {key: [] for key, _, _ in CONFIGS}
+    for rows in benchmarks.values():
+        for key, values in rows["configs"].items():
+            per_config[key].append(values["guest_insns_per_sec"])
+    rates = {key: round(geomean(vals), 1) for key, vals in per_config.items()}
+    jit_speedup = rates["jit"] / rates["interp"] if rates["interp"] else 0.0
+    chain_gain_jit = (
+        rates["jit+chain"] / rates["jit"] if rates["jit"] else 0.0
+    )
+    chain_gain_interp = (
+        rates["interp+chain"] / rates["interp"] if rates["interp"] else 0.0
+    )
+    chain_rates = [
+        rows["configs"]["jit+chain"]["chain_rate"]
+        for rows in benchmarks.values()
+    ]
+    return {
+        "geomean_guest_insns_per_sec": rates,
+        "jit_speedup_over_interp": round(jit_speedup, 2),
+        "chain_gain_jit": round(chain_gain_jit, 3),
+        "chain_gain_interp": round(chain_gain_interp, 3),
+        "mean_chain_rate_jit": round(
+            sum(chain_rates) / len(chain_rates), 4
+        ) if chain_rates else 0.0,
+    }
+
+
+def run_bench(
+    names: Optional[Sequence[str]] = None,
+    repeats: int = 3,
+    quick: bool = False,
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Benchmark the execution backends; return the report payload."""
+    if names is None:
+        if quick:
+            names = QUICK_NAMES
+        else:
+            from repro.workloads import BENCHMARK_NAMES
+
+            names = BENCHMARK_NAMES
+    benchmarks: Dict[str, Dict] = {}
+    for name in names:
+        if log is not None:
+            log(f"benchmarking {name} ...")
+        config = _bench_config(name, quick)
+        rows = _bench_one(name, config, repeats)
+        benchmarks[name] = {
+            "guest_dynamic": rows["interp"]["guest_dynamic"],
+            "configs": rows,
+        }
+    return {
+        "harness": "repro bench",
+        "mode": "quick" if quick else "full",
+        "stage": STAGE,
+        "repeats": repeats,
+        "benchmarks": benchmarks,
+        "summary": _summary(benchmarks),
+    }
+
+
+def write_report(payload: Dict[str, object], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def render_report(payload: Dict[str, object]) -> str:
+    """Human-readable summary of a bench payload."""
+    lines = [
+        f"backend benchmark ({payload['mode']} mode, "
+        f"stage={payload['stage']}, min of {payload['repeats']} warm runs)",
+        f"{'benchmark':12s} {'config':13s} {'guest insns/s':>14s} "
+        f"{'blocks/s':>10s} {'warm s':>8s} {'chain':>6s}",
+    ]
+    for name, rows in payload["benchmarks"].items():
+        for key, _, _ in CONFIGS:
+            values = rows["configs"][key]
+            lines.append(
+                f"{name:12s} {key:13s} {values['guest_insns_per_sec']:>14,.0f} "
+                f"{values['blocks_per_sec']:>10,.0f} "
+                f"{values['warm_seconds']:>8.4f} "
+                f"{values['chain_rate']:>6.2f}"
+            )
+    summary = payload["summary"]
+    rates = summary["geomean_guest_insns_per_sec"]
+    lines.append("")
+    lines.append("geomean guest insns/sec:")
+    for key, _, _ in CONFIGS:
+        lines.append(f"  {key:13s} {rates[key]:>14,.0f}")
+    lines.append(
+        f"jit speedup over interp : {summary['jit_speedup_over_interp']:.2f}x"
+    )
+    lines.append(
+        f"chaining gain (jit)     : {summary['chain_gain_jit']:.3f}x"
+    )
+    lines.append(
+        f"chaining gain (interp)  : {summary['chain_gain_interp']:.3f}x"
+    )
+    lines.append(
+        f"mean jit chain rate     : {summary['mean_chain_rate_jit']:.2f}"
+    )
+    return "\n".join(lines)
+
+
+def check_report(payload: Dict[str, object]) -> Tuple[bool, str]:
+    """CI gate: the jit backend must beat the interpreter."""
+    speedup = payload["summary"]["jit_speedup_over_interp"]
+    if speedup <= 1.0:
+        return False, f"jit is not faster than interp ({speedup:.2f}x)"
+    return True, f"jit is {speedup:.2f}x interp"

@@ -7,7 +7,8 @@ Usage::
     repro run all --jobs 4          # reproduce everything, 4 worker processes
     repro suite                     # workload suite summary
     repro rules [--benchmark NAME] [--out FILE]   # learn + dump rules
-    repro translate NAME [--stage condition]      # run one benchmark's DBT
+    repro translate NAME [--stage condition] [--backend jit]  # one DBT run
+    repro bench [--quick] [--check]               # backend benchmark harness
     repro cache stats               # on-disk pipeline cache overview
     repro cache clear               # drop disk + in-memory caches
 
@@ -190,9 +191,10 @@ def _cmd_analyze(args) -> int:
 def _cmd_translate(args) -> int:
     from repro.experiments.common import run_benchmark
 
-    metrics = run_benchmark(args.benchmark, args.stage)
+    metrics = run_benchmark(args.benchmark, args.stage, backend=args.backend)
     print(f"benchmark          : {args.benchmark}")
     print(f"configuration      : {args.stage}")
+    print(f"backend            : {args.backend}")
     print(f"guest instructions : {metrics.guest_dynamic}")
     print(f"dynamic coverage   : {100 * metrics.coverage:.2f}%")
     print(f"host/guest ratio   : {metrics.total_ratio:.2f}")
@@ -201,6 +203,22 @@ def _cmd_translate(args) -> int:
     print(f"blocks translated  : {metrics.blocks_translated}")
     print(f"block executions   : {metrics.block_executions}")
     print(f"simulated cost     : {metrics.cost():.0f}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    """Benchmark the execution backends and write ``BENCH_dbt.json``."""
+    from repro.bench import check_report, render_report, run_bench, write_report
+
+    log = None if args.quiet else (lambda message: print(f"# {message}"))
+    payload = run_bench(repeats=args.repeats, quick=args.quick, log=log)
+    print(render_report(payload))
+    write_report(payload, args.out)
+    print(f"report: {args.out}")
+    if args.check:
+        ok, message = check_report(payload)
+        print(f"check: {message}")
+        return 0 if ok else 1
     return 0
 
 
@@ -296,8 +314,27 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.param import STAGES
 
     translate.add_argument("--stage", default="condition", choices=STAGES)
+    from repro.dbt import BACKENDS
+
+    translate.add_argument("--backend", default="interp", choices=BACKENDS,
+                           help="execution backend (interp is the oracle)")
     _add_jobs(translate)
     translate.set_defaults(fn=_cmd_translate)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark the execution backends (writes BENCH_dbt.json)"
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="3-benchmark subset, cheap training rules (CI)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="warm repetitions per configuration (min is kept)")
+    bench.add_argument("--out", default="BENCH_dbt.json",
+                       help="report path (default BENCH_dbt.json)")
+    bench.add_argument("--check", action="store_true",
+                       help="exit nonzero unless jit beats interp")
+    bench.add_argument("--quiet", action="store_true",
+                       help="suppress progress lines")
+    bench.set_defaults(fn=_cmd_bench)
 
     difftest = sub.add_parser(
         "difftest", help="coverage-guided differential fuzzing of the DBT"

@@ -1,7 +1,13 @@
 """DBT engine: TCG baseline, rule-based translation, execution, metrics."""
 
 from repro.dbt.block import Block, BlockMap
-from repro.dbt.engine import DBTEngine, DBTRunResult, check_against_reference
+from repro.dbt.compiler import CompiledBlock, compile_block
+from repro.dbt.engine import (
+    BACKENDS,
+    DBTEngine,
+    DBTRunResult,
+    check_against_reference,
+)
 from repro.dbt.guest_interp import GuestInterpreter, RunResult
 from repro.dbt.loader import unit_from_assembly
 from repro.dbt.metrics import DISPATCH_COST, RunMetrics, speedup
@@ -12,8 +18,11 @@ from repro.dbt.translator import (
 )
 
 __all__ = [
+    "BACKENDS",
     "Block",
     "BlockMap",
+    "CompiledBlock",
+    "compile_block",
     "DBTEngine",
     "DBTRunResult",
     "check_against_reference",

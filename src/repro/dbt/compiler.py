@@ -1,0 +1,538 @@
+"""Closure-compiled execution backend: host instructions -> Python code.
+
+The interpreter backend (:mod:`repro.dbt.executor`) re-decodes every host
+instruction on every execution: ``isinstance`` operand dispatch inside
+``read_operand``/``write_operand``, a category-count dict update per
+instruction, a label lookup per taken branch.  This module translates a
+*second* time — the paper's guest->host translation produces a
+:class:`~repro.dbt.translator.TranslatedBlock`, and ``compile_block``
+lowers that host tuple into specialized Python functions, the
+threaded-code / closure-compilation technique QEMU-style engines use to
+escape dispatch overhead:
+
+* **operand pre-resolution** — every operand is resolved at compile time
+  into a direct slot access in the generated source: a register becomes a
+  literal-keyed dict access (``regs['g_r0']``), an immediate a constant,
+  an aligned constant-address memory operand (the CPU environment slots)
+  a precomputed word index into the memory dict;
+* **run fusion** — each maximal straight-line run compiles to one
+  generated function with the instruction semantics inlined (no function
+  call per instruction), and the run's weighted per-category instruction
+  counts (:data:`repro.dbt.executor.WEIGHTS`) are pre-aggregated into one
+  batched ``counts`` update per run;
+* **resolved control flow** — branch targets become run indices returned
+  by the run function, and condition codes become inlined predicates over
+  the flag file;
+* **block chaining** — each compiled block carries a ``chain`` map from
+  successor guest-block index to the successor's compiled body; the
+  engine's jit loop (:meth:`repro.dbt.engine.DBTEngine.run`) transfers
+  through it directly once an edge is hot, without returning to the
+  dispatch loop.
+
+The interpreter backend remains the oracle: compiled execution must
+produce byte-identical architectural state *and* identical ``RunMetrics``
+counts (``tests/test_backend_difftest.py`` enforces this over the corpus
+plus hundreds of fuzzed programs).  The generated code therefore
+replicates the exact arithmetic of
+:class:`repro.semantics.domain.ConcreteDomain` — the 33-bit carry /
+sign-overlap overflow formulas, the shift saturation rules, 0/1 integer
+flags — and any mnemonic without a code template falls back to calling
+the shared semantics function, which is always correct.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.dbt.executor import _MAX_BLOCK_STEPS, WEIGHTS
+from repro.dbt.runtime import DISPATCH_LABEL
+from repro.dbt.translator import TranslatedBlock
+from repro.errors import ExecutionError
+from repro.isa.instruction import Instruction, InstructionDef
+from repro.isa.operands import Imm, Label, Mem, Reg
+from repro.isa.x86.opcodes import X86
+
+_MASK = 0xFFFFFFFF
+_M = "0xFFFFFFFF"
+
+#: Run-index sentinel: control leaves the block (the dispatch-label exit).
+EXIT = -1
+
+
+def _uninit(exc: KeyError) -> None:
+    """Convert a raw KeyError from generated code into the interpreter's
+    uninitialized-read :class:`ExecutionError` (message parity with
+    ``ConcreteState.get_reg``/``get_flag``)."""
+    name = exc.args[0]
+    kind = "flag" if name in ("N", "Z", "C", "V") else "register"
+    raise ExecutionError(f"read of uninitialized {kind} {name!r}") from None
+
+
+# -- operand codegen -----------------------------------------------------------
+
+
+def _addr_expr(mem: Mem) -> str:
+    """Effective-address expression; equivalent to ``BaseState.addr_of``.
+
+    ``addr_of`` masks after every add/mul; folding into one final mask
+    yields the same 32-bit value.  Single pre-masked terms skip the mask.
+    """
+    parts: List[str] = []
+    disp = mem.disp & _MASK
+    if disp:
+        parts.append(str(disp))
+    if mem.base is not None:
+        parts.append(f"regs[{mem.base.name!r}]")
+    if mem.index is not None:
+        idx = f"regs[{mem.index.name!r}]"
+        parts.append(idx if mem.scale == 1 else f"{idx} * {mem.scale}")
+    if not parts:
+        return "0"
+    if len(parts) == 1 and mem.index is None:
+        return parts[0]  # a lone disp or base register is already masked
+    return f"({' + '.join(parts)}) & {_M}"
+
+
+def _read(op, out: List[str], tag: str) -> str:
+    """Emit lines computing operand *op*; return the value expression."""
+    if isinstance(op, Reg):
+        return f"regs[{op.name!r}]"
+    if isinstance(op, Imm):
+        return str(op.value & _MASK)
+    if isinstance(op, Mem):
+        if op.base is None and op.index is None:
+            disp = op.disp & _MASK
+            if not disp & 3:
+                return f"mem.get({disp >> 2}, 0)"
+            return f"st.load({disp})"
+        a, v = f"_a{tag}", f"_v{tag}"
+        out.append(f"{a} = {_addr_expr(op)}")
+        out.append(
+            f"{v} = mem.get({a} >> 2, 0) if not {a} & 3 else st.load({a})"
+        )
+        return v
+    raise ExecutionError(f"cannot read operand {op!r}")
+
+
+def _write(op, value: str, out: List[str], tag: str) -> None:
+    """Emit lines storing expression *value* (already masked) into *op*."""
+    if isinstance(op, Reg):
+        out.append(f"regs[{op.name!r}] = {value}")
+        return
+    if isinstance(op, Mem):
+        if op.base is None and op.index is None:
+            disp = op.disp & _MASK
+            if not disp & 3:
+                out.append(f"mem[{disp >> 2}] = {value}")
+            else:
+                out.append(f"st.store({disp}, {value})")
+            return
+        a, w = f"_a{tag}", f"_w{tag}"
+        out.append(f"{a} = {_addr_expr(op)}")
+        out.append(f"{w} = {value}")
+        out.append(f"if not {a} & 3: mem[{a} >> 2] = {w}")
+        out.append(f"else: st.store({a}, {w})")
+        return
+    raise ExecutionError(f"cannot write operand {op!r}")
+
+
+# -- instruction templates -----------------------------------------------------
+#
+# Each emitter appends source lines for one instruction.  The arithmetic
+# mirrors ConcreteDomain bit for bit: the 33-bit sum for carry, the
+# sign-overlap formula for overflow, shift saturation, 0/1 integer flags.
+
+_LOGIC_OPS = {"andl": "&", "orl": "|", "xorl": "^"}
+_SETCC_FLAG = {"setz": "Z", "sets": "N", "setc": "C", "seto": "V"}
+_SIZED_LOAD = {"movzbl": 1, "movzwl": 2}
+_SIZED_STORE = {"movb": 1, "movw": 2}
+
+
+def _emit_nzcv(a: str, b: str, f: str, r: str, out: List[str]) -> None:
+    out.append(f"flags['N'] = {r} >> 31")
+    out.append(f"flags['Z'] = 1 if {r} == 0 else 0")
+    out.append(f"flags['C'] = ({f} >> 32) & 1")
+    out.append(f"flags['V'] = ((~({a} ^ {b}) & ({a} ^ {r})) >> 31) & 1")
+
+
+def _emit_nz_cv0(r: str, out: List[str]) -> None:
+    out.append(f"flags['N'] = {r} >> 31")
+    out.append(f"flags['Z'] = 1 if {r} == 0 else 0")
+    out.append("flags['C'] = 0")
+    out.append("flags['V'] = 0")
+
+
+def _emit_addsub(k, insn, out, subtract: bool, use_carry: bool) -> None:
+    src, dst = insn.operands
+    a, b, f, r = f"_x{k}", f"_y{k}", f"_f{k}", f"_r{k}"
+    out.append(f"{a} = {_read(dst, out, f'{k}d')}")
+    rhs = _read(src, out, f"{k}s")
+    out.append(f"{b} = {rhs} ^ {_M}" if subtract else f"{b} = {rhs}")
+    cin = "flags['C']" if use_carry else ("1" if subtract else "0")
+    out.append(f"{f} = {a} + {b} + {cin}")
+    out.append(f"{r} = {f} & {_M}")
+    _write(dst, r, out, f"{k}w")
+    _emit_nzcv(a, b, f, r, out)
+
+
+def _emit_cmpl(k, insn, out) -> None:
+    src, dst = insn.operands
+    a, b, f, r = f"_x{k}", f"_y{k}", f"_f{k}", f"_r{k}"
+    out.append(f"{a} = {_read(dst, out, f'{k}d')}")
+    out.append(f"{b} = {_read(src, out, f'{k}s')} ^ {_M}")
+    out.append(f"{f} = {a} + {b} + 1")
+    out.append(f"{r} = {f} & {_M}")
+    _emit_nzcv(a, b, f, r, out)
+
+
+def _emit_logic(k, insn, out, op: str) -> None:
+    src, dst = insn.operands
+    r = f"_r{k}"
+    rhs = _read(src, out, f"{k}s")
+    lhs = _read(dst, out, f"{k}d")
+    out.append(f"{r} = {lhs} {op} {rhs}")
+    _write(dst, r, out, f"{k}w")
+    _emit_nz_cv0(r, out)
+
+
+def _emit_shift(k, insn, out, mnemonic: str) -> None:
+    src, dst = insn.operands
+    a, b, r = f"_x{k}", f"_y{k}", f"_r{k}"
+    out.append(f"{a} = {_read(dst, out, f'{k}d')}")
+    out.append(f"{b} = {_read(src, out, f'{k}s')}")
+    if mnemonic == "shll":
+        out.append(f"{r} = ({a} << {b}) & {_M} if {b} < 32 else 0")
+    elif mnemonic == "shrl":
+        out.append(f"{r} = {a} >> {b} if {b} < 32 else 0")
+    else:  # sarl: arithmetic shift saturates the count at 31
+        out.append(
+            f"{r} = (({a} - 0x100000000 if {a} & 0x80000000 else {a})"
+            f" >> ({b} if {b} < 31 else 31)) & {_M}"
+        )
+    _write(dst, r, out, f"{k}w")
+    _emit_nz_cv0(r, out)
+
+
+def _emit_testl(k, insn, out) -> None:
+    src, dst = insn.operands
+    r = f"_r{k}"
+    rhs = _read(src, out, f"{k}s")
+    lhs = _read(dst, out, f"{k}d")
+    out.append(f"{r} = {lhs} & {rhs}")
+    _emit_nz_cv0(r, out)
+
+
+def _emit_negl(k, insn, out) -> None:
+    (op,) = insn.operands
+    b, f, r = f"_y{k}", f"_f{k}", f"_r{k}"
+    out.append(f"{b} = {_read(op, out, f'{k}d')} ^ {_M}")
+    out.append(f"{f} = {b} + 1")
+    out.append(f"{r} = {f} & {_M}")
+    _write(op, r, out, f"{k}w")
+    out.append(f"flags['N'] = {r} >> 31")
+    out.append(f"flags['Z'] = 1 if {r} == 0 else 0")
+    out.append(f"flags['C'] = ({f} >> 32) & 1")
+    out.append(f"flags['V'] = ((~{b} & {r}) >> 31) & 1")
+
+
+def _emit_umlal(k, insn, out) -> None:
+    lo, hi, rn, rm = insn.operands
+    t = f"_t{k}"
+    lo_v = _read(lo, out, f"{k}a")
+    hi_v = _read(hi, out, f"{k}b")
+    rn_v = _read(rn, out, f"{k}c")
+    rm_v = _read(rm, out, f"{k}e")
+    out.append(f"{t} = (({hi_v} << 32) | {lo_v}) + {rn_v} * {rm_v}")
+    _write(lo, f"{t} & {_M}", out, f"{k}w")
+    _write(hi, f"({t} >> 32) & {_M}", out, f"{k}x")
+
+
+def _emit_insn(
+    k: int, insn: Instruction, defn: InstructionDef, out: List[str], ns: Dict
+) -> None:
+    """Append source lines executing one non-branch instruction."""
+    m = insn.mnemonic
+    if m in ("movl", "movl_s"):
+        _write(
+            insn.operands[1], _read(insn.operands[0], out, f"{k}s"), out, f"{k}w"
+        )
+    elif m == "addl":
+        _emit_addsub(k, insn, out, subtract=False, use_carry=False)
+    elif m == "subl":
+        _emit_addsub(k, insn, out, subtract=True, use_carry=False)
+    elif m == "adcl":
+        _emit_addsub(k, insn, out, subtract=False, use_carry=True)
+    elif m == "sbbl":
+        _emit_addsub(k, insn, out, subtract=True, use_carry=True)
+    elif m in _LOGIC_OPS:
+        _emit_logic(k, insn, out, _LOGIC_OPS[m])
+    elif m in ("shll", "shrl", "sarl"):
+        _emit_shift(k, insn, out, m)
+    elif m == "imull":  # no flags (host imull leaves them undefined)
+        src, dst = insn.operands
+        lhs = _read(dst, out, f"{k}d")
+        rhs = _read(src, out, f"{k}s")
+        _write(dst, f"({lhs} * {rhs}) & {_M}", out, f"{k}w")
+    elif m == "cmpl":
+        _emit_cmpl(k, insn, out)
+    elif m == "testl":
+        _emit_testl(k, insn, out)
+    elif m == "leal":
+        _write(insn.operands[1], _addr_expr(insn.operands[0]), out, f"{k}w")
+    elif m == "notl":
+        (op,) = insn.operands
+        _write(op, f"{_read(op, out, f'{k}s')} ^ {_M}", out, f"{k}w")
+    elif m == "negl":
+        _emit_negl(k, insn, out)
+    elif m in _SIZED_LOAD and isinstance(insn.operands[0], Mem):
+        addr = _addr_expr(insn.operands[0])
+        _write(
+            insn.operands[1], f"st.load({addr}, {_SIZED_LOAD[m]})", out, f"{k}w"
+        )
+    elif m in _SIZED_STORE and isinstance(insn.operands[1], Mem):
+        value = _read(insn.operands[0], out, f"{k}s")
+        addr = _addr_expr(insn.operands[1])
+        out.append(f"st.store({addr}, {value}, {_SIZED_STORE[m]})")
+    elif len(m) == 4 and m[:2] == "st" and m[3] == "f" and m[2] in "nzcv":
+        flag = m[2].upper()
+        _write(insn.operands[0], f"(1 if flags[{flag!r}] else 0)", out, f"{k}w")
+    elif len(m) == 4 and m[:2] == "ld" and m[3] == "f" and m[2] in "nzcv":
+        flag = m[2].upper()
+        out.append(
+            f"flags[{flag!r}] = {_read(insn.operands[0], out, f'{k}s')} & 1"
+        )
+    elif m in _SETCC_FLAG:
+        flag = _SETCC_FLAG[m]
+        _write(insn.operands[0], f"(1 if flags[{flag!r}] else 0)", out, f"{k}w")
+    elif m == "helper_umlal":
+        _emit_umlal(k, insn, out)
+    elif m == "helper_clz":
+        src = _read(insn.operands[1], out, f"{k}s")
+        _write(insn.operands[0], f"32 - ({src}).bit_length()", out, f"{k}w")
+    else:
+        # No template: call the shared semantics function (always correct).
+        ns[f"_sem{k}"] = defn.semantics
+        ns[f"_i{k}"] = insn
+        out.append(f"_sem{k}(st, _i{k})")
+
+
+# -- condition predicates ------------------------------------------------------
+#
+# Truthiness matches the interpreter's `if state.branch_taken:` over the
+# 0/1 flag values condition evaluation produces.
+
+_PRED_EXPR: Dict[str, str] = {
+    "eq": "flags['Z']",
+    "ne": "not flags['Z']",
+    "lt": "flags['N'] ^ flags['V']",
+    "ge": "not (flags['N'] ^ flags['V'])",
+    "gt": "not flags['Z'] and not (flags['N'] ^ flags['V'])",
+    "le": "flags['Z'] or (flags['N'] ^ flags['V'])",
+    "mi": "flags['N']",
+    "pl": "not flags['N']",
+    "cs": "flags['C']",
+    "cc": "not flags['C']",
+    "hi": "flags['C'] and not flags['Z']",
+    "ls": "not flags['C'] or flags['Z']",
+    "vs": "flags['V']",
+    "vc": "not flags['V']",
+}
+
+
+# -- run fusion ----------------------------------------------------------------
+
+
+def _run_leaders(tb: TranslatedBlock, defs) -> List[int]:
+    n = len(tb.host)
+    leaders = {0}
+    leaders.update(pos for pos in tb.labels.values() if pos < n)
+    for i, defn in enumerate(defs):
+        if defn.is_branch and i + 1 < n:
+            leaders.add(i + 1)
+    return sorted(leaders)
+
+
+def _gen_run(
+    tb: TranslatedBlock,
+    defs,
+    ri: int,
+    start: int,
+    end: int,
+    run_of: Dict[int, int],
+    ns: Dict,
+) -> Tuple[List[str], int]:
+    """Generate the source of run *ri* covering ``host[start:end)``.
+
+    Returns ``(source_lines, step_count, successor_run_indices)``.  The
+    successor list drives the compile-time forward-only (DAG) proof that
+    lets :class:`CompiledBlock` drop the runtime runaway guard.  The
+    generated function
+    ``_run{ri}(st, counts)`` executes the run, applies its pre-aggregated
+    category counts, and returns the next run index (:data:`EXIT` when
+    control leaves the block through the dispatch stub).
+    """
+    host = tb.host
+    agg: Dict[str, int] = {}
+    for k in range(start, end):
+        cat = tb.categories[k]
+        agg[cat] = agg.get(cat, 0) + WEIGHTS.get(host[k].mnemonic, 1)
+
+    terminator = host[end - 1] if defs[end - 1].is_branch else None
+    body_end = end - 1 if terminator is not None else end
+
+    body: List[str] = []
+    for k in range(start, body_end):
+        body.append(f"# {host[k]}")
+        _emit_insn(k, host[k], defs[k], body, ns)
+    for cat, weight in sorted(agg.items()):
+        body.append(f"counts[{cat!r}] = counts.get({cat!r}, 0) + {weight}")
+
+    successors: List[int] = []
+
+    def resolve(label: Label) -> int:
+        if label.name == DISPATCH_LABEL:
+            return EXIT
+        pos = tb.labels.get(label.name)
+        if pos is None or pos not in run_of:
+            raise ExecutionError(f"unresolved branch target {label.name!r}")
+        return run_of[pos]
+
+    if terminator is None:
+        nxt = run_of.get(end)
+        if nxt is None:
+            # Fell off the end of the host code: the interpreter would
+            # fault here too; keep the failure explicit.
+            body.append(
+                "raise ExecutionError('translated block fell through its end')"
+            )
+        else:
+            successors.append(nxt)
+            body.append(f"return {nxt}")
+    else:
+        target = terminator.operands[0] if terminator.operands else None
+        if not isinstance(target, Label):
+            raise ExecutionError(f"cannot compile block terminator {terminator}")
+        body.append(f"# {terminator}")
+        cond = defs[end - 1].cond
+        taken = resolve(target)
+        if taken >= 0:
+            successors.append(taken)
+        if cond is None:
+            body.append(f"return {taken}")
+        else:
+            fall = run_of.get(end)
+            if fall is None:
+                raise ExecutionError("conditional branch at end of host code")
+            successors.append(fall)
+            body.append(f"return {taken} if ({_PRED_EXPR[cond]}) else {fall}")
+
+    lines = [
+        f"def _run{ri}(st, counts):",
+        "    regs = st.regs; mem = st.memory; flags = st.flags",
+        "    try:",
+    ]
+    lines.extend(f"        {line}" for line in body)
+    lines.append("    except KeyError as _exc:")
+    lines.append("        _uninit(_exc)")
+    lines.append("")
+    return lines, end - start, successors
+
+
+class CompiledBlock:
+    """One translated block, lowered to fused generated-code runs.
+
+    ``chain`` maps a successor guest-block index to the successor's
+    ``CompiledBlock``; the engine populates it the first time an edge is
+    taken (when chaining is enabled) and follows it directly afterwards.
+
+    This class is used when compile-time analysis has proven the run graph
+    strictly forward (every branch target is a later run), so each run
+    executes at most once per block execution and no runtime runaway guard
+    is needed.  :class:`GuardedCompiledBlock` handles the general case.
+    """
+
+    __slots__ = (
+        "tb",
+        "runs",
+        "chain",
+        "guest_count",
+        "covered_count",
+        "rule_agg",
+        "start",
+    )
+
+    def __init__(self, tb: TranslatedBlock, runs) -> None:
+        self.tb = tb
+        self.runs = runs
+        self.chain: Dict[int, "CompiledBlock"] = {}
+        self.guest_count = tb.guest_count
+        self.covered_count = tb.covered_count
+        self.rule_agg = tb.rule_agg
+        self.start = tb.start
+
+    def execute(self, state, counts: Dict[str, int]) -> None:
+        """Run the block to its dispatch exit against *state*.
+
+        ``counts`` receives the batched per-category weighted host
+        instruction counts (same totals as the interpreter backend).
+        """
+        runs = self.runs
+        index = runs[0](state, counts)
+        while index >= 0:
+            index = runs[index](state, counts)
+
+
+class GuardedCompiledBlock(CompiledBlock):
+    """Compiled block whose run graph contains a backward edge.
+
+    Translated blocks are DAGs in practice, so this is a defensive path:
+    it keeps the interpreter's ``_MAX_BLOCK_STEPS`` runaway guard live at
+    run granularity.
+    """
+
+    __slots__ = ("step_counts",)
+
+    def __init__(self, tb: TranslatedBlock, runs, step_counts) -> None:
+        super().__init__(tb, runs)
+        self.step_counts = step_counts
+
+    def execute(self, state, counts: Dict[str, int]) -> None:
+        runs = self.runs
+        step_counts = self.step_counts
+        index = 0
+        steps = 0
+        while index >= 0:
+            steps += step_counts[index]
+            if steps > _MAX_BLOCK_STEPS:
+                raise ExecutionError("runaway translated block")
+            index = runs[index](state, counts)
+
+
+def compile_block(
+    tb: TranslatedBlock,
+    defs: Optional[Tuple[InstructionDef, ...]] = None,
+) -> CompiledBlock:
+    """Compile one translated block into specialized Python code."""
+    if defs is None:
+        defs = tuple(X86.defn(insn) for insn in tb.host)
+    if not tb.host:
+        raise ExecutionError("cannot compile an empty translated block")
+    starts = _run_leaders(tb, defs)
+    run_of = {pos: ri for ri, pos in enumerate(starts)}
+    ns: Dict = {"ExecutionError": ExecutionError, "_uninit": _uninit}
+    source: List[str] = []
+    step_counts: List[int] = []
+    forward_only = True
+    for ri, start in enumerate(starts):
+        end = starts[ri + 1] if ri + 1 < len(starts) else len(tb.host)
+        lines, count, successors = _gen_run(tb, defs, ri, start, end, run_of, ns)
+        source.extend(lines)
+        step_counts.append(count)
+        if any(nxt <= ri for nxt in successors):
+            forward_only = False
+    code = compile("\n".join(source), f"<dbt-block@{tb.start:#x}>", "exec")
+    exec(code, ns)  # noqa: S102 - source generated from our own IR
+    runs = tuple(ns[f"_run{ri}"] for ri in range(len(starts)))
+    if forward_only:
+        return CompiledBlock(tb, runs)
+    return GuardedCompiledBlock(tb, runs, tuple(step_counts))

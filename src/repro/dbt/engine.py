@@ -5,21 +5,38 @@ does: discover the basic block at the current guest PC, translate it (once —
 translations are cached), execute the translated host code, read the next
 guest PC from the environment, repeat until control reaches the halt
 address.
+
+Two execution backends share the code cache (``--backend`` on the CLI):
+
+* ``interp`` — the per-instruction :class:`HostExecutor`.  Slow, simple,
+  and the oracle every other backend is differentially tested against.
+* ``jit`` — :mod:`repro.dbt.compiler` lowers each translated block to
+  pre-bound Python closures (operands resolved at compile time, straight-
+  line runs fused, metrics pre-aggregated).  With ``chaining=True`` hot
+  block edges transfer directly between compiled bodies without returning
+  to this dispatch loop.
+
+Each code-cache entry (:class:`CodeCacheEntry`) owns the translated block
+*and* its backend artifacts — decoded defs for interp, the compiled body
+for jit — so decode products can never outlive or alias their block (the
+failure mode of the old ``id(tb)``-keyed defs cache in the executor).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.dbt.block import BlockMap
-from repro.dbt.executor import HostExecutor
+from repro.dbt.compiler import CompiledBlock, compile_block
+from repro.dbt.executor import BlockKernel, HostExecutor
 from repro.dbt.guest_interp import GuestInterpreter
 from repro.dbt.metrics import RunMetrics
 from repro.dbt.runtime import (
     ENV_BASE,
     HALT_ADDRESS,
     env_flag_addr,
+    env_pc_word,
     env_reg_addr,
     is_env_address,
 )
@@ -29,6 +46,9 @@ from repro.lang.program import STACK_BASE, CompiledUnit
 from repro.semantics.state import ConcreteState
 
 DEFAULT_MAX_BLOCKS = 2_000_000
+
+#: Execution backends accepted by :class:`DBTEngine`.
+BACKENDS = ("interp", "jit")
 
 
 @dataclass
@@ -83,15 +103,34 @@ def _initial_state() -> ConcreteState:
     return state
 
 
+@dataclass
+class CodeCacheEntry:
+    """One code-cache slot: the block plus its per-backend artifacts.
+
+    The entry pins the :class:`TranslatedBlock` for as long as its decode
+    products (``kernel``) and compiled body (``compiled``) are reachable, so
+    recycled blocks can never alias another block's artifacts.
+    """
+
+    tb: TranslatedBlock
+    kernel: BlockKernel
+    compiled: Optional[CompiledBlock] = field(default=None)
+
+
 class DBTEngine:
     """Dynamic binary translator for one guest binary + one configuration.
 
     ``chaining=True`` enables QEMU-style block chaining: once a control-flow
-    edge between two translated blocks has been taken, its exit stub is
-    patched to jump directly to the successor, skipping the dispatch loop.
-    The paper treats chaining as a complementary optimization outside its
-    scope (§V-B1); it is modelled here as an engine option so its effect can
-    be measured (see ``benchmarks/test_bench_rules.py``).
+    edge between two translated blocks has been taken, its exit is patched
+    to transfer directly to the successor, skipping the dispatch loop.  The
+    paper treats chaining as a complementary optimization outside its scope
+    (§V-B1); under the interp backend it is modelled (edges are tracked and
+    counted, metrics reflect the dispatches saved), under the jit backend it
+    is real (chained transfers call the successor's compiled body directly).
+
+    ``backend`` selects the execution engine: ``"interp"`` (the oracle) or
+    ``"jit"`` (closure-compiled blocks, see :mod:`repro.dbt.compiler`).
+    Both produce byte-identical architectural state and metrics.
     """
 
     def __init__(
@@ -99,22 +138,36 @@ class DBTEngine:
         unit: CompiledUnit,
         config: TranslationConfig,
         chaining: bool = False,
+        backend: str = "interp",
     ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
         self.unit = unit
         self.config = config
         self.chaining = chaining
+        self.backend = backend
         self.blockmap = BlockMap(unit)
         self.translator = BlockTranslator(unit, self.blockmap, config)
-        self.code_cache: Dict[int, TranslatedBlock] = {}
+        self.code_cache: Dict[int, CodeCacheEntry] = {}
         self._chained_edges: set = set()
 
-    def _translated(self, index: int, metrics: RunMetrics) -> TranslatedBlock:
-        tb = self.code_cache.get(index)
-        if tb is None:
+    def _entry(self, index: int, metrics: RunMetrics) -> CodeCacheEntry:
+        entry = self.code_cache.get(index)
+        if entry is None:
             tb = self.translator.translate(self.blockmap.block_at(index))
-            self.code_cache[index] = tb
+            entry = CodeCacheEntry(tb=tb, kernel=BlockKernel(tb))
+            self.code_cache[index] = entry
             metrics.blocks_translated += 1
-        return tb
+        return entry
+
+    def _compiled(self, entry: CodeCacheEntry) -> CompiledBlock:
+        cb = entry.compiled
+        if cb is None:
+            cb = compile_block(entry.tb, entry.kernel.defs)
+            entry.compiled = cb
+        return cb
 
     def run(
         self,
@@ -131,26 +184,37 @@ class DBTEngine:
         """
         state = state or _initial_state()
         metrics = RunMetrics(name=self.config.name)
-        executor = HostExecutor(state)
         entry_label = self.unit.func_labels.get(entry, entry)
         pc_index = self.unit.labels[entry_label]
-        pc_addr_word = env_reg_addr("pc") // 4
+        if self.backend == "jit":
+            self._run_jit(pc_index, max_blocks, state, metrics, on_block)
+        else:
+            self._run_interp(pc_index, max_blocks, state, metrics, on_block)
+        return DBTRunResult(metrics=metrics, state=state)
 
+    def _run_interp(
+        self,
+        pc_index: int,
+        max_blocks: int,
+        state: ConcreteState,
+        metrics: RunMetrics,
+        on_block,
+    ) -> None:
+        executor = HostExecutor(state)
+        pc_word = env_pc_word()
+        memory = state.memory
         while True:
             if metrics.block_executions >= max_blocks:
                 raise ExecutionError(f"exceeded {max_blocks} block executions")
-            tb = self._translated(pc_index, metrics)
-            executor.run_block(tb, metrics.host_counts)
-            metrics.block_executions += 1
-            metrics.guest_dynamic += tb.guest_count
-            metrics.covered_dynamic += sum(tb.covered)
-            for rule, length in tb.applied:
-                metrics.rule_hits[rule] = metrics.rule_hits.get(rule, 0) + length
+            entry = self._entry(pc_index, metrics)
+            tb = entry.tb
+            executor.run_block(tb, metrics.host_counts, entry.kernel)
+            metrics.account_block(tb.guest_count, tb.covered_count, tb.rule_agg)
             if on_block is not None:
                 on_block(tb, state)
-            next_addr = state.memory.get(pc_addr_word, 0)
+            next_addr = memory.get(pc_word, 0)
             if next_addr == HALT_ADDRESS:
-                break
+                return
             if next_addr % 4:
                 raise ExecutionError(f"misaligned guest PC {next_addr:#x}")
             next_index = next_addr // 4
@@ -161,7 +225,75 @@ class DBTEngine:
                 else:
                     self._chained_edges.add(edge)
             pc_index = next_index
-        return DBTRunResult(metrics=metrics, state=state)
+
+    def _run_jit(
+        self,
+        pc_index: int,
+        max_blocks: int,
+        state: ConcreteState,
+        metrics: RunMetrics,
+        on_block,
+    ) -> None:
+        chaining = self.chaining
+        pc_word = env_pc_word()
+        memory = state.memory
+        host_counts = metrics.host_counts
+        # Per-block execution counters, flushed into the metrics once the
+        # run ends: the hot loop pays one dict increment per block instead
+        # of re-walking rule aggregates on every execution.
+        execs: Dict[CompiledBlock, int] = {}
+        n_exec = 0
+        n_chained = 0
+        #: the compiled block whose just-taken exit edge should be patched to
+        #: the successor the dispatch loop is about to look up.
+        pending: Optional[CompiledBlock] = None
+        try:
+            while True:
+                # Dispatch: code-cache lookup (+ lazy translate/compile).
+                if n_exec >= max_blocks:
+                    raise ExecutionError(
+                        f"exceeded {max_blocks} block executions"
+                    )
+                cb = self._compiled(self._entry(pc_index, metrics))
+                if pending is not None:
+                    pending.chain[pc_index] = cb  # patch the hot exit edge
+                    pending = None
+                # Chained inner loop: direct block-to-block transfers.
+                while True:
+                    cb.execute(state, host_counts)
+                    n_exec += 1
+                    execs[cb] = execs.get(cb, 0) + 1
+                    if on_block is not None:
+                        on_block(cb.tb, state)
+                    next_addr = memory.get(pc_word, 0)
+                    if next_addr == HALT_ADDRESS:
+                        return
+                    if next_addr % 4:
+                        raise ExecutionError(
+                            f"misaligned guest PC {next_addr:#x}"
+                        )
+                    next_index = next_addr // 4
+                    nxt = cb.chain.get(next_index)
+                    if nxt is None:
+                        if chaining:
+                            pending = cb
+                        pc_index = next_index
+                        break
+                    n_chained += 1
+                    cb = nxt
+                    if n_exec >= max_blocks:
+                        raise ExecutionError(
+                            f"exceeded {max_blocks} block executions"
+                        )
+        finally:
+            metrics.block_executions += n_exec
+            metrics.chained_executions += n_chained
+            hits = metrics.rule_hits
+            for block, count in execs.items():
+                metrics.guest_dynamic += block.guest_count * count
+                metrics.covered_dynamic += block.covered_count * count
+                for rule, length in block.rule_agg:
+                    hits[rule] = hits.get(rule, 0) + length * count
 
 
 def check_against_reference(

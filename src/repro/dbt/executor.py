@@ -4,11 +4,18 @@ The executor is the "hardware" of the host machine: it interprets the
 translated host instructions (including the virtual ``g_*`` block registers
 and the environment memory) and accounts executed instructions per category.
 Control returns to the engine when a block exit jumps to the dispatch label.
+
+Per-block decode products (instruction defs, weights, category ids) live in
+a :class:`BlockKernel` owned by the engine's code-cache entry alongside the
+block itself, so a recycled ``TranslatedBlock`` can never alias another
+block's decode state.  Executed-instruction counts are accumulated in a
+local per-category array and merged into the caller's dict once per block
+execution rather than once per instruction.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.dbt.runtime import DISPATCH_LABEL
 from repro.dbt.translator import TranslatedBlock
@@ -23,58 +30,84 @@ WEIGHTS: Dict[str, int] = {"helper_umlal": 8, "helper_clz": 6}
 _MAX_BLOCK_STEPS = 100_000
 
 
+class BlockKernel:
+    """Pre-decoded execution products for one translated block.
+
+    Owned by the engine's code-cache entry next to the block itself; the
+    interpreter backend never keys anything by ``id(tb)``.
+    """
+
+    __slots__ = ("defs", "weights", "cat_ids", "cat_names")
+
+    def __init__(self, tb: TranslatedBlock) -> None:
+        self.defs = tuple(X86.defn(insn) for insn in tb.host)
+        self.weights = tuple(
+            WEIGHTS.get(insn.mnemonic, 1) for insn in tb.host
+        )
+        names: list = []
+        seen: Dict[str, int] = {}
+        ids = []
+        for cat in tb.categories:
+            if cat not in seen:
+                seen[cat] = len(names)
+                names.append(cat)
+            ids.append(seen[cat])
+        self.cat_ids = tuple(ids)
+        self.cat_names = tuple(names)
+
+
 class HostExecutor:
     """Interprets translated blocks; shared state across blocks."""
 
     def __init__(self, state: ConcreteState) -> None:
         self.state = state
-        # id(tb) -> (tb, defs).  The block itself is pinned in the entry:
-        # without the pin, a freed TranslatedBlock whose id() is recycled by
-        # a new block would return the *old* block's defs (the same
-        # unsoundness class as the symir/simplify id()-memo).
-        self._defs_cache: Dict[int, Tuple[TranslatedBlock, Tuple]] = {}
 
-    def _defs(self, tb: TranslatedBlock):
-        cached = self._defs_cache.get(id(tb))
-        if cached is not None and cached[0] is tb:
-            return cached[1]
-        defs = tuple(X86.defn(insn) for insn in tb.host)
-        self._defs_cache[id(tb)] = (tb, defs)
-        return defs
-
-    def run_block(self, tb: TranslatedBlock, counts: Dict[str, int]) -> None:
+    def run_block(
+        self,
+        tb: TranslatedBlock,
+        counts: Dict[str, int],
+        kernel: Optional[BlockKernel] = None,
+    ) -> None:
         """Execute one translated block to its dispatch exit.
 
         ``counts`` maps category -> weighted executed host instructions and
-        is updated in place.
+        is updated in place (batched: one merge per block execution, with
+        partial counts preserved if execution faults mid-block).
         """
+        if kernel is None:
+            kernel = BlockKernel(tb)
         state = self.state
         host = tb.host
-        cats = tb.categories
-        defs = self._defs(tb)
+        defs = kernel.defs
+        weights = kernel.weights
+        cat_ids = kernel.cat_ids
         labels = tb.labels
+        local = [0] * len(kernel.cat_names)
         index = 0
         steps = 0
-        while True:
-            if steps > _MAX_BLOCK_STEPS:
-                raise ExecutionError("runaway translated block")
-            steps += 1
-            insn = host[index]
-            defn = defs[index]
-            counts[cats[index]] = counts.get(cats[index], 0) + WEIGHTS.get(
-                insn.mnemonic, 1
-            )
-            if defn.is_branch:
-                target = insn.operands[0]
-                assert isinstance(target, Label)
-                if target.name == DISPATCH_LABEL:
-                    return
-                state.clear_branch()
+        try:
+            while True:
+                if steps > _MAX_BLOCK_STEPS:
+                    raise ExecutionError("runaway translated block")
+                steps += 1
+                insn = host[index]
+                defn = defs[index]
+                local[cat_ids[index]] += weights[index]
+                if defn.is_branch:
+                    target = insn.operands[0]
+                    assert isinstance(target, Label)
+                    if target.name == DISPATCH_LABEL:
+                        return
+                    state.clear_branch()
+                    defn.semantics(state, insn)
+                    if state.branch_taken:
+                        index = labels[target.name]
+                    else:
+                        index += 1
+                    continue
                 defn.semantics(state, insn)
-                if state.branch_taken:
-                    index = labels[target.name]
-                else:
-                    index += 1
-                continue
-            defn.semantics(state, insn)
-            index += 1
+                index += 1
+        finally:
+            for cat, total in zip(kernel.cat_names, local):
+                if total:
+                    counts[cat] = counts.get(cat, 0) + total

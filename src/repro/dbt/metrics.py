@@ -41,6 +41,22 @@ class RunMetrics:
     #: rule -> dynamically translated guest instructions through that rule.
     rule_hits: Dict = field(default_factory=dict)
 
+    def account_block(self, guest_count: int, covered_count: int, rule_agg) -> None:
+        """Batched per-execution accounting for one translated block.
+
+        Both backends call this once per block execution with the block's
+        translate-time aggregates (``TranslatedBlock.covered_count`` /
+        ``rule_agg``) instead of re-summing per-instruction tuples and
+        churning dicts on the hot dispatch path.
+        """
+        self.block_executions += 1
+        self.guest_dynamic += guest_count
+        self.covered_dynamic += covered_count
+        if rule_agg:
+            hits = self.rule_hits
+            for rule, length in rule_agg:
+                hits[rule] = hits.get(rule, 0) + length
+
     @property
     def coverage(self) -> float:
         """Fraction of dynamic guest instructions translated by rules."""

@@ -52,6 +52,11 @@ def env_pc_mem() -> Mem:
     return env_reg_mem("pc")
 
 
+def env_pc_word() -> int:
+    """Word index of the guest-PC environment slot (dispatch-loop fast path)."""
+    return env_reg_addr("pc") // 4
+
+
 def guest_reg(name: str) -> Reg:
     """The virtual host register holding guest register *name*."""
     return Reg(f"g_{name}")

@@ -84,6 +84,17 @@ class TranslatedBlock:
     #: (rule, guest-instruction count) per applied rule window, in block
     #: order — the raw material for runtime rule-usage accounting.
     applied: Tuple[Tuple[object, int], ...] = ()
+    #: translate-time aggregates so the engine's per-execution accounting is
+    #: O(1) per block instead of re-summing ``covered``/``applied``.
+    covered_count: int = field(init=False, default=0)
+    rule_agg: Tuple[Tuple[object, int], ...] = field(init=False, default=())
+
+    def __post_init__(self) -> None:
+        self.covered_count = sum(self.covered)
+        agg: Dict[object, int] = {}
+        for rule, length in self.applied:
+            agg[rule] = agg.get(rule, 0) + length
+        self.rule_agg = tuple(agg.items())
 
     @property
     def host_count(self) -> int:

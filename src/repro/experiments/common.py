@@ -175,31 +175,33 @@ def full_suite_setup() -> SystemSetup:
     return build_setup(rules_full_suite())
 
 
-#: (benchmark, stage) -> metrics; a plain dict (not lru_cache) so the
-#: parallel sweep can install worker results directly.
-_RUN_CACHE: Dict[Tuple[str, str], RunMetrics] = {}
+#: (benchmark, stage, backend) -> metrics; a plain dict (not lru_cache) so
+#: the parallel sweep can install worker results directly.
+_RUN_CACHE: Dict[Tuple[str, str, str], RunMetrics] = {}
 register_cache(_RUN_CACHE.clear)
 
 
-def run_benchmark(name: str, stage: str) -> RunMetrics:
+def run_benchmark(name: str, stage: str, backend: str = "interp") -> RunMetrics:
     """Run one benchmark under one configuration (leave-one-out rules).
 
     The final architectural state is validated against the reference
-    interpreter; a mismatch is an error, not a data point.
+    interpreter; a mismatch is an error, not a data point.  ``backend``
+    selects the execution engine (``interp``, the default oracle, or the
+    closure-compiled ``jit``); both produce identical metrics.
     """
     if stage not in STAGES:
         raise ValueError(f"unknown stage {stage!r}; expected one of {STAGES}")
-    cached = _RUN_CACHE.get((name, stage))
+    cached = _RUN_CACHE.get((name, stage, backend))
     if cached is not None:
         return cached
     pair = compiled_benchmark(name)
     setup = setup_excluding(name)
-    engine = DBTEngine(pair.guest, setup.configs[stage])
+    engine = DBTEngine(pair.guest, setup.configs[stage], backend=backend)
     result = engine.run()
     ok, message = check_against_reference(pair.guest, result)
     if not ok:
         raise ExecutionError(f"{name}/{stage}: translated execution diverged: {message}")
-    _RUN_CACHE[(name, stage)] = result.metrics
+    _RUN_CACHE[(name, stage, backend)] = result.metrics
     return result.metrics
 
 
@@ -209,7 +211,9 @@ def _run_benchmark_job(job: Tuple[str, str]) -> RunMetrics:
 
 
 def run_stage_metrics(stage: str) -> Dict[str, RunMetrics]:
-    pending = [n for n in BENCHMARK_NAMES if (n, stage) not in _RUN_CACHE]
+    pending = [
+        n for n in BENCHMARK_NAMES if (n, stage, "interp") not in _RUN_CACHE
+    ]
     if get_jobs() > 1 and len(pending) > 1:
         warm_learning()
         jobs = [(name, stage) for name in pending]

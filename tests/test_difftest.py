@@ -226,12 +226,15 @@ class TestCampaignDeterminism:
         assert not report.failures
 
 
-class TestExecutorDefsCache:
-    """Regression: the defs cache was keyed by ``id(tb)`` without pinning,
+class TestExecutorDefsAliasing:
+    """Regression: decode products must live with their block, not in an
+    ``id(tb)``-keyed side cache.
 
-    so a freed ``TranslatedBlock`` whose id was recycled could serve stale
-    defs for a different block (same class of bug as the symir simplify
-    memo).  The entry must pin the block and verify identity on lookup.
+    The executor used to memoize decoded defs by ``id(tb)``; a freed
+    ``TranslatedBlock`` whose id was recycled could serve stale defs for a
+    different block (same class of bug as the symir simplify memo).  Defs
+    now live in a :class:`BlockKernel` on the engine's code-cache entry,
+    which pins the block for as long as its decode products are reachable.
     """
 
     def _tiny_block(self, mnemonic):
@@ -249,30 +252,41 @@ class TestExecutorDefsCache:
             covered=(True,),
         )
 
-    def test_cache_pins_block(self):
+    def test_executor_holds_no_id_keyed_state(self):
         from repro.dbt.executor import HostExecutor
         from repro.semantics.state import ConcreteState
 
         executor = HostExecutor(ConcreteState())
-        tb = self._tiny_block("movl")
-        defs = executor._defs(tb)
-        cached_block, cached_defs = executor._defs_cache[id(tb)]
-        assert cached_block is tb  # pinned: id can never be recycled
-        assert cached_defs is defs
+        assert not hasattr(executor, "_defs_cache")
+        assert not hasattr(executor, "_defs")
 
-    def test_identity_mismatch_recomputes(self):
-        from repro.dbt.executor import HostExecutor
-        from repro.semantics.state import ConcreteState
+    def test_recycled_blocks_cannot_alias(self):
+        import gc
 
-        executor = HostExecutor(ConcreteState())
-        movl_block = self._tiny_block("movl")
-        addl_block = self._tiny_block("addl")
-        stale = executor._defs(movl_block)
-        # Simulate an id collision: the cache slot for addl_block holds
-        # another block's entry.
-        executor._defs_cache[id(addl_block)] = (movl_block, stale)
-        defs = executor._defs(addl_block)
-        assert defs[0].mnemonic == "addl"
+        from repro.dbt.executor import BlockKernel
+
+        # Force many allocate/free cycles at the same addresses: every
+        # kernel must reflect its own block, never a stale entry for a
+        # recycled id.
+        for _ in range(64):
+            movl_block = self._tiny_block("movl")
+            kernel = BlockKernel(movl_block)
+            assert kernel.defs[0].mnemonic == "movl"
+            del movl_block
+            gc.collect()
+            addl_block = self._tiny_block("addl")
+            assert BlockKernel(addl_block).defs[0].mnemonic == "addl"
+
+    def test_code_cache_entry_pins_block(self):
+        from repro.dbt import DBTEngine, unit_from_assembly
+        from repro.dbt.translator import TranslationConfig
+
+        unit = unit_from_assembly("fn_main:\n  mov r0, #7\n  bx lr\n")
+        engine = DBTEngine(unit, TranslationConfig("qemu"))
+        engine.run()
+        for entry in engine.code_cache.values():
+            assert entry.kernel.defs is not None
+            assert len(entry.kernel.defs) == len(entry.tb.host)
 
 
 class TestCli:
