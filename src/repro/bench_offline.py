@@ -1,0 +1,216 @@
+"""Offline-pipeline benchmark harness (``repro bench --offline``).
+
+Times the offline phases — rule **learning** (trace alignment + candidate
+verification) and rule **derivation** (parameterized-target search +
+re-verification) — under the optimized fast paths and under the legacy
+algorithm (:mod:`repro.perfopts`), and writes ``BENCH_offline.json``.
+
+Protocol, per repetition (modes interleaved so machine-noise drift hits
+both equally):
+
+* all in-memory caches are cleared and the disk cache is disabled, so every
+  round is a true cold run;
+* ``learn`` and ``derive`` are timed separately; the minimum over
+  repetitions is reported per mode;
+* each round's derived rule set is serialized deterministically, and the
+  report records whether the optimized (shape-class batched) and legacy
+  (direct, unbatched) pipelines produced **byte-identical** payloads — the
+  hard correctness gate for the optimization work.
+
+An additional untimed pass runs the optimized pipeline with the shape-class
+cross-check sampling at 100% (:func:`repro.verify.shapeclass.set_cross_check`),
+so every memo-served verdict in that pass is re-verified directly; the
+report records how many were checked and how many diverged (must be zero).
+
+Honesty note: the legacy mode cannot disable expression interning — the node
+classes themselves were replaced — so the legacy baseline *understates* the
+true pre-interning cost even though it recomputes reprs and simplification
+per call.  The recorded speedup is therefore a lower bound.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from repro import perfopts
+from repro.cache import clear_all_caches, disk_cache, memo_registry
+
+#: benchmarks used by ``--quick`` (CI smoke: small, distinct shapes).
+QUICK_NAMES = ("mcf", "libquantum", "astar")
+
+#: Cross-check sampling used during the untimed soundness pass / restored
+#: default afterwards.
+_FULL_SAMPLING = 1
+_DEFAULT_SAMPLING = 16
+
+
+def _cold_round(names: Tuple[str, ...]) -> Dict[str, object]:
+    """One cold learn+derive run; returns timings and the serialized result."""
+    from repro.experiments.common import rules_from
+    from repro.param.derive import _param_result_to_dict, derive_rules
+
+    clear_all_caches()
+    started = time.perf_counter()
+    rules = rules_from(names)
+    learned = time.perf_counter()
+    result = derive_rules(rules)
+    derived = time.perf_counter()
+    payload = _param_result_to_dict(result)
+    return {
+        "learn_seconds": learned - started,
+        "derive_seconds": derived - learned,
+        "payload": json.dumps(payload, sort_keys=True),
+        "counts": dict(payload["counts"]),
+    }
+
+
+def run_offline_bench(
+    repeats: int = 3,
+    quick: bool = False,
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Run the offline benchmark; returns the ``BENCH_offline.json`` payload."""
+    from repro.verify import shapeclass
+    from repro.workloads import BENCHMARK_NAMES
+
+    names = QUICK_NAMES if quick else tuple(BENCHMARK_NAMES)
+    emit = log or (lambda message: None)
+
+    # Workload compilation is deterministic setup, not part of the offline
+    # pipeline under measurement; warm it once so every round's ``learn``
+    # time is alignment + verification only.
+    from repro.workloads import compiled_benchmark
+
+    for name in names:
+        compiled_benchmark(name)
+
+    cache = disk_cache()
+    was_enabled = cache.enabled
+    cache.enabled = False
+    try:
+        best: Dict[str, Dict[str, float]] = {
+            "optimized": {"learn": float("inf"), "derive": float("inf")},
+            "legacy": {"learn": float("inf"), "derive": float("inf")},
+        }
+        payloads: Dict[str, str] = {}
+        counts: Dict[str, Dict[str, int]] = {}
+        for repetition in range(repeats):
+            for mode in ("optimized", "legacy"):
+                previous = perfopts.optimized()
+                perfopts.set_optimized(mode == "optimized")
+                try:
+                    round_data = _cold_round(names)
+                finally:
+                    perfopts.set_optimized(previous)
+                best[mode]["learn"] = min(
+                    best[mode]["learn"], round_data["learn_seconds"]
+                )
+                best[mode]["derive"] = min(
+                    best[mode]["derive"], round_data["derive_seconds"]
+                )
+                if mode in payloads and payloads[mode] != round_data["payload"]:
+                    raise RuntimeError(
+                        f"{mode} pipeline is not deterministic across rounds"
+                    )
+                payloads[mode] = round_data["payload"]
+                counts[mode] = round_data["counts"]
+                emit(
+                    f"round {repetition + 1}/{repeats} {mode}: "
+                    f"learn {round_data['learn_seconds']:.3f}s, "
+                    f"derive {round_data['derive_seconds']:.3f}s"
+                )
+
+        # Untimed soundness pass: re-verify every shape-class-served verdict.
+        before = shapeclass.cross_check_stats()
+        shapeclass.set_cross_check(_FULL_SAMPLING)
+        try:
+            _cold_round(names)
+        finally:
+            shapeclass.set_cross_check(_DEFAULT_SAMPLING)
+        after = shapeclass.cross_check_stats()
+        cross_check = {
+            "checked": after["checked"] - before["checked"],
+            "failed": after["failed"] - before["failed"],
+        }
+        emit(
+            f"cross-check: {cross_check['checked']} verdicts re-verified, "
+            f"{cross_check['failed']} diverged"
+        )
+    finally:
+        cache.enabled = was_enabled
+
+    for mode in best:
+        best[mode]["total"] = best[mode]["learn"] + best[mode]["derive"]
+    speedup = {
+        stage: (
+            best["legacy"][stage] / best["optimized"][stage]
+            if best["optimized"][stage] > 0
+            else float("inf")
+        )
+        for stage in ("learn", "derive", "total")
+    }
+    return {
+        "quick": quick,
+        "training_set": list(names),
+        "repeats": repeats,
+        "stages": best,
+        "speedup": speedup,
+        "identical": payloads["optimized"] == payloads["legacy"],
+        "counts": counts["optimized"],
+        "counts_match": counts["optimized"] == counts["legacy"],
+        "cross_check": cross_check,
+        "memos": [memo.stats() for memo in memo_registry()],
+        "note": (
+            "legacy baseline shares the interned expression classes, so the "
+            "recorded speedup is a lower bound on the gain over the "
+            "pre-interning implementation"
+        ),
+    }
+
+
+def write_offline_report(payload: Dict[str, object], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def render_offline_report(payload: Dict[str, object]) -> str:
+    stages = payload["stages"]
+    speedup = payload["speedup"]
+    lines = [
+        "offline pipeline benchmark"
+        + (" (quick subset)" if payload["quick"] else ""),
+        f"{'stage':10s} {'optimized':>12s} {'legacy':>12s} {'speedup':>9s}",
+    ]
+    for stage in ("learn", "derive", "total"):
+        lines.append(
+            f"{stage:10s} {stages['optimized'][stage] * 1000:10.1f}ms"
+            f" {stages['legacy'][stage] * 1000:10.1f}ms"
+            f" {speedup[stage]:8.2f}x"
+        )
+    lines.append(
+        "batched == direct payload: "
+        + ("yes" if payload["identical"] else "NO — DIVERGENCE")
+    )
+    lines.append(
+        f"cross-check: {payload['cross_check']['checked']} re-verified, "
+        f"{payload['cross_check']['failed']} diverged"
+    )
+    return "\n".join(lines)
+
+
+def check_offline_report(payload: Dict[str, object]) -> Tuple[bool, str]:
+    """CI gate: batched must match direct, and the cross-check must pass."""
+    if not payload["identical"]:
+        return False, "batched verification payload differs from direct"
+    if not payload["counts_match"]:
+        return False, "derived rule counts differ between batched and direct"
+    if payload["cross_check"]["failed"]:
+        return False, "shape-class cross-check found diverging verdicts"
+    return True, (
+        "batched == direct; "
+        f"{payload['cross_check']['checked']} cross-checks passed; "
+        f"derive speedup {payload['speedup']['derive']:.2f}x"
+    )

@@ -40,7 +40,8 @@ from typing import Any, Callable, Dict, Iterator, List, Optional
 
 #: Bump whenever learning/derivation/verification semantics change: every
 #: on-disk entry is stamped with this and a mismatch is a cache miss.
-PIPELINE_VERSION = "mwl-cache-v1"
+#: v2: hash-consed symir + comparison-op self-folds + checker restructure.
+PIPELINE_VERSION = "mwl-cache-v2"
 
 #: Sentinel distinguishing "cached None" from "not cached".
 MISS = object()
@@ -128,27 +129,47 @@ def clear_all_caches() -> None:
 # Bounded in-memory memo
 
 
+#: Named memos, in registration order; ``repro cache stats`` walks this to
+#: show per-memo hit/miss/size counters alongside the process-wide totals.
+MEMO_REGISTRY: List["BoundedMemo"] = []
+
+
+def memo_registry() -> List["BoundedMemo"]:
+    """All :class:`BoundedMemo` instances created with a ``name``."""
+    return list(MEMO_REGISTRY)
+
+
 class BoundedMemo:
     """A small LRU dict for per-process memoization.
 
     Unlike a bare module-global dict it (a) has a bound, so long-lived
-    processes cannot grow it without limit, and (b) registers itself with
-    :func:`clear_all_caches`.
+    processes cannot grow it without limit, (b) registers itself with
+    :func:`clear_all_caches`, and (c) when given a ``name`` shows up with
+    per-memo hit/miss/size counters in ``repro cache stats``.
     """
 
-    def __init__(self, maxsize: int = 4096, register: bool = True) -> None:
+    def __init__(
+        self, maxsize: int = 4096, register: bool = True, name: Optional[str] = None
+    ) -> None:
         self.maxsize = maxsize
+        self.name = name
+        self.hits = 0
+        self.misses = 0
         self._data: "OrderedDict[Any, Any]" = OrderedDict()
         if register:
             register_cache(self.clear)
+        if name is not None:
+            MEMO_REGISTRY.append(self)
 
     def get(self, key: Any, default: Any = MISS) -> Any:
         try:
             value = self._data[key]
         except KeyError:
+            self.misses += 1
             STATS.memo_misses += 1
             return default
         self._data.move_to_end(key)
+        self.hits += 1
         STATS.memo_hits += 1
         return value
 
@@ -166,6 +187,16 @@ class BoundedMemo:
 
     def clear(self) -> None:
         self._data.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        """Observability payload for ``repro cache stats``."""
+        return {
+            "name": self.name or "<anonymous>",
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+        }
 
 
 # ---------------------------------------------------------------------------

@@ -74,7 +74,8 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_cache(args) -> int:
-    from repro.cache import STATS, clear_all_caches, disk_cache
+    from repro.cache import STATS, clear_all_caches, disk_cache, memo_registry
+    from repro.symir.expr import intern_table_size
 
     cache = disk_cache()
     if args.action == "clear":
@@ -88,6 +89,15 @@ def _cmd_cache(args) -> int:
     print(f"disk entries    : {cache.entry_count()}")
     print(f"disk bytes      : {cache.total_bytes()}")
     print(f"this process    : {STATS.summary()}")
+    print(f"interned exprs  : {intern_table_size()}")
+    print("in-memory memos (this process):")
+    for memo in memo_registry():
+        stats = memo.stats()
+        print(
+            f"  {stats['name']:24s} {stats['hits']:6d} hits "
+            f"{stats['misses']:6d} misses  "
+            f"size {stats['size']}/{stats['maxsize']}"
+        )
     return 0
 
 
@@ -208,6 +218,8 @@ def _cmd_translate(args) -> int:
 
 def _cmd_bench(args) -> int:
     """Benchmark the execution backends and write ``BENCH_dbt.json``."""
+    if args.offline:
+        return _cmd_bench_offline(args)
     from repro.bench import check_report, render_report, run_bench, write_report
 
     log = None if args.quiet else (lambda message: print(f"# {message}"))
@@ -217,6 +229,28 @@ def _cmd_bench(args) -> int:
     print(f"report: {args.out}")
     if args.check:
         ok, message = check_report(payload)
+        print(f"check: {message}")
+        return 0 if ok else 1
+    return 0
+
+
+def _cmd_bench_offline(args) -> int:
+    """Benchmark the offline pipeline and write ``BENCH_offline.json``."""
+    from repro.bench_offline import (
+        check_offline_report,
+        render_offline_report,
+        run_offline_bench,
+        write_offline_report,
+    )
+
+    log = None if args.quiet else (lambda message: print(f"# {message}"))
+    payload = run_offline_bench(repeats=args.repeats, quick=args.quick, log=log)
+    print(render_offline_report(payload))
+    out = args.out if args.out != "BENCH_dbt.json" else "BENCH_offline.json"
+    write_offline_report(payload, out)
+    print(f"report: {out}")
+    if args.check:
+        ok, message = check_offline_report(payload)
         print(f"check: {message}")
         return 0 if ok else 1
     return 0
@@ -326,12 +360,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--quick", action="store_true",
                        help="3-benchmark subset, cheap training rules (CI)")
+    bench.add_argument("--offline", action="store_true",
+                       help="benchmark the offline learn/derive pipeline "
+                            "instead (writes BENCH_offline.json)")
     bench.add_argument("--repeats", type=int, default=3,
                        help="warm repetitions per configuration (min is kept)")
     bench.add_argument("--out", default="BENCH_dbt.json",
-                       help="report path (default BENCH_dbt.json)")
+                       help="report path (default BENCH_dbt.json, or "
+                            "BENCH_offline.json with --offline)")
     bench.add_argument("--check", action="store_true",
-                       help="exit nonzero unless jit beats interp")
+                       help="exit nonzero unless jit beats interp (or, with "
+                            "--offline, unless batched == direct)")
     bench.add_argument("--quiet", action="store_true",
                        help="suppress progress lines")
     bench.set_defaults(fn=_cmd_bench)

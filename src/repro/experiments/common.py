@@ -37,6 +37,7 @@ from repro.parallel import get_jobs, parallel_map
 from repro.workloads import BENCHMARK_NAMES, compiled_benchmark
 
 _SHARED_VERIFIER = Verifier()
+register_cache(_SHARED_VERIFIER._cache.clear)
 
 #: name -> learning output; populated from the disk cache when possible.
 _LEARNING_CACHE: Dict[str, PairLearning] = {}

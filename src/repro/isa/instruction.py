@@ -48,17 +48,44 @@ class DataType(enum.Enum):
     FLOAT = "float"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Instruction:
-    """A single decoded instruction: mnemonic + operand tuple."""
+    """A single decoded instruction: mnemonic + operand tuple.
+
+    Hash, equality, and the assembly rendering are cached per instance —
+    instructions serve as memo keys throughout the verification pipeline,
+    and the generated dataclass methods would re-walk the operand tree on
+    every lookup.
+    """
 
     mnemonic: str
     operands: Tuple[Operand, ...] = ()
 
     def __str__(self) -> str:
-        if not self.operands:
-            return self.mnemonic
-        return f"{self.mnemonic} " + ", ".join(str(op) for op in self.operands)
+        text = self.__dict__.get("_str")
+        if text is None:
+            if self.operands:
+                text = f"{self.mnemonic} " + ", ".join(
+                    str(op) for op in self.operands
+                )
+            else:
+                text = self.mnemonic
+            object.__setattr__(self, "_str", text)
+        return text
+
+    def __hash__(self) -> int:
+        value = self.__dict__.get("_hash")
+        if value is None:
+            value = hash((self.mnemonic, self.operands))
+            object.__setattr__(self, "_hash", value)
+        return value
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Instruction):
+            return NotImplemented
+        return self.mnemonic == other.mnemonic and self.operands == other.operands
 
     @property
     def kinds(self) -> Tuple[OperandKind, ...]:

@@ -24,12 +24,28 @@ class RuleSet:
     _generalized: Dict[CanonicalKey, TranslationRule] = field(default_factory=dict)
     _specific: Dict[CanonicalKey, TranslationRule] = field(default_factory=dict)
     _identities: Set[Tuple] = field(default_factory=set)
+    _frozen: bool = field(default=False, repr=False)
 
     def __len__(self) -> int:
         return len(self.rules)
 
     def __iter__(self) -> Iterator[TranslationRule]:
         return iter(self.rules)
+
+    def freeze(self) -> "RuleSet":
+        """Make this set immutable; :meth:`add`/:meth:`extend` raise after.
+
+        Shared, memoized rule sets (e.g. inside a cached
+        :class:`repro.param.engine.SystemSetup`) are frozen so a caller
+        mutating one poisons nothing — the attempt fails loudly instead.
+        :meth:`copy` returns a mutable duplicate.
+        """
+        self._frozen = True
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
 
     def add(self, rule: TranslationRule) -> bool:
         """Add a rule; returns False if it duplicates an existing rule.
@@ -38,6 +54,8 @@ class RuleSet:
         host sequence wins the index slot (better translated code quality);
         both remain in :attr:`rules` for counting.
         """
+        if self._frozen:
+            raise RuleError("RuleSet is frozen (shared/memoized); copy() it first")
         try:
             identity = rule.canonical_identity()
         except RuleError:

@@ -32,7 +32,9 @@ class SystemSetup:
 
 #: Setups are memoized by rule-set content, so e.g. the same training subset
 #: drawn twice in a sweep (or in two stages of one experiment) derives once.
-#: Returned SystemSetups are shared — treat them as immutable.
+#: Returned SystemSetups are shared, so every RuleSet inside one is frozen:
+#: a caller mutating a returned setup gets a loud error instead of silently
+#: poisoning every later cache hit (use ``.copy()`` for a mutable set).
 _SETUP_MEMO = BoundedMemo(maxsize=64)
 
 
@@ -48,6 +50,9 @@ def build_setup(learned: RuleSet) -> SystemSetup:
 
 
 def _build_setup_uncached(learned: RuleSet) -> SystemSetup:
+    # Snapshot the caller's set: the memoized setup must not alias an object
+    # the caller can keep mutating (same content ⇒ same derivation output).
+    learned = learned.copy()
     param = derive_rules(learned, include_addrmode=True)
 
     opcode_rules = learned.copy()
@@ -87,4 +92,6 @@ def _build_setup_uncached(learned: RuleSet) -> SystemSetup:
             manual_other=True,
         ),
     }
+    for ruleset in (learned, param.derived, opcode_rules, all_rules, seq_rules):
+        ruleset.freeze()
     return SystemSetup(learned=learned, param=param, configs=configs)

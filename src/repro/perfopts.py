@@ -1,0 +1,48 @@
+"""Runtime toggle for the offline-pipeline performance optimizations.
+
+The verification fast paths (hoisted guest runs, probe-based mapping
+pruning, process-wide equivalence/simplification memos — see
+:mod:`repro.verify.checker`) are result-identical to the straightforward
+per-mapping algorithm, so they are always on in normal operation.  The
+toggle exists so the offline benchmark (``repro bench --offline``) can
+measure the legacy algorithm in the same process, and so a divergence
+suspected to involve the fast paths can be bisected from the environment
+(``REPRO_PERF_LEGACY=1``) without a code change.
+
+Expression interning (:mod:`repro.symir.expr`) is structural and cannot be
+toggled; legacy-mode timings are therefore *conservative* — the measured
+speedup understates the distance to the pre-interning baseline.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+_OPTIMIZED = True
+
+#: Snapshot of ``REPRO_PERF_LEGACY`` taken at import — :func:`optimized` is
+#: called on hot paths, so it cannot afford an environ lookup per call.
+_ENV_LEGACY = bool(os.environ.get("REPRO_PERF_LEGACY"))
+
+
+def optimized() -> bool:
+    """Whether the verification fast paths are active."""
+    return _OPTIMIZED and not _ENV_LEGACY
+
+
+def set_optimized(flag: bool) -> None:
+    global _OPTIMIZED
+    _OPTIMIZED = bool(flag)
+
+
+@contextmanager
+def legacy_mode() -> Iterator[None]:
+    """Temporarily run the legacy verification algorithm (bench baseline)."""
+    previous = _OPTIMIZED
+    set_optimized(False)
+    try:
+        yield
+    finally:
+        set_optimized(previous)

@@ -120,6 +120,12 @@ def binop(op: str, lhs: Expr, rhs: Expr) -> Expr:
     elif op == "ne":
         if lhs == rhs:
             return FALSE
+    elif op in ("ult", "slt"):
+        if lhs == rhs:
+            return FALSE
+    elif op in ("ule", "sle"):
+        if lhs == rhs:
+            return TRUE
 
     return BinOp(op, lhs, rhs)
 

@@ -1,18 +1,27 @@
-"""Symbolic bitvector expression nodes.
+"""Symbolic bitvector expression nodes (hash-consed).
 
 The verification subsystem (:mod:`repro.verify`) represents machine values as
 immutable expression trees over fixed-width bitvectors.  Widths are tracked
 per node; machine words are 32 bits and condition flags are 1 bit.
 
-Nodes are deliberately plain: construction through these classes performs no
-simplification.  Use :mod:`repro.symir.build` for simplifying smart
-constructors.
+Nodes are *interned* ("hash-consed"): constructing a node with the same
+fields returns the one shared instance, so
+
+* structurally equal terms are pointer-equal (``a == b`` starts with an
+  ``is`` fast path and an O(1) cached-hash mismatch reject),
+* hashes and reprs are computed once per distinct term, and
+* memo tables keyed on the node object itself are sound — an entry can
+  never be observed by a structurally different expression.
+
+Construction through these classes performs no simplification.  Use
+:mod:`repro.symir.build` for simplifying smart constructors.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+from typing import Dict, Tuple
+
+from repro.cache import register_cache
 
 WORD_WIDTH = 32
 FLAG_WIDTH = 1
@@ -46,9 +55,25 @@ COMMUTATIVE_OPS = frozenset({"add", "mul", "and", "or", "xor", "eq", "ne"})
 
 UNARY_OPS = frozenset({"not", "neg", "clz"})
 
+#: The hash-consing table: (cls, fields...) -> the unique live node.  Entries
+#: hold strong references; :func:`repro.cache.clear_all_caches` resets the
+#: table (old nodes keep working — equality falls back to a structural
+#: compare across interning epochs).
+_INTERN: Dict[tuple, "Expr"] = {}
+
+register_cache(_INTERN.clear)
+
+
+def intern_table_size() -> int:
+    """Number of live interned nodes (observability for ``cache stats``)."""
+    return len(_INTERN)
+
+
+_set = object.__setattr__
+
 
 class Expr:
-    """Base class for all expression nodes."""
+    """Base class for all expression nodes (interned, immutable)."""
 
     __slots__ = ()
 
@@ -58,102 +83,244 @@ class Expr:
         """Bitmask covering this expression's width."""
         return (1 << self.width) - 1
 
+    def __setattr__(self, name, value):
+        raise AttributeError(f"{type(self).__name__} nodes are immutable")
 
-@dataclass(frozen=True)
+    def __delattr__(self, name):
+        raise AttributeError(f"{type(self).__name__} nodes are immutable")
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if type(other) is not type(self):
+            return NotImplemented
+        # Interned nodes of the same epoch are unique, so a non-identical
+        # same-type pair is almost always unequal: the cached-hash compare
+        # rejects in O(1).  The structural compare only decides pairs from
+        # different interning epochs (see _INTERN).
+        if self._hash != other._hash:  # type: ignore[attr-defined]
+            return False
+        return self._fields() == other._fields()
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def _fields(self) -> tuple:
+        raise NotImplementedError
+
+    def _cached_repr(self, text: str) -> str:
+        _set(self, "_repr", text)
+        return text
+
+
 class Const(Expr):
     """A concrete constant value of the given width."""
 
-    value: int
-    width: int = WORD_WIDTH
+    __slots__ = ("value", "width", "_hash", "_repr")
 
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "value", self.value & ((1 << self.width) - 1))
+    def __new__(cls, value: int, width: int = WORD_WIDTH) -> "Const":
+        value &= (1 << width) - 1
+        key = (cls, value, width)
+        node = _INTERN.get(key)
+        if node is None:
+            node = object.__new__(cls)
+            _set(node, "value", value)
+            _set(node, "width", width)
+            _set(node, "_hash", hash(key))
+            _set(node, "_repr", None)
+            _INTERN[key] = node
+        return node
+
+    def _fields(self) -> tuple:
+        return (self.value, self.width)
+
+    def __reduce__(self):
+        return (Const, (self.value, self.width))
 
     def __repr__(self) -> str:
-        return f"0x{self.value:x}:{self.width}"
+        return self._repr or self._cached_repr(f"0x{self.value:x}:{self.width}")
 
 
-@dataclass(frozen=True)
 class Sym(Expr):
     """A free symbolic variable."""
 
-    name: str
-    width: int = WORD_WIDTH
+    __slots__ = ("name", "width", "_hash", "_repr")
+
+    def __new__(cls, name: str, width: int = WORD_WIDTH) -> "Sym":
+        key = (cls, name, width)
+        node = _INTERN.get(key)
+        if node is None:
+            node = object.__new__(cls)
+            _set(node, "name", name)
+            _set(node, "width", width)
+            _set(node, "_hash", hash(key))
+            _set(node, "_repr", None)
+            _INTERN[key] = node
+        return node
+
+    def _fields(self) -> tuple:
+        return (self.name, self.width)
+
+    def __reduce__(self):
+        return (Sym, (self.name, self.width))
 
     def __repr__(self) -> str:
-        return f"{self.name}:{self.width}"
+        return self._repr or self._cached_repr(f"{self.name}:{self.width}")
 
 
-@dataclass(frozen=True)
 class BinOp(Expr):
     """Binary operation.  Operand widths must match."""
 
-    op: str
-    lhs: Expr
-    rhs: Expr
+    __slots__ = ("op", "lhs", "rhs", "width", "_hash", "_repr")
 
-    @property
-    def width(self) -> int:  # type: ignore[override]
-        if self.op in COMPARISON_OPS:
-            return FLAG_WIDTH
-        return self.lhs.width
+    def __new__(cls, op: str, lhs: Expr, rhs: Expr) -> "BinOp":
+        key = (cls, op, lhs, rhs)
+        node = _INTERN.get(key)
+        if node is None:
+            node = object.__new__(cls)
+            _set(node, "op", op)
+            _set(node, "lhs", lhs)
+            _set(node, "rhs", rhs)
+            _set(node, "width", FLAG_WIDTH if op in COMPARISON_OPS else lhs.width)
+            _set(node, "_hash", hash(key))
+            _set(node, "_repr", None)
+            _INTERN[key] = node
+        return node
+
+    def _fields(self) -> tuple:
+        return (self.op, self.lhs, self.rhs)
+
+    def __reduce__(self):
+        return (BinOp, (self.op, self.lhs, self.rhs))
 
     def __repr__(self) -> str:
-        return f"({self.op} {self.lhs!r} {self.rhs!r})"
+        return self._repr or self._cached_repr(
+            f"({self.op} {self.lhs!r} {self.rhs!r})"
+        )
 
 
-@dataclass(frozen=True)
 class UnOp(Expr):
     """Unary operation (bitwise not, arithmetic negate, count-leading-zeros)."""
 
-    op: str
-    operand: Expr
+    __slots__ = ("op", "operand", "width", "_hash", "_repr")
 
-    @property
-    def width(self) -> int:  # type: ignore[override]
-        return self.operand.width
+    def __new__(cls, op: str, operand: Expr) -> "UnOp":
+        key = (cls, op, operand)
+        node = _INTERN.get(key)
+        if node is None:
+            node = object.__new__(cls)
+            _set(node, "op", op)
+            _set(node, "operand", operand)
+            _set(node, "width", operand.width)
+            _set(node, "_hash", hash(key))
+            _set(node, "_repr", None)
+            _INTERN[key] = node
+        return node
+
+    def _fields(self) -> tuple:
+        return (self.op, self.operand)
+
+    def __reduce__(self):
+        return (UnOp, (self.op, self.operand))
 
     def __repr__(self) -> str:
-        return f"({self.op} {self.operand!r})"
+        return self._repr or self._cached_repr(f"({self.op} {self.operand!r})")
 
 
-@dataclass(frozen=True)
 class Ite(Expr):
     """If-then-else: ``cond`` is 1-bit; branches share a width."""
 
-    cond: Expr
-    then: Expr
-    orelse: Expr
+    __slots__ = ("cond", "then", "orelse", "width", "_hash", "_repr")
 
-    @property
-    def width(self) -> int:  # type: ignore[override]
-        return self.then.width
+    def __new__(cls, cond: Expr, then: Expr, orelse: Expr) -> "Ite":
+        key = (cls, cond, then, orelse)
+        node = _INTERN.get(key)
+        if node is None:
+            node = object.__new__(cls)
+            _set(node, "cond", cond)
+            _set(node, "then", then)
+            _set(node, "orelse", orelse)
+            _set(node, "width", then.width)
+            _set(node, "_hash", hash(key))
+            _set(node, "_repr", None)
+            _INTERN[key] = node
+        return node
+
+    def _fields(self) -> tuple:
+        return (self.cond, self.then, self.orelse)
+
+    def __reduce__(self):
+        return (Ite, (self.cond, self.then, self.orelse))
 
     def __repr__(self) -> str:
-        return f"(ite {self.cond!r} {self.then!r} {self.orelse!r})"
+        return self._repr or self._cached_repr(
+            f"(ite {self.cond!r} {self.then!r} {self.orelse!r})"
+        )
 
 
-@dataclass(frozen=True)
 class Extract(Expr):
     """Extract bits [lo, lo+width) from a wider expression."""
 
-    operand: Expr
-    lo: int
-    width: int
+    __slots__ = ("operand", "lo", "width", "_hash", "_repr")
+
+    def __new__(cls, operand: Expr, lo: int, width: int) -> "Extract":
+        key = (cls, operand, lo, width)
+        node = _INTERN.get(key)
+        if node is None:
+            node = object.__new__(cls)
+            _set(node, "operand", operand)
+            _set(node, "lo", lo)
+            _set(node, "width", width)
+            _set(node, "_hash", hash(key))
+            _set(node, "_repr", None)
+            _INTERN[key] = node
+        return node
+
+    def _fields(self) -> tuple:
+        return (self.operand, self.lo, self.width)
+
+    def __reduce__(self):
+        return (Extract, (self.operand, self.lo, self.width))
 
     def __repr__(self) -> str:
-        return f"(extract {self.operand!r} [{self.lo}+:{self.width}])"
+        return self._repr or self._cached_repr(
+            f"(extract {self.operand!r} [{self.lo}+:{self.width}])"
+        )
 
 
-@dataclass(frozen=True)
 class ZeroExt(Expr):
     """Zero-extend an expression to a wider width."""
 
-    operand: Expr
-    width: int
+    __slots__ = ("operand", "width", "_hash", "_repr")
+
+    def __new__(cls, operand: Expr, width: int) -> "ZeroExt":
+        key = (cls, operand, width)
+        node = _INTERN.get(key)
+        if node is None:
+            node = object.__new__(cls)
+            _set(node, "operand", operand)
+            _set(node, "width", width)
+            _set(node, "_hash", hash(key))
+            _set(node, "_repr", None)
+            _INTERN[key] = node
+        return node
+
+    def _fields(self) -> tuple:
+        return (self.operand, self.width)
+
+    def __reduce__(self):
+        return (ZeroExt, (self.operand, self.width))
 
     def __repr__(self) -> str:
-        return f"(zext {self.operand!r} -> {self.width})"
+        return self._repr or self._cached_repr(
+            f"(zext {self.operand!r} -> {self.width})"
+        )
 
 
 def free_symbols(expr: Expr) -> Tuple[Sym, ...]:

@@ -4,50 +4,70 @@ Expressions built through :mod:`repro.symir.build` are already mostly
 canonical; :func:`simplify` re-runs a whole tree through the smart
 constructors so that trees assembled from raw node constructors (e.g. loaded
 from a rule store) reach the same form.
+
+Because nodes are hash-consed (:mod:`repro.symir.expr`), simplification is
+memoized process-wide, keyed on the node itself: structurally equal terms
+are the *same* object, so a hit can never deliver the simplification of a
+different expression.  Callers may still pass an explicit per-call cache
+(the pre-interning id-keyed protocol) — it is honoured for compatibility.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Tuple
 
+from repro.cache import MISS, BoundedMemo
 from repro.symir import build
 from repro.symir.expr import BinOp, Const, Expr, Extract, Ite, Sym, UnOp, ZeroExt
 
-#: The memo maps ``id(node) -> (node, simplified)``.  Keying by id alone
-#: would be unsound: once a source node is garbage-collected its id can be
-#: handed to a brand-new node, which would then receive the *stale*
+#: Explicit-cache protocol: ``id(node) -> (node, simplified)``.  Keying by id
+#: alone would be unsound: once a source node is garbage-collected its id can
+#: be handed to a brand-new node, which would then receive the *stale*
 #: simplification.  Storing the source node in the entry keeps it alive for
 #: the cache's lifetime (ids of live objects are unique), and the lookup
 #: additionally verifies identity before trusting a hit.
 SimplifyCache = Dict[int, Tuple[Expr, Expr]]
 
+#: Process-wide memo keyed directly on interned nodes.
+_SIMPLIFY_MEMO = BoundedMemo(maxsize=65536, name="symir.simplify")
+
 
 def simplify(expr: Expr, _cache: SimplifyCache | None = None) -> Expr:
     """Return a canonically simplified version of *expr*."""
-    if _cache is None:
-        _cache = {}
-    entry = _cache.get(id(expr))
+    if _cache is not None:
+        return _simplify_local(expr, _cache)
+    return _simplify_global(expr)
+
+
+def _rebuild(expr: Expr, rec) -> Expr:
+    if isinstance(expr, (Const, Sym)):
+        return expr
+    if isinstance(expr, BinOp):
+        return build.binop(expr.op, rec(expr.lhs), rec(expr.rhs))
+    if isinstance(expr, UnOp):
+        return build.unop(expr.op, rec(expr.operand))
+    if isinstance(expr, Ite):
+        return build.ite(rec(expr.cond), rec(expr.then), rec(expr.orelse))
+    if isinstance(expr, Extract):
+        return build.extract(rec(expr.operand), expr.lo, expr.width)
+    if isinstance(expr, ZeroExt):
+        return build.zero_ext(rec(expr.operand), expr.width)
+    raise TypeError(f"unknown expression node: {expr!r}")
+
+
+def _simplify_global(expr: Expr) -> Expr:
+    result = _SIMPLIFY_MEMO.get(expr)
+    if result is not MISS:
+        return result
+    result = _rebuild(expr, _simplify_global)
+    _SIMPLIFY_MEMO.put(expr, result)
+    return result
+
+
+def _simplify_local(expr: Expr, cache: SimplifyCache) -> Expr:
+    entry = cache.get(id(expr))
     if entry is not None and entry[0] is expr:
         return entry[1]
-
-    if isinstance(expr, (Const, Sym)):
-        result: Expr = expr
-    elif isinstance(expr, BinOp):
-        result = build.binop(expr.op, simplify(expr.lhs, _cache), simplify(expr.rhs, _cache))
-    elif isinstance(expr, UnOp):
-        result = build.unop(expr.op, simplify(expr.operand, _cache))
-    elif isinstance(expr, Ite):
-        result = build.ite(
-            simplify(expr.cond, _cache),
-            simplify(expr.then, _cache),
-            simplify(expr.orelse, _cache),
-        )
-    elif isinstance(expr, Extract):
-        result = build.extract(simplify(expr.operand, _cache), expr.lo, expr.width)
-    elif isinstance(expr, ZeroExt):
-        result = build.zero_ext(simplify(expr.operand, _cache), expr.width)
-    else:
-        raise TypeError(f"unknown expression node: {expr!r}")
-
-    _cache[id(expr)] = (expr, result)
+    result = _rebuild(expr, lambda sub: _simplify_local(sub, cache))
+    cache[id(expr)] = (expr, result)
     return result

@@ -34,11 +34,14 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro import perfopts
+from repro.cache import MISS, BoundedMemo
 from repro.errors import VerificationError
 from repro.isa.flags import FLAG_NAMES
 from repro.isa.instruction import Instruction
 from repro.isa.operands import Imm, Label, Mem, Reg, RegList
-from repro.symir import Sym
+from repro.symir import Expr, Sym
+from repro.verify import shapeclass
 from repro.verify.equivalence import exprs_equal
 from repro.verify.symstate import SymbolicState, run_symbolic
 
@@ -204,6 +207,21 @@ def check_equivalence(
         )
 
     wanted = guest_set_flags(guest_isa, guest_insns)
+    if perfopts.optimized():
+        # Shape-class layer: canonicalize register names, run the mapping
+        # search once per canonical shape, rebase the verdict per member
+        # (with a seeded direct-verification cross-check on served hits).
+        return shapeclass.check_shape_class(
+            guest_isa,
+            host_isa,
+            guest_insns,
+            host_insns,
+            guest_regs,
+            host_regs,
+            wanted,
+            search=_search_mappings_fast,
+        )
+
     best: Optional[CheckResult] = None
     for mapping in _candidate_mappings(guest_regs, host_regs):
         result = _check_with_mapping(
@@ -218,6 +236,199 @@ def check_equivalence(
     if best is not None:
         return best
     return CheckResult(False, reason="no operand mapping satisfies dataflow equivalence")
+
+
+_NO_MAPPING = CheckResult(
+    False, reason="no operand mapping satisfies dataflow equivalence"
+)
+
+#: Completed guest runs keyed ``(isa.name, guest_insns)``.  A finished
+#: :class:`SymbolicState` is immutable from the checker's point of view —
+#: the search only reads it and copies its load oracle — so the state object
+#: itself is the memo value (or a :class:`VerificationError` marker).
+_GUEST_RUN_MEMO = BoundedMemo(maxsize=4096, name="verify.guest_run")
+
+#: Host probe signatures keyed ``(isa.name, host_insns)``: the probe's
+#: lazy-read and written-register sets (or an error marker), which are
+#: invariant under the symbol renaming any candidate mapping induces.
+_PROBE_MEMO = BoundedMemo(maxsize=4096, name="verify.host_probe")
+
+#: Completed mapped host runs, keyed by instructions, mapping, and the
+#: guest-populated load-oracle snapshot the run starts from (all interned
+#: expressions, so the key hashes in O(1) per node).
+_HOST_RUN_MEMO = BoundedMemo(maxsize=4096, name="verify.host_run")
+
+_RUN_FAILED = "verification-error"
+
+
+def _run_guest(guest_isa, guest_insns, guest_regs):
+    """Run (or recall) the hoisted guest execution; None means it failed."""
+    key = (guest_isa.name, guest_insns)
+    state = _GUEST_RUN_MEMO.get(key)
+    if state is MISS:
+        base_oracle: Dict = {}
+        state = SymbolicState("g", load_oracle=base_oracle)
+        for i, guest_reg in enumerate(guest_regs):
+            state.bind_reg(guest_reg, Sym(f"v{i}", 32))
+        for flag in FLAG_NAMES:
+            state.bind_flag(flag, Sym(f"F{flag}", 1))
+        try:
+            run_symbolic(guest_isa, guest_insns, state)
+        except VerificationError:
+            state = _RUN_FAILED
+        _GUEST_RUN_MEMO.put(key, state)
+    return None if state is _RUN_FAILED else state
+
+
+def _probe_host(host_isa, host_insns, flag_inputs):
+    """Host run with unbound registers; returns (lazy_reads, written_regs).
+
+    ``None`` means the run raised — and, because the raise depends only on
+    store-buffer address resolution (invariant under the injective symbol
+    renaming a mapping binding induces), every mapped run raises too.
+    """
+    key = (host_isa.name, host_insns)
+    signature = _PROBE_MEMO.get(key)
+    if signature is MISS:
+        probe = SymbolicState("h")
+        for flag in FLAG_NAMES:
+            probe.bind_flag(flag, flag_inputs[flag])
+        try:
+            run_symbolic(host_isa, host_insns, probe)
+        except VerificationError:
+            signature = _RUN_FAILED
+        else:
+            signature = (frozenset(probe.lazy_reads), frozenset(probe.written_regs))
+        _PROBE_MEMO.put(key, signature)
+    return None if signature is _RUN_FAILED else signature
+
+
+def _search_mappings_fast(
+    guest_isa,
+    host_isa,
+    guest_insns: Tuple[Instruction, ...],
+    host_insns: Tuple[Instruction, ...],
+    guest_regs: List[str],
+    host_regs: List[str],
+    wanted_flags: frozenset,
+) -> CheckResult:
+    """Mapping search with the guest run hoisted and a host probe pruning.
+
+    Result-identical to the legacy per-mapping loop, by construction:
+
+    * The guest's symbolic run never depends on the candidate mapping —
+      every mapping binds ``guest_regs[i]`` to ``Sym("v{i}")`` — so it is
+      run **once** here; the shared load oracle it populates is snapshot-
+      copied for each host attempt, exactly reproducing the fresh-oracle-
+      per-mapping behaviour of the legacy loop.
+    * The host is run once as an unbound *probe*.  Its raised-or-not
+      status, lazy-read set, and written-register set are invariant under
+      the injective symbol renaming that binding a mapping performs (the
+      store-buffer address resolution the run depends on compares
+      canonical forms, and injective renaming preserves both their
+      equality and inequality), so the probe's register signature decides,
+      per candidate mapping, checks the legacy loop could only make after
+      a full host run: a temp register that is read before written, or a
+      mapped-but-unwritten host register whose guest counterpart computes
+      a different value.  Mappings failing those checks are skipped
+      without a host run — but still consumed from the same capped
+      candidate stream, so the set of mappings *considered* is unchanged.
+    * Surviving mappings get the full legacy check body against the
+      hoisted guest state.
+    """
+    guest_state = _run_guest(guest_isa, guest_insns, guest_regs)
+    if guest_state is None:
+        return _NO_MAPPING
+    if guest_state.lazy_reads:
+        return _NO_MAPPING  # guest read a register outside the collected operands
+    base_oracle = guest_state.load_oracle
+
+    # Flag inputs are mapping-independent, so the probe shares them; only
+    # its registers stay unbound (they materialize as h_* symbols).
+    flag_inputs: Dict[str, Sym] = {f: Sym(f"F{f}", 1) for f in FLAG_NAMES}
+    probe = _probe_host(host_isa, host_insns, flag_inputs)
+    if probe is None:
+        return _NO_MAPPING
+    probe_lazy, probe_written = probe
+
+    guest_index = {name: i for i, name in enumerate(guest_regs)}
+    has_spare_hosts = len(host_regs) > len(guest_regs)
+    # Per-guest-register verdict of "does the guest leave this register at
+    # its bound input v{i}?", resolved lazily — shared across mappings.
+    guest_unchanged: Dict[str, bool] = {}
+    best: Optional[CheckResult] = None
+    for mapping in _candidate_mappings(guest_regs, host_regs):
+        if has_spare_hosts and probe_lazy:
+            mapped_hosts = set(mapping.values())
+            if any(r in probe_lazy for r in host_regs if r not in mapped_hosts):
+                continue
+        viable = True
+        for guest_reg, host_reg in mapping.items():
+            if host_reg not in probe_written:
+                # Host leaves this register at its bound input symbol.
+                unchanged = guest_unchanged.get(guest_reg)
+                if unchanged is None:
+                    bound = Sym(f"v{guest_index[guest_reg]}", 32)
+                    unchanged = exprs_equal(guest_state.regs[guest_reg], bound)
+                    guest_unchanged[guest_reg] = unchanged
+                if not unchanged:
+                    viable = False
+                    break
+        if not viable:
+            continue
+        result = _check_host_against(
+            host_isa,
+            host_insns,
+            mapping,
+            guest_state,
+            flag_inputs,
+            base_oracle,
+            wanted_flags,
+        )
+        if result is None:
+            continue
+        if result.equivalent:
+            return result
+        if best is None or len(result.mismatched_flags) < len(best.mismatched_flags):
+            best = result
+    if best is not None:
+        return best
+    return _NO_MAPPING
+
+
+def _check_host_against(
+    host_isa,
+    host_insns: Tuple[Instruction, ...],
+    mapping: Dict[str, str],
+    guest_state: SymbolicState,
+    flag_inputs: Dict[str, Sym],
+    base_oracle: Dict,
+    wanted_flags: frozenset,
+) -> Optional[CheckResult]:
+    """Run the host under *mapping* and compare against the hoisted guest."""
+    key = (
+        host_isa.name,
+        host_insns,
+        tuple(mapping.items()),
+        tuple(base_oracle.items()),
+    )
+    host_state = _HOST_RUN_MEMO.get(key)
+    if host_state is MISS:
+        host_state = SymbolicState("h", load_oracle=dict(base_oracle))
+        for i, (_, host_reg) in enumerate(mapping.items()):
+            host_state.bind_reg(host_reg, Sym(f"v{i}", 32))
+        for flag in FLAG_NAMES:
+            host_state.bind_flag(flag, flag_inputs[flag])
+        try:
+            run_symbolic(host_isa, host_insns, host_state)
+        except VerificationError:
+            host_state = _RUN_FAILED
+        _HOST_RUN_MEMO.put(key, host_state)
+    if host_state is _RUN_FAILED:
+        return None
+    return _compare_states(
+        guest_state, host_state, host_insns, mapping, flag_inputs, wanted_flags
+    )
 
 
 def _check_with_mapping(
@@ -249,14 +460,27 @@ def _check_with_mapping(
         run_symbolic(host_isa, host_insns, host_state)
     except VerificationError:
         return None
+    if guest_state.lazy_reads:
+        return None  # guest read a register outside the collected operands
+    return _compare_states(
+        guest_state, host_state, host_insns, mapping, flag_inputs, wanted_flags
+    )
 
+
+def _compare_states(
+    guest_state: SymbolicState,
+    host_state: SymbolicState,
+    host_insns: Tuple[Instruction, ...],
+    mapping: Dict[str, str],
+    flag_inputs: Dict[str, Sym],
+    wanted_flags: frozenset,
+) -> Optional[CheckResult]:
+    """Compare two completed symbolic runs under one mapping."""
     mapped_hosts = set(mapping.values())
     temps = tuple(r for r in collect_regs(host_insns) if r not in mapped_hosts)
     # True temporaries must be written before any read.
     if any(t in host_state.lazy_reads for t in temps):
         return None
-    if guest_state.lazy_reads:
-        return None  # guest read a register outside the collected operands
 
     # Register outputs.
     for guest_reg, host_reg in mapping.items():

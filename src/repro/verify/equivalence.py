@@ -12,6 +12,16 @@ This matches the trust model of testing-based translation validation; the
 paper's own verifier (symbolic execution + solver) is stricter only in the
 "accept" direction, and every rule this checker accepts is additionally
 exercised end-to-end by the DBT integration tests.
+
+Performance: expression nodes are interned (:mod:`repro.symir.expr`), so
+verdicts are memoized process-wide keyed on the node pair itself — the
+mapping search in :mod:`repro.verify.checker` re-compares the same
+guest/host value expressions across many candidate mappings and shape-class
+representatives.  Sampling lowers each compared pair to one compiled row
+scanner (:func:`repro.symir.rowcompile.pair_evaluator`), so an assignment
+costs straight-line bytecode rather than per-node interpretation.  Both
+paths are bypassed in legacy mode (:mod:`repro.perfopts`) so the offline
+benchmark can time the plain algorithm.
 """
 
 from __future__ import annotations
@@ -20,7 +30,10 @@ import itertools
 import random
 from typing import Iterable, Sequence, Tuple
 
+from repro import perfopts
+from repro.cache import MISS, BoundedMemo
 from repro.symir import Expr, evaluate, free_symbols, simplify
+from repro.symir.rowcompile import pair_evaluator
 
 #: Boundary values every symbol is exercised with.
 BOUNDARY_VALUES: Tuple[int, ...] = (
@@ -41,6 +54,12 @@ BOUNDARY_VALUES: Tuple[int, ...] = (
 
 RANDOM_SAMPLES = 160
 _MAX_EXHAUSTIVE_ASSIGNMENTS = 4096
+
+#: Verdict memo keyed ``(lhs, rhs, seed)`` on interned nodes; sound because
+#: the verdict is a pure function of the pair (the sampling rng is seeded
+#: from the pair's reprs) and interning makes structurally equal keys
+#: identical.
+_EQUAL_MEMO = BoundedMemo(maxsize=65536, name="verify.exprs_equal")
 
 
 def _assignments(symbols: Sequence, seed: int) -> Iterable[dict]:
@@ -70,6 +89,103 @@ def _assignments(symbols: Sequence, seed: int) -> Iterable[dict]:
         yield {}
 
 
+#: Materialized boundary-value cross products keyed by the masks tuple —
+#: they are seed-independent, and most expression pairs share a handful of
+#: width signatures, so the product is built once per signature.
+_BOUNDARY_ROWS_MEMO = BoundedMemo(maxsize=64, name="verify.boundary_rows")
+
+
+def _boundary_rows(masks: Tuple[int, ...]) -> list:
+    rows = _BOUNDARY_ROWS_MEMO.get(masks)
+    if rows is MISS:
+        rows = [
+            tuple(v & m for v, m in zip(combo, masks))
+            for combo in itertools.product(BOUNDARY_VALUES, repeat=len(masks))
+        ]
+        _BOUNDARY_ROWS_MEMO.put(masks, rows)
+    return rows
+
+
+def _assignment_rows(
+    names: Sequence[str], masks: Sequence[int], seed: int
+) -> Iterable[tuple]:
+    """The :func:`_assignments` stream as value tuples in *names* order.
+
+    Yields exactly the same values in exactly the same order (including the
+    order of rng draws within each assignment), so verdicts derived from
+    either stream are interchangeable.
+    """
+    if names:
+        total = len(BOUNDARY_VALUES) ** len(names)
+        if total <= _MAX_EXHAUSTIVE_ASSIGNMENTS:
+            yield from _boundary_rows(tuple(masks))
+        else:
+            rng = random.Random(seed ^ 0x5EED)
+            for _ in range(_MAX_EXHAUSTIVE_ASSIGNMENTS):
+                yield tuple(rng.choice(BOUNDARY_VALUES) & m for m in masks)
+
+    rng = random.Random(seed)
+    for _ in range(RANDOM_SAMPLES):
+        yield tuple(rng.getrandbits(32) & m for m in masks)
+    if not names:
+        yield ()
+
+
+def _first_difference(lhs: Expr, rhs: Expr, seed: int) -> dict | None:
+    """First assignment (in :func:`_assignments` order) distinguishing the
+    two expressions, or ``None``.  *lhs*/*rhs* must already be simplified."""
+    symbols = list(dict.fromkeys(free_symbols(lhs) + free_symbols(rhs)))
+    if not perfopts.optimized():
+        for env in _assignments(symbols, seed):
+            if evaluate(lhs, env) != evaluate(rhs, env):
+                return env
+        return None
+    # Compiled row evaluation: the pair is lowered once to a generated
+    # Python function over value rows (shared subterms computed once per
+    # row), so an assignment costs a single pass of straight-line bytecode
+    # instead of a per-node interpreter dispatch.  The scanner consumes the
+    # assignment stream lazily and stops at the first differing row.
+    names = tuple(s.name for s in symbols)
+    widths = {s.name: s.width for s in symbols}
+    masks = [(1 << widths[n]) - 1 for n in names]
+    scan = pair_evaluator(lhs, rhs, names)
+    index = scan(_assignment_rows(names, masks, seed))
+    if index < 0:
+        return None
+    row = next(itertools.islice(_assignment_rows(names, masks, seed), index, None))
+    return dict(zip(names, row))
+
+
+def _plain_repr(expr: Expr) -> str:
+    """Recompute an expression's repr without the per-node cache.
+
+    Legacy mode exists to time the plain algorithm, and the plain algorithm
+    re-walked the tree on every ``repr`` call; reading the repr cached by the
+    interned node would understate its cost.  The string produced is
+    identical to ``repr(expr)``.
+    """
+    from repro.symir.expr import BinOp, Const, Ite, Sym, UnOp, Extract, ZeroExt
+
+    if isinstance(expr, Const):
+        return f"0x{expr.value:x}:{expr.width}"
+    if isinstance(expr, Sym):
+        return f"{expr.name}:{expr.width}"
+    if isinstance(expr, BinOp):
+        return f"({expr.op} {_plain_repr(expr.lhs)} {_plain_repr(expr.rhs)})"
+    if isinstance(expr, UnOp):
+        return f"({expr.op} {_plain_repr(expr.operand)})"
+    if isinstance(expr, Ite):
+        return (
+            f"(ite {_plain_repr(expr.cond)} {_plain_repr(expr.then)} "
+            f"{_plain_repr(expr.orelse)})"
+        )
+    if isinstance(expr, Extract):
+        return f"(extract {_plain_repr(expr.operand)} [{expr.lo}+:{expr.width}])"
+    if isinstance(expr, ZeroExt):
+        return f"(zext {_plain_repr(expr.operand)} -> {expr.width})"
+    raise TypeError(f"unknown expression node: {expr!r}")
+
+
 def exprs_equal(lhs: Expr, rhs: Expr, seed: int = 0) -> bool:
     """Decide whether two expressions are semantically equal.
 
@@ -77,18 +193,31 @@ def exprs_equal(lhs: Expr, rhs: Expr, seed: int = 0) -> bool:
     definitive when reached by syntactic equality and high-confidence
     otherwise.
     """
-    lhs = simplify(lhs)
-    rhs = simplify(rhs)
-    if lhs == rhs:
-        return True
-    if lhs.width != rhs.width:
-        return False
-    symbols = list(dict.fromkeys(free_symbols(lhs) + free_symbols(rhs)))
-    mix = seed ^ (hash((repr(lhs), repr(rhs))) & 0xFFFFFFFF)
-    for env in _assignments(symbols, mix):
-        if evaluate(lhs, env) != evaluate(rhs, env):
+    if not perfopts.optimized():
+        lhs = simplify(lhs, {})
+        rhs = simplify(rhs, {})
+        if lhs == rhs:
+            return True
+        if lhs.width != rhs.width:
             return False
-    return True
+        mix = seed ^ (hash((_plain_repr(lhs), _plain_repr(rhs))) & 0xFFFFFFFF)
+        return _first_difference(lhs, rhs, mix) is None
+
+    key = (lhs, rhs, seed)
+    verdict = _EQUAL_MEMO.get(key)
+    if verdict is not MISS:
+        return verdict
+    slhs = simplify(lhs)
+    srhs = simplify(rhs)
+    if slhs is srhs or slhs == srhs:
+        verdict = True
+    elif slhs.width != srhs.width:
+        verdict = False
+    else:
+        mix = seed ^ (hash((repr(slhs), repr(srhs))) & 0xFFFFFFFF)
+        verdict = _first_difference(slhs, srhs, mix) is None
+    _EQUAL_MEMO.put(key, verdict)
+    return verdict
 
 
 def find_counterexample(lhs: Expr, rhs: Expr, seed: int = 0) -> dict | None:
@@ -97,8 +226,4 @@ def find_counterexample(lhs: Expr, rhs: Expr, seed: int = 0) -> dict | None:
     rhs = simplify(rhs)
     if lhs == rhs:
         return None
-    symbols = list(dict.fromkeys(free_symbols(lhs) + free_symbols(rhs)))
-    for env in _assignments(symbols, seed):
-        if evaluate(lhs, env) != evaluate(rhs, env):
-            return env
-    return None
+    return _first_difference(lhs, rhs, seed)

@@ -1,0 +1,71 @@
+"""Tests for the offline benchmark report helpers (no timed runs here; the
+CI smoke job runs the real ``repro bench --offline --quick --check``)."""
+
+from repro.bench_offline import (
+    check_offline_report,
+    render_offline_report,
+    write_offline_report,
+)
+
+
+def _payload(**overrides):
+    payload = {
+        "quick": True,
+        "training_set": ["mcf"],
+        "repeats": 1,
+        "stages": {
+            "optimized": {"learn": 0.1, "derive": 0.05, "total": 0.15},
+            "legacy": {"learn": 0.2, "derive": 0.15, "total": 0.35},
+        },
+        "speedup": {"learn": 2.0, "derive": 3.0, "total": 2.33},
+        "identical": True,
+        "counts": {"derived_unique": 10},
+        "counts_match": True,
+        "cross_check": {"checked": 12, "failed": 0},
+        "memos": [],
+        "note": "",
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestCheckOfflineReport:
+    def test_passes_on_clean_payload(self):
+        ok, message = check_offline_report(_payload())
+        assert ok
+        assert "12 cross-checks passed" in message
+
+    def test_fails_on_payload_divergence(self):
+        ok, message = check_offline_report(_payload(identical=False))
+        assert not ok and "differs" in message
+
+    def test_fails_on_count_mismatch(self):
+        ok, message = check_offline_report(_payload(counts_match=False))
+        assert not ok and "counts differ" in message
+
+    def test_fails_on_cross_check_failure(self):
+        ok, message = check_offline_report(
+            _payload(cross_check={"checked": 5, "failed": 1})
+        )
+        assert not ok and "cross-check" in message
+
+
+class TestRendering:
+    def test_render_includes_stages_and_verdict(self):
+        text = render_offline_report(_payload())
+        assert "learn" in text and "derive" in text and "total" in text
+        assert "batched == direct payload: yes" in text
+        assert "12 re-verified" in text
+
+    def test_render_flags_divergence(self):
+        text = render_offline_report(_payload(identical=False))
+        assert "DIVERGENCE" in text
+
+    def test_write_report_round_trips(self, tmp_path):
+        import json
+
+        path = tmp_path / "BENCH_offline.json"
+        write_offline_report(_payload(), str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["identical"] is True
+        assert loaded["speedup"]["derive"] == 3.0

@@ -122,6 +122,83 @@ class TestRuleSet:
         assert copy.rules is not demo_rules.rules
 
 
+def _synthetic_rule(guest, host, mapping, imm_gen=False):
+    from repro.isa.x86 import assemble as x86
+    from repro.learning.rule import TranslationRule
+
+    return TranslationRule(
+        guest=arm(guest),
+        host=x86(host),
+        reg_mapping=tuple(sorted(mapping.items())),
+        imm_generalized=imm_gen,
+    )
+
+
+class TestRuleSetIndexing:
+    """Regression tests for the index tie-break and lookup preference."""
+
+    _MAPPING = {"r0": "eax", "r1": "ecx", "r2": "edx"}
+
+    def _long(self):
+        return _synthetic_rule(
+            "add r0, r1, r2",
+            "movl %ecx, %eax\naddl %edx, %eax",
+            self._MAPPING,
+        )
+
+    def _short(self):
+        return _synthetic_rule(
+            "add r0, r1, r2", "addl %edx, %eax", self._MAPPING
+        )
+
+    def test_shorter_host_wins_index_slot(self):
+        rules = RuleSet()
+        assert rules.add(self._long())
+        assert rules.add(self._short())
+        hit = rules.lookup(arm("add r4, r5, r6"))
+        assert hit is not None and len(hit.host) == 1
+
+    def test_tie_break_is_order_independent(self):
+        rules = RuleSet()
+        assert rules.add(self._short())
+        assert rules.add(self._long())
+        hit = rules.lookup(arm("add r4, r5, r6"))
+        assert hit is not None and len(hit.host) == 1
+
+    def test_both_tied_rules_stay_counted(self):
+        # The loser of the index slot still counts toward rule totals
+        # (Table III counts every distinct learned rule).
+        rules = RuleSet()
+        rules.add(self._long())
+        rules.add(self._short())
+        assert len(rules) == 2
+        assert len(rules.by_origin("learned")) == 2
+
+    def test_lookup_prefers_generalized_over_specific(self):
+        rules = RuleSet()
+        specific = _synthetic_rule(
+            "add r0, r0, #5", "addl $5, %eax", {"r0": "eax"}
+        )
+        general = _synthetic_rule(
+            "add r0, r0, #5", "addl $5, %eax", {"r0": "eax"}, imm_gen=True
+        )
+        assert rules.add(specific)
+        assert rules.add(general)
+        hit = rules.lookup(arm("add r4, r4, #5"))
+        assert hit is general
+        # The generalized rule also covers immediates never seen.
+        assert rules.lookup(arm("add r4, r4, #77")) is general
+
+    def test_specific_fallback_when_no_generalized_rule(self):
+        rules = RuleSet()
+        specific = _synthetic_rule(
+            "add r0, r0, #5", "addl $5, %eax", {"r0": "eax"}
+        )
+        rules.add(specific)
+        assert rules.lookup(arm("add r4, r4, #5")) is specific
+        assert rules.lookup(arm("add r4, r4, #9")) is None
+
+
 class TestStore:
     def test_json_roundtrip(self, demo_rules):
         text = dump_rules(demo_rules)

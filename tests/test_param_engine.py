@@ -1,0 +1,69 @@
+"""Tests for the setup memo's sharing guarantees (param/engine.py).
+
+``build_setup`` memoizes SystemSetups by rule-set content and serves the
+same object to every caller with an equal rule set.  Historically the setup
+also *aliased* the caller's RuleSet, so a caller mutating either the input
+set or the returned setup silently poisoned every later memo hit.  The fix
+is two-sided: the input set is snapshotted, and every RuleSet inside a
+memoized setup is frozen.
+"""
+
+import pytest
+
+from repro.errors import RuleError
+from repro.learning.ruleset import RuleSet
+from repro.param import build_setup
+
+
+class TestFrozenRuleSet:
+    def test_freeze_blocks_add_and_extend(self, demo_rules):
+        frozen = demo_rules.copy().freeze()
+        rule = frozen.rules[0]
+        with pytest.raises(RuleError):
+            frozen.add(rule)
+        with pytest.raises(RuleError):
+            frozen.extend([rule])
+        assert frozen.frozen
+
+    def test_copy_of_frozen_is_mutable(self, demo_rules):
+        frozen = demo_rules.copy().freeze()
+        thawed = frozen.copy()
+        assert not thawed.frozen
+        assert len(thawed) == len(frozen)
+        # Lookup still works on both; the copy preserves the indexes.
+        for rule in frozen.rules:
+            assert thawed.lookup(rule.guest) is not None
+
+    def test_fresh_sets_start_mutable(self):
+        assert not RuleSet().frozen
+
+
+class TestSetupMemoIsolation:
+    def test_returned_setup_is_frozen(self, demo_setup):
+        rule = demo_setup.param.derived.rules[0]
+        for ruleset in (
+            demo_setup.learned,
+            demo_setup.param.derived,
+            demo_setup.configs["wopara"].rules,
+            demo_setup.configs["opcode"].rules,
+            demo_setup.configs["condition"].rules,
+            demo_setup.configs["seqparam"].rules,
+        ):
+            assert ruleset.frozen
+            with pytest.raises(RuleError):
+                ruleset.add(rule)
+
+    def test_caller_mutation_does_not_poison_memo(self, demo_rules):
+        mine = demo_rules.copy()
+        first = build_setup(mine)
+        before = len(first.learned)
+
+        # The caller keeps mutating its own (unfrozen) set afterwards; the
+        # memoized setup must have snapshotted it, not aliased it.
+        added = any(mine.add(rule) for rule in first.param.derived.rules)
+        assert added, "expected at least one derived rule absent from learned"
+        assert len(first.learned) == before
+
+        # A later caller with the original content gets the clean setup.
+        served = build_setup(demo_rules.copy())
+        assert len(served.learned) == before

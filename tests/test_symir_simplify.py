@@ -21,29 +21,52 @@ from repro.symir import (
     sym,
     unop,
 )
-from repro.symir.expr import BINARY_OPS, UNARY_OPS
+from repro.symir.expr import (
+    BINARY_OPS,
+    COMPARISON_OPS,
+    UNARY_OPS,
+    Ite,
+    ZeroExt,
+)
 
 U32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
 
 _SYMS = ("a", "b", "c")
 
+# Arithmetic ops keep their operands' width; comparisons produce 1-bit
+# results and are re-widened below so every subtree stays 32 bits wide.
+_ARITH_OPS = sorted(BINARY_OPS - COMPARISON_OPS)
+_CMP_OPS = sorted(COMPARISON_OPS)
+
 
 def exprs(depth: int = 3):
-    """Strategy producing random well-formed 32-bit expressions."""
+    """Strategy producing random well-formed 32-bit expressions.
+
+    Comparison operators are included: a 1-bit comparison of two 32-bit
+    subtrees re-enters the tree either zero-extended back to 32 bits or as
+    the condition of an if-then-else over two 32-bit branches.
+
+    Leaves are constructed at draw time, not strategy-build time: a Sym
+    captured across a ``clear_all_caches()`` belongs to a dead interning
+    epoch, and composites interned over it would break the ``is``-identity
+    guarantee for later same-epoch nodes.
+    """
     leaf = st.one_of(
-        st.sampled_from([Sym(n) for n in _SYMS]),
+        st.sampled_from(_SYMS).map(Sym),
         U32.map(lambda v: Const(v)),
     )
 
     def extend(children):
         binary = st.builds(
-            BinOp,
-            st.sampled_from(sorted(BINARY_OPS - {"eq", "ne", "ult", "ule", "slt", "sle"})),
-            children,
-            children,
+            BinOp, st.sampled_from(_ARITH_OPS), children, children
         )
         unary = st.builds(UnOp, st.sampled_from(sorted(UNARY_OPS)), children)
-        return st.one_of(binary, unary)
+        compare = st.builds(
+            BinOp, st.sampled_from(_CMP_OPS), children, children
+        )
+        widened = compare.map(lambda cmp: ZeroExt(cmp, 32))
+        selected = st.builds(Ite, compare, children, children)
+        return st.one_of(binary, unary, widened, selected)
 
     return st.recursive(leaf, extend, max_leaves=8)
 
@@ -104,6 +127,25 @@ class TestIdentities:
     def test_eq_self_true(self):
         assert binop("eq", sym("a"), sym("a")) == const(1, 1)
 
+    def test_comparison_self_identities(self):
+        a = sym("a")
+        assert binop("ne", a, a) == const(0, 1)
+        assert binop("ult", a, a) == const(0, 1)
+        assert binop("slt", a, a) == const(0, 1)
+        assert binop("ule", a, a) == const(1, 1)
+        assert binop("sle", a, a) == const(1, 1)
+
+    def test_comparison_constant_folding(self):
+        assert binop("eq", const(5), const(5)) == const(1, 1)
+        assert binop("ne", const(5), const(6)) == const(1, 1)
+        assert binop("ult", const(1), const(2)) == const(1, 1)
+        assert binop("ule", const(2), const(2)) == const(1, 1)
+        # 0xFFFFFFFF is -1 signed: below 0 signed, above it unsigned.
+        assert binop("slt", const(0xFFFFFFFF), const(0)) == const(1, 1)
+        assert binop("ult", const(0xFFFFFFFF), const(0)) == const(0, 1)
+        assert binop("sle", const(0), const(0x7FFFFFFF)) == const(1, 1)
+        assert binop("sle", const(0x80000000), const(0)) == const(1, 1)
+
     def test_constant_folding(self):
         assert binop("mul", const(6), const(7)) == const(42)
 
@@ -134,6 +176,23 @@ class TestSimplifyProperty:
     def test_simplify_idempotent(self, expr):
         once = simplify(expr)
         assert simplify(once) == once
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        op=st.sampled_from(_CMP_OPS),
+        lhs=exprs(),
+        rhs=exprs(),
+        a=U32,
+        b=U32,
+        c=U32,
+    )
+    def test_simplify_preserves_comparisons(self, op, lhs, rhs, a, b, c):
+        """Comparison nodes at the root (1-bit results) are preserved too."""
+        env = {"a": a, "b": b, "c": c}
+        cmp = BinOp(op, lhs, rhs)
+        simplified = simplify(cmp)
+        assert simplified.width == 1
+        assert evaluate(simplified, env) == evaluate(cmp, env)
 
     @settings(max_examples=100, deadline=None)
     @given(expr=exprs())
