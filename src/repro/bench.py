@@ -24,11 +24,59 @@ cold CI container finishes in seconds.
 from __future__ import annotations
 
 import json
+import os
+import subprocess
 import time
+from datetime import datetime, timezone
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.dbt import DBTEngine
 from repro.experiments.common import geomean
+
+#: Schema stamp shared by every ``BENCH_*.json`` writer (dbt, offline,
+#: service).  Bump when a report's structure changes incompatibly, so
+#: cross-PR bench-trajectory tooling can diff like against like.
+BENCH_SCHEMA_VERSION = 1
+
+
+def _commit_hash() -> str:
+    """Current git commit, or ``"unknown"`` outside a work tree."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if proc.returncode != 0:
+        return "unknown"
+    return proc.stdout.strip() or "unknown"
+
+
+def bench_metadata() -> Dict[str, object]:
+    """The shared ``meta`` block stamped into every bench report."""
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "commit": _commit_hash(),
+        "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+
+
+def write_json_report(payload: Dict[str, object], path: str) -> None:
+    """Write one bench report, stamping :func:`bench_metadata` into it.
+
+    The single write path for ``BENCH_dbt.json``, ``BENCH_offline.json``,
+    and ``BENCH_service.json`` — every report on disk carries the same
+    machine-diffable metadata block.
+    """
+    payload = dict(payload)
+    payload.setdefault("meta", bench_metadata())
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 #: benchmarks used by ``--quick`` (small, distinct control-flow shapes).
 QUICK_NAMES = ("mcf", "libquantum", "astar")
@@ -159,9 +207,7 @@ def run_bench(
 
 
 def write_report(payload: Dict[str, object], path: str) -> None:
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    write_json_report(payload, path)
 
 
 def render_report(payload: Dict[str, object]) -> str:

@@ -171,9 +171,9 @@ def run_offline_bench(
 
 
 def write_offline_report(payload: Dict[str, object], path: str) -> None:
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    from repro.bench import write_json_report
+
+    write_json_report(payload, path)
 
 
 def render_offline_report(payload: Dict[str, object]) -> str:

@@ -33,6 +33,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -53,7 +54,13 @@ MISS = object()
 
 @dataclass
 class CacheStats:
-    """Hit/miss/time counters for both cache levels (process-wide)."""
+    """Hit/miss/time counters for both cache levels (process-wide).
+
+    Counters are mutated through :meth:`incr` under an internal lock: the
+    serving layer (:mod:`repro.service`) runs translation and compilation
+    on worker threads, so two threads bumping ``memo_hits`` concurrently
+    must never lose an increment.
+    """
 
     disk_hits: int = 0
     disk_misses: int = 0
@@ -65,8 +72,19 @@ class CacheStats:
     #: wall-clock seconds of recorded compute skipped thanks to disk hits.
     seconds_saved: float = 0.0
 
+    def __post_init__(self) -> None:
+        # Not a dataclass field: asdict()/snapshot() must only see counters.
+        self._lock = threading.Lock()
+
+    def incr(self, **deltas: float) -> None:
+        """Atomically add the given deltas to the named counters."""
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
     def as_dict(self) -> Dict[str, float]:
-        return asdict(self)
+        with self._lock:
+            return asdict(self)
 
     def snapshot(self) -> "CacheStats":
         return CacheStats(**self.as_dict())
@@ -78,8 +96,9 @@ class CacheStats:
 
     def reset(self) -> None:
         fresh = CacheStats()
-        for key in self.as_dict():
-            setattr(self, key, getattr(fresh, key))
+        with self._lock:
+            for key in asdict(self):
+                setattr(self, key, getattr(fresh, key))
 
     def summary(self) -> str:
         return (
@@ -146,6 +165,11 @@ class BoundedMemo:
     processes cannot grow it without limit, (b) registers itself with
     :func:`clear_all_caches`, and (c) when given a ``name`` shows up with
     per-memo hit/miss/size counters in ``repro cache stats``.
+
+    Thread-safe: lookups, inserts, eviction, and the hit/miss counters are
+    all guarded by one lock, so concurrent hammering from service worker
+    threads keeps ``hits + misses`` equal to the number of lookups and the
+    LRU order consistent (no lost updates, no dict-resize races).
     """
 
     def __init__(
@@ -155,6 +179,7 @@ class BoundedMemo:
         self.name = name
         self.hits = 0
         self.misses = 0
+        self._lock = threading.Lock()
         self._data: "OrderedDict[Any, Any]" = OrderedDict()
         if register:
             register_cache(self.clear)
@@ -162,41 +187,47 @@ class BoundedMemo:
             MEMO_REGISTRY.append(self)
 
     def get(self, key: Any, default: Any = MISS) -> Any:
-        try:
-            value = self._data[key]
-        except KeyError:
-            self.misses += 1
-            STATS.memo_misses += 1
-            return default
-        self._data.move_to_end(key)
-        self.hits += 1
-        STATS.memo_hits += 1
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                STATS.incr(memo_misses=1)
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+        STATS.incr(memo_hits=1)
         return value
 
     def put(self, key: Any, value: Any) -> None:
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
 
     def __contains__(self, key: Any) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def stats(self) -> Dict[str, Any]:
         """Observability payload for ``repro cache stats``."""
-        return {
-            "name": self.name or "<anonymous>",
-            "hits": self.hits,
-            "misses": self.misses,
-            "size": len(self._data),
-            "maxsize": self.maxsize,
-        }
+        with self._lock:
+            return {
+                "name": self.name or "<anonymous>",
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._data),
+                "maxsize": self.maxsize,
+            }
 
 
 # ---------------------------------------------------------------------------
@@ -242,7 +273,7 @@ class DiskCache:
             with open(path) as handle:
                 entry = json.load(handle)
         except (OSError, ValueError):
-            STATS.disk_misses += 1
+            STATS.incr(disk_misses=1)
             return MISS
         if (
             not isinstance(entry, dict)
@@ -250,10 +281,9 @@ class DiskCache:
             or entry.get("kind") != kind
             or "payload" not in entry
         ):
-            STATS.disk_misses += 1
+            STATS.incr(disk_misses=1)
             return MISS
-        STATS.disk_hits += 1
-        STATS.seconds_saved += float(entry.get("elapsed") or 0.0)
+        STATS.incr(disk_hits=1, seconds_saved=float(entry.get("elapsed") or 0.0))
         return entry["payload"]
 
     def put(self, kind: str, *parts: Any, payload: Any, elapsed: float = 0.0) -> None:
@@ -279,7 +309,7 @@ class DiskCache:
                 raise
         except OSError:
             return  # a read-only or full cache dir disables persistence only
-        STATS.disk_writes += 1
+        STATS.incr(disk_writes=1)
 
     # -- maintenance --------------------------------------------------------
 
@@ -330,3 +360,32 @@ def reset_disk_cache(
     global _DISK
     _DISK = DiskCache(root, enabled=enabled)
     return _DISK
+
+
+# ---------------------------------------------------------------------------
+# Shared observability serializer
+
+
+def stats_payload(include_disk: bool = True) -> Dict[str, Any]:
+    """One JSON-serializable snapshot of every cache layer.
+
+    The single serializer behind both ``repro cache stats --json`` and the
+    service ``stats`` endpoint, so the two can never drift apart.  With
+    ``include_disk=False`` the (filesystem-walking) disk entry census is
+    skipped — the serving hot path asks for stats far more often than the
+    CLI does.
+    """
+    from repro.symir.expr import intern_table_size
+
+    cache = disk_cache()
+    payload: Dict[str, Any] = {
+        "directory": str(cache.root),
+        "enabled": cache.enabled,
+        "process": STATS.as_dict(),
+        "interned_exprs": intern_table_size(),
+        "memos": [memo.stats() for memo in memo_registry()],
+    }
+    if include_disk:
+        payload["disk_entries"] = cache.entry_count()
+        payload["disk_bytes"] = cache.total_bytes()
+    return payload

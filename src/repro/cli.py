@@ -9,8 +9,10 @@ Usage::
     repro rules [--benchmark NAME] [--out FILE]   # learn + dump rules
     repro translate NAME [--stage condition] [--backend jit]  # one DBT run
     repro bench [--quick] [--check]               # backend benchmark harness
-    repro cache stats               # on-disk pipeline cache overview
+    repro cache stats [--json]      # on-disk pipeline cache overview
     repro cache clear               # drop disk + in-memory caches
+    repro serve [--port 9477]       # translation-as-a-service TCP server
+    repro loadgen [--duration 10]   # drive a server; oracle-verified report
 
 Every experiment prints the same rows the paper reports, with a note giving
 the paper's numbers for comparison.  ``--jobs N`` (0 = all CPUs) fans the
@@ -74,7 +76,13 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_cache(args) -> int:
-    from repro.cache import STATS, clear_all_caches, disk_cache, memo_registry
+    from repro.cache import (
+        STATS,
+        clear_all_caches,
+        disk_cache,
+        memo_registry,
+        stats_payload,
+    )
     from repro.symir.expr import intern_table_size
 
     cache = disk_cache()
@@ -83,6 +91,11 @@ def _cmd_cache(args) -> int:
         clear_all_caches()
         print(f"cleared {removed} disk entries under {cache.root} "
               "(and all in-memory caches)")
+        return 0
+    if getattr(args, "json", False):
+        import json
+
+        print(json.dumps(stats_payload(), indent=2, sort_keys=True))
         return 0
     print(f"cache directory : {cache.root}")
     print(f"enabled         : {cache.enabled}")
@@ -285,6 +298,53 @@ def _cmd_difftest(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    """Run the translation service (newline-delimited JSON over TCP)."""
+    from repro.service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        stage=args.stage,
+        training=args.training,
+        shards=args.shards,
+        cache_blocks=args.cache_blocks,
+        max_queue=args.max_queue,
+        workers=args.workers,
+        request_timeout=args.timeout,
+    )
+    return serve(config)
+
+
+def _cmd_loadgen(args) -> int:
+    """Drive a running service and write an oracle-checked BENCH report."""
+    from repro.service import (
+        LoadgenOptions,
+        check_loadgen_report,
+        render_loadgen_report,
+        run_loadgen,
+    )
+    from repro.service.loadgen import write_loadgen_report
+
+    options = LoadgenOptions(
+        host=args.host,
+        port=args.port,
+        concurrency=args.concurrency,
+        duration=args.duration,
+        seed=args.seed,
+        stage=args.stage,
+        out=args.out,
+    )
+    log = None if args.quiet else (lambda message: print(f"# {message}"))
+    payload = run_loadgen(options, log=log)
+    print(render_loadgen_report(payload))
+    write_loadgen_report(payload, options.out)
+    print(f"report: {options.out}")
+    ok, message = check_loadgen_report(payload)
+    print(f"check: {message}")
+    return 0 if ok else 1
+
+
 def _add_jobs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", "-j", type=int, default=1, metavar="N",
@@ -403,7 +463,53 @@ def build_parser() -> argparse.ArgumentParser:
         "cache", help="inspect or clear the on-disk pipeline cache"
     )
     cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument("--json", action="store_true",
+                       help="machine-readable stats (same serializer as the "
+                            "service stats endpoint)")
     cache.set_defaults(fn=_cmd_cache)
+
+    serve = sub.add_parser(
+        "serve", help="translation-as-a-service TCP server (JSON lines)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9477,
+                       help="TCP port (0 = ephemeral; default 9477)")
+    serve.add_argument("--stage", default="condition", choices=STAGES,
+                       help="default parameterization stage for requests")
+    serve.add_argument("--training", default="quick", choices=("quick", "full"),
+                       help="rule-training corpus loaded at startup "
+                            "(quick = 2 benchmarks, full = whole suite)")
+    serve.add_argument("--shards", type=int, default=8,
+                       help="rule-index shards (default 8)")
+    serve.add_argument("--cache-blocks", type=int, default=4096,
+                       help="shared code-cache capacity in blocks")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="request queue bound; beyond it clients get "
+                            "retryable backpressure errors")
+    serve.add_argument("--workers", type=int, default=8,
+                       help="concurrent request workers")
+    serve.add_argument("--timeout", type=float, default=30.0,
+                       help="per-request timeout in seconds")
+    serve.set_defaults(fn=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen", help="drive a running service; oracle-verify every run "
+                        "(writes BENCH_service.json)"
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=9477)
+    loadgen.add_argument("--concurrency", type=int, default=8,
+                         help="concurrent client connections")
+    loadgen.add_argument("--duration", type=float, default=10.0,
+                         help="wall-clock seconds to drive load")
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="request-mix RNG seed")
+    loadgen.add_argument("--stage", default="condition", choices=STAGES)
+    loadgen.add_argument("--out", default="BENCH_service.json",
+                         help="report path (default BENCH_service.json)")
+    loadgen.add_argument("--quiet", action="store_true",
+                         help="suppress progress lines")
+    loadgen.set_defaults(fn=_cmd_loadgen)
     return parser
 
 

@@ -58,6 +58,23 @@ _M = "0xFFFFFFFF"
 #: Run-index sentinel: control leaves the block (the dispatch-label exit).
 EXIT = -1
 
+#: Observers notified with the :class:`TranslatedBlock` on every
+#: ``compile_block`` call.  The serving layer's single-flight test uses this
+#: to prove that concurrent identical translate requests coalesce onto
+#: exactly one compilation; keep listeners cheap — they run on the compile
+#: path.
+_COMPILE_LISTENERS: List = []
+
+
+def add_compile_listener(listener) -> None:
+    """Register a ``listener(tb)`` callback fired on every block compile."""
+    _COMPILE_LISTENERS.append(listener)
+
+
+def remove_compile_listener(listener) -> None:
+    """Unregister a listener previously added with :func:`add_compile_listener`."""
+    _COMPILE_LISTENERS.remove(listener)
+
 
 def _uninit(exc: KeyError) -> None:
     """Convert a raw KeyError from generated code into the interpreter's
@@ -533,6 +550,8 @@ def compile_block(
     code = compile("\n".join(source), f"<dbt-block@{tb.start:#x}>", "exec")
     exec(code, ns)  # noqa: S102 - source generated from our own IR
     runs = tuple(ns[f"_run{ri}"] for ri in range(len(starts)))
+    for listener in tuple(_COMPILE_LISTENERS):
+        listener(tb)
     if forward_only:
         return CompiledBlock(tb, runs)
     return GuardedCompiledBlock(tb, runs, tuple(step_counts))

@@ -139,6 +139,7 @@ class DBTEngine:
         config: TranslationConfig,
         chaining: bool = False,
         backend: str = "interp",
+        code_cache: Optional[Dict[int, CodeCacheEntry]] = None,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(
@@ -150,7 +151,13 @@ class DBTEngine:
         self.backend = backend
         self.blockmap = BlockMap(unit)
         self.translator = BlockTranslator(unit, self.blockmap, config)
-        self.code_cache: Dict[int, CodeCacheEntry] = {}
+        #: ``code_cache`` may be injected: the serving layer pre-seeds an
+        #: engine with entries compiled once (single-flight) and shared
+        #: across requests for the same (program, stage), so a fresh engine
+        #: pays zero translation for a warm program.
+        self.code_cache: Dict[int, CodeCacheEntry] = (
+            code_cache if code_cache is not None else {}
+        )
         self._chained_edges: set = set()
 
     def _entry(self, index: int, metrics: RunMetrics) -> CodeCacheEntry:

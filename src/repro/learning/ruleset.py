@@ -95,6 +95,24 @@ class RuleSet:
     def single_instruction_rules(self) -> List[TranslationRule]:
         return [rule for rule in self.rules if rule.guest_length == 1]
 
+    def partition(self, key_of) -> Dict:
+        """Split into per-key :class:`RuleSet` parts by ``key_of(rule)``.
+
+        Rules are re-added in original insertion order, so each part's
+        lookup index reproduces the flat set's tie-breaks exactly.  As long
+        as ``key_of`` is a function of the rule's guest key (e.g. the first
+        guest mnemonic — every rule matching a given window shares it), a
+        per-part lookup returns the same rule the flat lookup would: this
+        is the invariant the service's sharded rule index relies on.
+        """
+        parts: Dict = {}
+        for rule in self.rules:
+            part = parts.get(key_of(rule))
+            if part is None:
+                part = parts[key_of(rule)] = RuleSet()
+            part.add(rule)
+        return parts
+
     def merged_with(self, other: "RuleSet") -> "RuleSet":
         merged = RuleSet()
         merged.extend(self.rules)

@@ -402,7 +402,7 @@ def _prefetch_targets(
 
 
 def _derive_target_uncached(guest: Instruction) -> Optional[TranslationRule]:
-    STATS.derivations += 1
+    STATS.incr(derivations=1)
     best: Optional[TranslationRule] = None
     best_rank: Tuple[int, int] = (99, 99)
     for host, tags in host_candidates(guest):

@@ -1,0 +1,46 @@
+"""repro.service — the translation-as-a-service layer.
+
+Everything before this package is a batch CLI: rules are learned, derived,
+and executed in one process and thrown away.  This package turns the
+pipeline into a long-lived serving system:
+
+* :mod:`repro.service.protocol` — the newline-delimited JSON wire protocol;
+* :mod:`repro.service.shards` — the sharded rule index (opcode-class
+  partitioned lookup with per-shard hit counters);
+* :mod:`repro.service.codecache` — the single-flight shared code cache
+  (concurrent identical translate requests coalesce onto one compile);
+* :mod:`repro.service.stats` — latency histograms and per-endpoint stats;
+* :mod:`repro.service.server` — the asyncio TCP server (``repro serve``);
+* :mod:`repro.service.loadgen` — the load-generation client
+  (``repro loadgen``), which oracle-checks every ``run`` response and
+  writes ``BENCH_service.json``.
+"""
+
+from repro.service.codecache import SingleFlightCodeCache
+from repro.service.loadgen import (
+    LoadgenOptions,
+    check_loadgen_report,
+    render_loadgen_report,
+    run_loadgen,
+)
+from repro.service.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.service.server import ServiceConfig, ServiceServer, TranslationService, serve
+from repro.service.shards import ShardedRuleIndex
+from repro.service.stats import EndpointStats, LatencyHistogram
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ShardedRuleIndex",
+    "SingleFlightCodeCache",
+    "LatencyHistogram",
+    "EndpointStats",
+    "ServiceConfig",
+    "TranslationService",
+    "ServiceServer",
+    "serve",
+    "LoadgenOptions",
+    "run_loadgen",
+    "render_loadgen_report",
+    "check_loadgen_report",
+]

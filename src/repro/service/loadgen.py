@@ -1,0 +1,457 @@
+"""Load-generation client for the translation service (``repro loadgen``).
+
+Drives ``--concurrency`` independent TCP connections against a running
+``repro serve`` for ``--duration`` seconds with a seeded, weighted request
+mix (benchmark runs, fuzzed-program runs, translates, coverage, stats),
+and writes ``BENCH_service.json``.
+
+Two hard guarantees make the numbers trustworthy:
+
+* **oracle verification** — every successful ``run`` response's
+  architectural snapshot is diffed against the in-process reference
+  interpreter (:class:`~repro.dbt.guest_interp.GuestInterpreter`, the same
+  oracle the differential fuzzer trusts); any mismatch is recorded as a
+  divergence and fails the check;
+* **closed error accounting** — every response is either ok, a retryable
+  backpressure/drain rejection (backed off and counted), or an error;
+  :func:`check_loadgen_report` only passes on zero errors and zero
+  divergences.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import random
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.service import protocol
+from repro.service.stats import EndpointStats, LatencyHistogram
+
+#: benchmarks driven by default (small, distinct control-flow shapes — the
+#: same subset ``repro bench --quick`` uses).
+DEFAULT_BENCHMARKS: Tuple[str, ...] = ("mcf", "libquantum", "astar")
+
+#: (request kind, weight) — the traffic mix.
+MIX: Tuple[Tuple[str, int], ...] = (
+    ("run-bench", 45),
+    ("run-fuzz", 20),
+    ("translate", 15),
+    ("coverage", 10),
+    ("stats", 5),
+    ("ping", 5),
+)
+
+
+@dataclass
+class LoadgenOptions:
+    host: str = "127.0.0.1"
+    port: int = 9477
+    concurrency: int = 8
+    duration: float = 10.0
+    seed: int = 0
+    stage: str = "condition"
+    out: str = "BENCH_service.json"
+    request_timeout: float = 60.0
+    #: fuzzed guest programs in the rotation (generated client-side with
+    #: :class:`repro.difftest.gen.ProgramGenerator`, reference-validated).
+    fuzz_programs: int = 6
+    benchmarks: Tuple[str, ...] = DEFAULT_BENCHMARKS
+
+
+def _normalize_snapshot(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """Undo JSON's stringification of integer memory keys."""
+    return {
+        "regs": {name: int(value) for name, value in snapshot["regs"].items()},
+        "flags": {name: int(value) for name, value in snapshot["flags"].items()},
+        "memory": {
+            int(addr): int(value) for addr, value in snapshot["memory"].items()
+        },
+    }
+
+
+class _OracleBook:
+    """Reference snapshots, computed once per program spec client-side."""
+
+    def __init__(self) -> None:
+        self._snapshots: Dict[Any, Dict[str, Any]] = {}
+
+    def benchmark(self, name: str) -> Dict[str, Any]:
+        key = ("benchmark", name)
+        snap = self._snapshots.get(key)
+        if snap is None:
+            from repro.dbt.guest_interp import GuestInterpreter
+            from repro.workloads import compiled_benchmark
+
+            snap = (
+                GuestInterpreter(compiled_benchmark(name).guest)
+                .run()
+                .architectural_snapshot()
+            )
+            self._snapshots[key] = snap
+        return snap
+
+    def program(self, lines: Tuple[str, ...]) -> Optional[Dict[str, Any]]:
+        """Reference snapshot for raw lines, or None if the program is invalid."""
+        key = ("program", lines)
+        if key in self._snapshots:
+            return self._snapshots[key]
+        from repro.dbt.guest_interp import GuestInterpreter
+        from repro.difftest.oracle import (
+            MAX_REF_STEPS,
+            InvalidProgram,
+            assemble_program,
+        )
+
+        try:
+            unit = assemble_program(list(lines))
+            snap = (
+                GuestInterpreter(unit)
+                .run(max_steps=MAX_REF_STEPS)
+                .architectural_snapshot()
+            )
+        except (InvalidProgram, Exception):  # noqa: B014 - any failure = invalid
+            snap = None
+        self._snapshots[key] = snap
+        return snap
+
+
+def _fuzz_pool(options: LoadgenOptions, oracle: _OracleBook) -> List[Tuple[str, ...]]:
+    """Seeded pool of reference-valid fuzzed programs shared by all workers."""
+    from repro.difftest.gen import ProgramGenerator
+
+    generator = ProgramGenerator(options.seed)
+    pool: List[Tuple[str, ...]] = []
+    index = 0
+    while len(pool) < options.fuzz_programs and index < options.fuzz_programs * 20:
+        lines = generator.generate(index).lines
+        if oracle.program(lines) is not None:
+            pool.append(lines)
+        index += 1
+    return pool
+
+
+@dataclass
+class _Tally:
+    """Shared mutable results (single event loop — no locking needed)."""
+
+    ok: int = 0
+    errors: int = 0
+    backpressure_retries: int = 0
+    timeouts: int = 0
+    runs_checked: int = 0
+    divergences: int = 0
+    divergence_samples: List[str] = field(default_factory=list)
+    error_samples: List[str] = field(default_factory=list)
+
+    def note_error(self, sample: str) -> None:
+        self.errors += 1
+        if len(self.error_samples) < 10:
+            self.error_samples.append(sample)
+
+    def note_divergence(self, sample: str) -> None:
+        self.divergences += 1
+        if len(self.divergence_samples) < 10:
+            self.divergence_samples.append(sample)
+
+
+def _pick(rng: random.Random) -> str:
+    total = sum(weight for _, weight in MIX)
+    roll = rng.uniform(0, total)
+    for kind, weight in MIX:
+        roll -= weight
+        if roll <= 0:
+            return kind
+    return MIX[-1][0]
+
+
+def _build_request(
+    kind: str,
+    ident: str,
+    rng: random.Random,
+    options: LoadgenOptions,
+    fuzz_pool: List[Tuple[str, ...]],
+) -> Tuple[Dict[str, Any], Optional[Any]]:
+    """(request object, oracle key) — oracle key is None for unchecked ops."""
+    if kind == "run-bench" or (kind == "run-fuzz" and not fuzz_pool):
+        name = rng.choice(options.benchmarks)
+        return (
+            {"id": ident, "op": "run", "benchmark": name, "stage": options.stage},
+            ("benchmark", name),
+        )
+    if kind == "run-fuzz":
+        lines = fuzz_pool[rng.randrange(len(fuzz_pool))]
+        return (
+            {
+                "id": ident,
+                "op": "run",
+                "program": list(lines),
+                "stage": options.stage,
+            },
+            ("program", lines),
+        )
+    if kind == "translate":
+        name = rng.choice(options.benchmarks)
+        return (
+            {
+                "id": ident,
+                "op": "translate",
+                "benchmark": name,
+                "stage": options.stage,
+            },
+            None,
+        )
+    if kind == "coverage":
+        name = rng.choice(options.benchmarks)
+        return (
+            {
+                "id": ident,
+                "op": "coverage",
+                "benchmark": name,
+                "stage": options.stage,
+            },
+            None,
+        )
+    if kind == "stats":
+        return {"id": ident, "op": "stats"}, None
+    return {"id": ident, "op": "ping"}, None
+
+
+async def _worker(
+    wid: int,
+    options: LoadgenOptions,
+    deadline: float,
+    tally: _Tally,
+    endpoint_stats: EndpointStats,
+    overall: LatencyHistogram,
+    oracle: _OracleBook,
+    fuzz_pool: List[Tuple[str, ...]],
+) -> None:
+    from repro.difftest.oracle import diff_snapshots
+
+    try:
+        reader, writer = await asyncio.open_connection(
+            options.host, options.port, limit=protocol.MAX_LINE_BYTES
+        )
+    except OSError as exc:
+        tally.note_error(f"worker {wid}: connect failed: {exc}")
+        return
+    rng = random.Random((options.seed + 1) * 7919 + wid)
+    sequence = 0
+    try:
+        while time.monotonic() < deadline:
+            sequence += 1
+            ident = f"w{wid}-{sequence}"
+            kind = _pick(rng)
+            request, oracle_key = _build_request(
+                kind, ident, rng, options, fuzz_pool
+            )
+            op = request["op"]
+            started = time.perf_counter()
+            try:
+                writer.write(protocol.encode(request))
+                await writer.drain()
+                raw = await asyncio.wait_for(
+                    reader.readline(), options.request_timeout
+                )
+            except asyncio.TimeoutError:
+                tally.timeouts += 1
+                tally.note_error(f"{ident} ({op}): client-side timeout")
+                break  # this connection is now desynchronized; stop it
+            except (ConnectionError, asyncio.IncompleteReadError) as exc:
+                tally.note_error(f"{ident} ({op}): connection lost: {exc}")
+                break
+            elapsed = time.perf_counter() - started
+            if not raw:
+                tally.note_error(f"{ident} ({op}): server closed the connection")
+                break
+            overall.observe(elapsed)
+            try:
+                response = json.loads(raw.decode("utf-8"))
+            except ValueError as exc:
+                endpoint_stats.observe(op, elapsed, False)
+                tally.note_error(f"{ident} ({op}): unparseable response: {exc}")
+                continue
+            if response.get("id") != ident:
+                endpoint_stats.observe(op, elapsed, False)
+                tally.note_error(
+                    f"{ident} ({op}): response id mismatch ({response.get('id')!r})"
+                )
+                continue
+            if response.get("ok"):
+                endpoint_stats.observe(op, elapsed, True)
+                tally.ok += 1
+                if oracle_key is not None:
+                    reference = (
+                        oracle.benchmark(oracle_key[1])
+                        if oracle_key[0] == "benchmark"
+                        else oracle.program(oracle_key[1])
+                    )
+                    served = _normalize_snapshot(response["result"]["snapshot"])
+                    divergence = (
+                        diff_snapshots(reference, served)
+                        if reference is not None
+                        else None
+                    )
+                    tally.runs_checked += 1
+                    if divergence is not None:
+                        tally.note_divergence(
+                            f"{ident} ({oracle_key}): {divergence.kind}: "
+                            f"{divergence.detail}"
+                        )
+                continue
+            error = response.get("error") or {}
+            if error.get("retryable"):
+                endpoint_stats.observe(op, elapsed, True)
+                tally.backpressure_retries += 1
+                await asyncio.sleep(rng.uniform(0.005, 0.025))
+                continue
+            endpoint_stats.observe(op, elapsed, False)
+            tally.note_error(
+                f"{ident} ({op}): {error.get('code')}: {error.get('message')}"
+            )
+    finally:
+        with contextlib.suppress(Exception):
+            writer.close()
+
+
+async def _final_server_stats(options: LoadgenOptions) -> Optional[Dict[str, Any]]:
+    """One last ``stats`` request so the report captures server-side truth."""
+    try:
+        reader, writer = await asyncio.open_connection(
+            options.host, options.port, limit=protocol.MAX_LINE_BYTES
+        )
+        writer.write(protocol.encode({"id": "final-stats", "op": "stats"}))
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.readline(), options.request_timeout)
+        writer.close()
+        response = json.loads(raw.decode("utf-8"))
+        if response.get("ok"):
+            return response["result"]
+    except (OSError, ValueError, asyncio.TimeoutError):
+        pass
+    return None
+
+
+async def run_loadgen_async(
+    options: LoadgenOptions, log: Optional[Callable[[str], None]] = None
+) -> Dict[str, Any]:
+    """Drive the load, verify oracles, and return the report payload."""
+    oracle = _OracleBook()
+    if log is not None:
+        log("precomputing reference snapshots ...")
+    for name in options.benchmarks:
+        oracle.benchmark(name)
+    fuzz_pool = _fuzz_pool(options, oracle)
+    if log is not None:
+        log(
+            f"driving {options.concurrency} clients for {options.duration:.1f}s "
+            f"against {options.host}:{options.port} ..."
+        )
+    tally = _Tally()
+    endpoint_stats = EndpointStats()
+    overall = LatencyHistogram()
+    started = time.monotonic()
+    deadline = started + options.duration
+    await asyncio.gather(
+        *(
+            _worker(
+                wid,
+                options,
+                deadline,
+                tally,
+                endpoint_stats,
+                overall,
+                oracle,
+                fuzz_pool,
+            )
+            for wid in range(options.concurrency)
+        )
+    )
+    elapsed = time.monotonic() - started
+    server_stats = await _final_server_stats(options)
+    total = tally.ok + tally.errors + tally.backpressure_retries
+    payload: Dict[str, Any] = {
+        "harness": "repro loadgen",
+        "options": asdict(options),
+        "elapsed_seconds": round(elapsed, 3),
+        "requests": {
+            "total": total,
+            "ok": tally.ok,
+            "errors": tally.errors,
+            "backpressure_retries": tally.backpressure_retries,
+            "client_timeouts": tally.timeouts,
+        },
+        "throughput_rps": round(tally.ok / elapsed, 2) if elapsed else 0.0,
+        "latency": {"overall": overall.summary(), "by_op": endpoint_stats.summary()},
+        "oracle": {
+            "runs_checked": tally.runs_checked,
+            "divergences": tally.divergences,
+            "divergence_samples": tally.divergence_samples,
+        },
+        "error_samples": tally.error_samples,
+        "server_stats": server_stats,
+    }
+    return payload
+
+
+def run_loadgen(
+    options: LoadgenOptions, log: Optional[Callable[[str], None]] = None
+) -> Dict[str, Any]:
+    return asyncio.run(run_loadgen_async(options, log=log))
+
+
+def write_loadgen_report(payload: Dict[str, Any], path: str) -> None:
+    from repro.bench import write_json_report
+
+    write_json_report(payload, path)
+
+
+def render_loadgen_report(payload: Dict[str, Any]) -> str:
+    requests = payload["requests"]
+    latency = payload["latency"]["overall"]
+    oracle = payload["oracle"]
+    lines = [
+        "service load report",
+        f"  duration          : {payload['elapsed_seconds']:.1f}s "
+        f"x {payload['options']['concurrency']} clients",
+        f"  requests          : {requests['total']} total, "
+        f"{requests['ok']} ok, {requests['errors']} errors, "
+        f"{requests['backpressure_retries']} backpressure retries",
+        f"  throughput        : {payload['throughput_rps']:.1f} req/s",
+        f"  latency (all ops) : p50 {latency['p50_ms']:.1f}ms  "
+        f"p95 {latency['p95_ms']:.1f}ms  p99 {latency['p99_ms']:.1f}ms  "
+        f"max {latency['max_ms']:.1f}ms",
+        f"  oracle            : {oracle['runs_checked']} run snapshots checked, "
+        f"{oracle['divergences']} divergences",
+    ]
+    for op, summary in sorted(payload["latency"]["by_op"].items()):
+        lines.append(
+            f"    {op:10s} n={summary['count']:<6d} "
+            f"p50 {summary['p50_ms']:8.1f}ms  p95 {summary['p95_ms']:8.1f}ms  "
+            f"p99 {summary['p99_ms']:8.1f}ms"
+        )
+    for sample in oracle["divergence_samples"]:
+        lines.append(f"  DIVERGENCE: {sample}")
+    for sample in payload["error_samples"]:
+        lines.append(f"  ERROR: {sample}")
+    return "\n".join(lines)
+
+
+def check_loadgen_report(payload: Dict[str, Any]) -> Tuple[bool, str]:
+    """CI gate: traffic flowed, zero protocol errors, zero divergences."""
+    requests = payload["requests"]
+    oracle = payload["oracle"]
+    if not requests["ok"]:
+        return False, "no successful requests completed"
+    if requests["errors"]:
+        return False, f"{requests['errors']} protocol/server errors"
+    if oracle["divergences"]:
+        return False, f"{oracle['divergences']} oracle divergences"
+    return True, (
+        f"{requests['ok']} ok requests at {payload['throughput_rps']:.1f} req/s, "
+        f"{oracle['runs_checked']} snapshots oracle-verified, 0 divergences"
+    )

@@ -1,0 +1,120 @@
+"""Newline-delimited JSON wire protocol for the translation service.
+
+One request per line, one response per line.  Requests are JSON objects::
+
+    {"id": 7, "op": "run", "benchmark": "mcf", "stage": "condition"}
+    {"id": 8, "op": "translate", "program": ["mov r0, #1", "bx lr"]}
+    {"id": 9, "op": "stats"}
+
+Responses echo the request ``id`` (``null`` when the request was too
+mangled to carry one)::
+
+    {"id": 7, "ok": true, "result": {...}}
+    {"id": 8, "ok": false, "error": {"code": "backpressure",
+                                     "message": "...", "retryable": true}}
+
+Responses are encoded with sorted keys and compact separators, so two
+identical requests produce **byte-identical** response lines — the property
+the single-flight coalescing test pins down.
+
+Error codes are a closed set (:data:`ERROR_CODES`); ``retryable`` marks
+errors a well-behaved client should back off and retry (queue backpressure,
+drain in progress) as opposed to errors it caused (malformed JSON, unknown
+op, bad program).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple
+
+#: Bumped on incompatible wire changes; served by ``ping`` and ``stats``.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one request/response line (bytes), enforced by the stream
+#: reader: a client streaming an unbounded line is cut off, not buffered.
+MAX_LINE_BYTES = 1 << 20
+
+#: Operations the service accepts.
+OPS = ("ping", "translate", "run", "coverage", "stats")
+
+#: The closed error-code set.
+ERROR_CODES = (
+    "bad-json",
+    "bad-request",
+    "unknown-op",
+    "bad-program",
+    "backpressure",
+    "timeout",
+    "shutting-down",
+    "internal",
+)
+
+#: Codes a client should treat as transient (back off and retry).
+RETRYABLE_CODES = frozenset({"backpressure", "shutting-down", "timeout"})
+
+
+class ProtocolError(Exception):
+    """A request the service refuses, tagged with a wire error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown protocol error code {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+def encode(message: Dict[str, Any]) -> bytes:
+    """One wire line: deterministic JSON (sorted keys) + newline."""
+    return (
+        json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def decode(raw: bytes) -> Dict[str, Any]:
+    """Parse one request line; :class:`ProtocolError` on malformed input."""
+    try:
+        obj = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError("bad-json", f"undecodable request line: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("bad-request", "request must be a JSON object")
+    return obj
+
+
+def request_id(obj: Dict[str, Any]) -> Optional[Any]:
+    """The echoable request id (scalars only; anything else becomes None)."""
+    ident = obj.get("id")
+    if isinstance(ident, (str, int, float, bool)) or ident is None:
+        return ident
+    return None
+
+
+def parse_request(obj: Dict[str, Any]) -> Tuple[Optional[Any], str]:
+    """Validate the envelope; returns ``(id, op)`` or raises ProtocolError."""
+    ident = request_id(obj)
+    op = obj.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("bad-request", "missing or non-string 'op'")
+    return ident, op
+
+
+def ok_response(ident: Optional[Any], result: Dict[str, Any]) -> Dict[str, Any]:
+    return {"id": ident, "ok": True, "result": result}
+
+
+def error_response(
+    ident: Optional[Any], code: str, message: str
+) -> Dict[str, Any]:
+    if code not in ERROR_CODES:  # never leak an unclassified error code
+        code = "internal"
+    return {
+        "id": ident,
+        "ok": False,
+        "error": {
+            "code": code,
+            "message": message,
+            "retryable": code in RETRYABLE_CODES,
+        },
+    }

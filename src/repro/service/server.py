@@ -1,0 +1,636 @@
+"""The asyncio translation server (``repro serve``).
+
+One process loads a frozen :class:`~repro.param.engine.SystemSetup` (rules
+learned + derived once) and serves ``translate`` / ``run`` / ``coverage`` /
+``stats`` requests from many concurrent TCP clients over the
+newline-delimited JSON protocol of :mod:`repro.service.protocol`.
+
+Structure::
+
+    client conns --> per-connection reader --> bounded queue --> N workers
+                      (malformed-request         |                 |
+                       isolation,                backpressure      asyncio
+                       drain refusal)            rejection         handlers
+
+* **Robustness** — a malformed line gets an error response and the
+  connection lives on; an oversized line closes only that connection; a
+  full queue answers ``backpressure`` immediately instead of buffering
+  without bound; every request runs under a timeout; SIGTERM/SIGINT drain
+  queued requests before exiting 0.
+* **CPU isolation** — translation, compilation, and guest execution run in
+  the default thread executor, so the event loop keeps accepting and
+  answering while blocks compile.
+* **Sharing** — all requests share one single-flight code cache
+  (:mod:`repro.service.codecache`) and per-stage sharded rule indices
+  (:mod:`repro.service.shards`): a hot program is translated and compiled
+  once, ever, per (program, stage).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import hashlib
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from functools import partial
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.cache import BoundedMemo, stats_payload
+from repro.dbt.compiler import compile_block
+from repro.dbt.engine import CodeCacheEntry, DBTEngine
+from repro.dbt.executor import BlockKernel
+from repro.dbt.translator import BlockTranslator, TranslationConfig
+from repro.errors import ExecutionError, ReproError
+from repro.param.engine import STAGES, SystemSetup
+from repro.service import protocol
+from repro.service.codecache import SingleFlightCodeCache
+from repro.service.protocol import ProtocolError
+from repro.service.shards import DEFAULT_SHARDS, ShardedRuleIndex
+from repro.service.stats import EndpointStats
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables for one server process."""
+
+    host: str = "127.0.0.1"
+    port: int = 9477
+    #: default translation stage for requests that don't name one.
+    stage: str = "condition"
+    #: "quick" trains on the two-benchmark difftest training set (seconds of
+    #: warm-up); "full" uses the full-suite rule set (minutes, best rules).
+    training: str = "quick"
+    shards: int = DEFAULT_SHARDS
+    cache_blocks: int = 4096
+    #: queued (admitted, not yet running) requests before backpressure.
+    max_queue: int = 64
+    workers: int = 8
+    request_timeout: float = 30.0
+    #: per-run guest block execution bound (runaway protection).
+    max_blocks: int = 500_000
+    chaining: bool = True
+    #: enable the test-only ``_sleep`` op (deterministic backpressure /
+    #: timeout exercises); never enable on a real deployment.
+    debug_ops: bool = False
+
+
+class _UnitContext:
+    """Per-program serving context: unit + block map + per-stage translators."""
+
+    __slots__ = ("unit", "digest", "blockmap", "_translators", "_lock")
+
+    def __init__(self, unit, digest: str) -> None:
+        from repro.dbt.block import BlockMap
+
+        self.unit = unit
+        self.digest = digest
+        self.blockmap = BlockMap(unit)
+        self._translators: Dict[str, BlockTranslator] = {}
+        self._lock = threading.Lock()
+
+    def translator_for(self, stage: str, config: TranslationConfig) -> BlockTranslator:
+        with self._lock:
+            translator = self._translators.get(stage)
+            if translator is None:
+                translator = BlockTranslator(self.unit, self.blockmap, config)
+                self._translators[stage] = translator
+            return translator
+
+
+class TranslationService:
+    """Request handlers over one frozen SystemSetup (transport-agnostic)."""
+
+    def __init__(
+        self, config: ServiceConfig, setup: Optional[SystemSetup] = None
+    ) -> None:
+        if config.stage not in STAGES:
+            raise ValueError(f"unknown stage {config.stage!r}")
+        self.config = config
+        if setup is None:
+            if config.training == "full":
+                from repro.experiments.common import full_suite_setup
+
+                setup = full_suite_setup()
+            else:
+                from repro.difftest.oracle import training_setup
+
+                setup = training_setup()
+        self._setup = setup
+        self.code_cache = SingleFlightCodeCache(config.cache_blocks)
+        self.endpoints = EndpointStats()
+        self._configs: Dict[str, TranslationConfig] = {}
+        self._indices: Dict[str, ShardedRuleIndex] = {}
+        self._cfg_lock = threading.Lock()
+        self._units = BoundedMemo(maxsize=256, register=False)
+        self._counter_lock = threading.Lock()
+        self.requests_total = 0
+        self.error_counts: Dict[str, int] = {}
+        self.started_monotonic = time.monotonic()
+        #: transport-level stats provider, installed by :class:`ServiceServer`.
+        self.server_stats: Optional[Callable[[], Dict[str, Any]]] = None
+        self._handlers = {
+            "ping": self._op_ping,
+            "translate": self._op_translate,
+            "run": self._op_run,
+            "coverage": self._op_coverage,
+            "stats": self._op_stats,
+            "_sleep": self._op_sleep,
+        }
+
+    # -- configuration and program resolution --------------------------------
+
+    def uptime(self) -> float:
+        return time.monotonic() - self.started_monotonic
+
+    def config_for(self, stage: str) -> TranslationConfig:
+        """The stage's TranslationConfig, rules wrapped in a sharded index."""
+        with self._cfg_lock:
+            cfg = self._configs.get(stage)
+            if cfg is None:
+                base = self._setup.configs[stage]
+                if base.rules is None:  # the rule-less qemu baseline stage
+                    cfg = base
+                else:
+                    index = ShardedRuleIndex(base.rules, self.config.shards)
+                    self._indices[stage] = index
+                    cfg = dataclasses.replace(base, rules=index)
+                self._configs[stage] = cfg
+            return cfg
+
+    def _stage_of(self, obj: Dict[str, Any]) -> str:
+        stage = obj.get("stage", self.config.stage)
+        if not isinstance(stage, str) or stage not in STAGES:
+            raise ProtocolError(
+                "bad-request", f"unknown stage {stage!r}; expected one of {STAGES}"
+            )
+        return stage
+
+    def _build_context(self, kind: str, value) -> _UnitContext:
+        """Executor-side unit resolution (assembly / benchmark compile)."""
+        if kind == "benchmark":
+            from repro.workloads import compiled_benchmark
+
+            unit = compiled_benchmark(value).guest
+            digest = f"bench:{value}"
+        else:
+            from repro.difftest.oracle import InvalidProgram, assemble_program
+
+            try:
+                unit = assemble_program(list(value))
+            except InvalidProgram as exc:
+                raise ProtocolError("bad-program", str(exc)) from exc
+            digest = "prog:" + hashlib.sha256(
+                "\n".join(value).encode("utf-8")
+            ).hexdigest()
+        return _UnitContext(unit, digest)
+
+    async def _context(self, obj: Dict[str, Any]) -> _UnitContext:
+        benchmark = obj.get("benchmark")
+        program = obj.get("program")
+        if (benchmark is None) == (program is None):
+            raise ProtocolError(
+                "bad-request", "exactly one of 'benchmark' or 'program' required"
+            )
+        if benchmark is not None:
+            from repro.workloads import BENCHMARK_NAMES
+
+            if benchmark not in BENCHMARK_NAMES:
+                raise ProtocolError("bad-program", f"unknown benchmark {benchmark!r}")
+            key: Tuple = ("benchmark", benchmark)
+            kind, value = "benchmark", benchmark
+        else:
+            if not (
+                isinstance(program, list)
+                and program
+                and all(isinstance(line, str) for line in program)
+            ):
+                raise ProtocolError(
+                    "bad-request", "'program' must be a non-empty list of strings"
+                )
+            key = ("program", "\n".join(program))
+            kind, value = "program", tuple(program)
+        cached = self._units.get(key, None)
+        if cached is not None:
+            return cached
+        # Concurrent first requests may build the same context twice; the
+        # memo is last-wins and contexts are interchangeable, so that is
+        # only duplicated work — block compilation stays single-flight.
+        loop = asyncio.get_running_loop()
+        ctx = await loop.run_in_executor(None, self._build_context, kind, value)
+        self._units.put(key, ctx)
+        return ctx
+
+    # -- block compilation ----------------------------------------------------
+
+    def _compile_entry(self, ctx: _UnitContext, stage: str, start: int) -> CodeCacheEntry:
+        config = self.config_for(stage)
+        translator = ctx.translator_for(stage, config)
+        tb = translator.translate(ctx.blockmap.block_at(start))
+        kernel = BlockKernel(tb)
+        compiled = compile_block(tb, kernel.defs)
+        return CodeCacheEntry(tb=tb, kernel=kernel, compiled=compiled)
+
+    async def _ensure_blocks(
+        self, ctx: _UnitContext, stage: str
+    ) -> Dict[int, CodeCacheEntry]:
+        """All of the program's blocks translated+compiled (single-flight)."""
+        entries: Dict[int, CodeCacheEntry] = {}
+        for block in ctx.blockmap.blocks:
+            key = (ctx.digest, stage, block.start)
+            entries[block.start] = await self.code_cache.get_or_compile(
+                key, partial(self._compile_entry, ctx, stage, block.start)
+            )
+        return entries
+
+    def _execute(
+        self, ctx: _UnitContext, stage: str, entries: Dict[int, CodeCacheEntry]
+    ):
+        """Executor-side guest run over pre-seeded shared code-cache entries."""
+        engine = DBTEngine(
+            ctx.unit,
+            self.config_for(stage),
+            chaining=self.config.chaining,
+            backend="jit",
+            code_cache=dict(entries),
+        )
+        try:
+            return engine.run(max_blocks=self.config.max_blocks)
+        except ExecutionError as exc:
+            raise ProtocolError("bad-program", f"execution failed: {exc}") from exc
+        except ReproError as exc:
+            raise ProtocolError("bad-program", f"translation failed: {exc}") from exc
+
+    async def _run(self, obj: Dict[str, Any]):
+        stage = self._stage_of(obj)
+        ctx = await self._context(obj)
+        entries = await self._ensure_blocks(ctx, stage)
+        loop = asyncio.get_running_loop()
+        result = await loop.run_in_executor(
+            None, self._execute, ctx, stage, entries
+        )
+        return ctx, stage, result
+
+    # -- operations -----------------------------------------------------------
+
+    async def _op_ping(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "pong": True,
+            "protocol_version": protocol.PROTOCOL_VERSION,
+            "uptime_seconds": round(self.uptime(), 3),
+        }
+
+    async def _op_translate(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        stage = self._stage_of(obj)
+        ctx = await self._context(obj)
+        entries = await self._ensure_blocks(ctx, stage)
+        guest = sum(entry.tb.guest_count for entry in entries.values())
+        covered = sum(entry.tb.covered_count for entry in entries.values())
+        return {
+            "unit": ctx.digest,
+            "stage": stage,
+            "blocks": len(entries),
+            "guest_instructions": guest,
+            "host_instructions": sum(
+                len(entry.tb.host) for entry in entries.values()
+            ),
+            "static_coverage": round(covered / guest, 4) if guest else 0.0,
+        }
+
+    async def _op_run(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        ctx, stage, result = await self._run(obj)
+        metrics = result.metrics
+        return {
+            "unit": ctx.digest,
+            "stage": stage,
+            "snapshot": result.architectural_snapshot(),
+            "metrics": {
+                "guest_dynamic": metrics.guest_dynamic,
+                "coverage": round(metrics.coverage, 6),
+                "total_ratio": round(metrics.total_ratio, 4),
+                "block_executions": metrics.block_executions,
+                "chained_executions": metrics.chained_executions,
+                "chain_rate": round(metrics.chain_rate, 4),
+                "blocks_translated": metrics.blocks_translated,
+                "cost": round(metrics.cost(), 1),
+            },
+        }
+
+    async def _op_coverage(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        ctx, stage, result = await self._run(obj)
+        metrics = result.metrics
+        return {
+            "unit": ctx.digest,
+            "stage": stage,
+            "coverage": round(metrics.coverage, 6),
+            "total_ratio": round(metrics.total_ratio, 4),
+            "ratios": {
+                category: round(metrics.ratio(category), 4)
+                for category in ("rule", "tcg", "data", "control")
+            },
+            "rules_hit": len(metrics.rule_hits),
+            "rule_origins": {
+                origin: count
+                for origin, count in sorted(metrics.rule_origin_counts().items())
+            },
+        }
+
+    async def _op_stats(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        with self._counter_lock:
+            errors = dict(self.error_counts)
+            total = self.requests_total
+        with self._cfg_lock:
+            indices = dict(self._indices)
+        payload: Dict[str, Any] = {
+            "protocol_version": protocol.PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "uptime_seconds": round(self.uptime(), 3),
+            "stage_default": self.config.stage,
+            "training": self.config.training,
+            "requests": {"total": total, "errors_by_code": errors},
+            "endpoints": self.endpoints.summary(),
+            "code_cache": self.code_cache.stats(),
+            "rule_index": {
+                stage: index.stats() for stage, index in indices.items()
+            },
+            "units_cached": len(self._units),
+            "caches": stats_payload(include_disk=False),
+        }
+        if self.server_stats is not None:
+            payload["server"] = self.server_stats()
+        return payload
+
+    async def _op_sleep(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        seconds = float(obj.get("seconds", 0.1))
+        await asyncio.sleep(seconds)
+        return {"slept": seconds}
+
+    # -- dispatch -------------------------------------------------------------
+
+    async def handle_request(
+        self, obj: Dict[str, Any], timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """One request object in, one response object out — never raises.
+
+        Applies the per-request timeout, converts every failure mode into a
+        protocol error response (one bad request can never kill the serving
+        loop), and records per-endpoint latency.
+        """
+        started = time.perf_counter()
+        ident: Optional[Any] = protocol.request_id(obj)
+        op = "<malformed>"
+        try:
+            ident, op = protocol.parse_request(obj)
+            handler = self._handlers.get(op)
+            if handler is None or (op == "_sleep" and not self.config.debug_ops):
+                raise ProtocolError(
+                    "unknown-op", f"unknown op {op!r}; expected one of {protocol.OPS}"
+                )
+            if timeout is not None:
+                result = await asyncio.wait_for(handler(obj), timeout)
+            else:
+                result = await handler(obj)
+            response = protocol.ok_response(ident, result)
+        except ProtocolError as exc:
+            response = protocol.error_response(ident, exc.code, exc.message)
+        except asyncio.TimeoutError:
+            response = protocol.error_response(
+                ident, "timeout", f"request exceeded {timeout}s"
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # isolation: no request kills the loop
+            response = protocol.error_response(
+                ident, "internal", f"{type(exc).__name__}: {exc}"
+            )
+        ok = bool(response.get("ok"))
+        with self._counter_lock:
+            self.requests_total += 1
+            if not ok:
+                code = response["error"]["code"]
+                self.error_counts[code] = self.error_counts.get(code, 0) + 1
+        self.endpoints.observe(op, time.perf_counter() - started, ok)
+        return response
+
+
+class ServiceServer:
+    """TCP transport: bounded queue, worker pool, graceful drain."""
+
+    def __init__(self, service: TranslationService, config: ServiceConfig) -> None:
+        self.service = service
+        self.config = config
+        self._queue: "asyncio.Queue" = asyncio.Queue(maxsize=config.max_queue)
+        self._workers: list = []
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+        self._client_tasks: set = set()
+        self._draining = False
+        self._drained = asyncio.Event()
+        self._active = 0
+        self.backpressure_rejections = 0
+        self.port: Optional[int] = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._on_client,
+            self.config.host,
+            self.config.port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._workers = [
+            asyncio.create_task(self._worker()) for _ in range(self.config.workers)
+        ]
+        self.service.server_stats = self.stats
+
+    def install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, ValueError):
+                loop.add_signal_handler(
+                    signum, lambda: asyncio.ensure_future(self.drain())
+                )
+
+    async def drain(self) -> None:
+        """Stop accepting, answer everything queued, then shut down."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._queue.join()
+        for worker in self._workers:
+            worker.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        for writer in list(self._connections):
+            with contextlib.suppress(Exception):
+                writer.close()
+        # Let connection handlers observe the close and exit on their own
+        # (cancelling a handler mid-readline trips asyncio's stream-callback
+        # exception retrieval and logs spurious errors on some versions).
+        if self._client_tasks:
+            await asyncio.gather(*list(self._client_tasks), return_exceptions=True)
+        self._drained.set()
+
+    async def wait_closed(self) -> None:
+        await self._drained.wait()
+
+    async def aclose(self) -> None:
+        await self.drain()
+
+    # -- connection handling --------------------------------------------------
+
+    async def _on_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        self._connections.add(writer)
+        task = asyncio.current_task()
+        if task is not None:
+            self._client_tasks.add(task)
+        try:
+            while True:
+                try:
+                    raw = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # Oversized line: no way to resync mid-line, so answer
+                    # and close this connection only.
+                    await self._send(
+                        writer,
+                        write_lock,
+                        protocol.error_response(
+                            None,
+                            "bad-request",
+                            f"request line exceeds {protocol.MAX_LINE_BYTES} bytes",
+                        ),
+                    )
+                    break
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                if not raw:
+                    break  # client closed
+                if not raw.strip():
+                    continue
+                try:
+                    obj = protocol.decode(raw)
+                except ProtocolError as exc:
+                    # Malformed-request isolation: respond, keep serving
+                    # this connection and everyone else.
+                    await self._send(
+                        writer,
+                        write_lock,
+                        protocol.error_response(None, exc.code, exc.message),
+                    )
+                    continue
+                ident = protocol.request_id(obj)
+                if self._draining:
+                    await self._send(
+                        writer,
+                        write_lock,
+                        protocol.error_response(
+                            ident, "shutting-down", "server is draining"
+                        ),
+                    )
+                    continue
+                try:
+                    self._queue.put_nowait((obj, writer, write_lock))
+                except asyncio.QueueFull:
+                    self.backpressure_rejections += 1
+                    await self._send(
+                        writer,
+                        write_lock,
+                        protocol.error_response(
+                            ident,
+                            "backpressure",
+                            f"request queue full ({self.config.max_queue}); retry",
+                        ),
+                    )
+        finally:
+            self._connections.discard(writer)
+            if task is not None:
+                self._client_tasks.discard(task)
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def _worker(self) -> None:
+        while True:
+            obj, writer, write_lock = await self._queue.get()
+            self._active += 1
+            try:
+                response = await self.service.handle_request(
+                    obj, timeout=self.config.request_timeout
+                )
+                await self._send(writer, write_lock, response)
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                pass  # connection torn down mid-response; nothing to tell
+            finally:
+                self._active -= 1
+                self._queue.task_done()
+
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        message: Dict[str, Any],
+    ) -> None:
+        data = protocol.encode(message)
+        try:
+            async with write_lock:
+                writer.write(data)
+                await writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass  # client went away; their loss
+
+    # -- observability --------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "queue_depth": self._queue.qsize(),
+            "queue_max": self.config.max_queue,
+            "workers": self.config.workers,
+            "active": self._active,
+            "connections": len(self._connections),
+            "backpressure_rejections": self.backpressure_rejections,
+            "draining": self._draining,
+        }
+
+
+async def start_server(
+    config: ServiceConfig, setup: Optional[SystemSetup] = None
+) -> ServiceServer:
+    """Build a service + transport and start listening (tests, embedders)."""
+    service = TranslationService(config, setup=setup)
+    server = ServiceServer(service, config)
+    await server.start()
+    return server
+
+
+async def _amain(config: ServiceConfig) -> int:
+    server = await start_server(config)
+    server.install_signal_handlers()
+    print(
+        f"repro serve: listening on {config.host}:{server.port} "
+        f"(stage={config.stage}, training={config.training}, "
+        f"workers={config.workers}, pid={os.getpid()})",
+        flush=True,
+    )
+    await server.wait_closed()
+    print("repro serve: drained cleanly", flush=True)
+    return 0
+
+
+def serve(config: ServiceConfig) -> int:
+    """Blocking entry point for ``repro serve``; returns the exit code."""
+    try:
+        return asyncio.run(_amain(config))
+    except KeyboardInterrupt:
+        return 0

@@ -1,0 +1,143 @@
+"""Sharded rule index: opcode-class-partitioned lookup with hit counters.
+
+A frozen :class:`~repro.learning.ruleset.RuleSet` is one big dict pair.
+That is fine for a batch run, but a serving process doing rule lookups from
+many worker threads wants (a) per-shard hit/miss counters that don't
+serialize every lookup through one hot counter, and (b) an index layout
+that can later be distributed (each shard is a self-contained RuleSet).
+
+Sharding key: the **first guest mnemonic** of the lookup window.  Every
+rule that can match a window shares the window's first mnemonic (the guest
+key embeds mnemonics in order), so a per-shard lookup — generalized rules
+preferred, value-specific fallback, shorter-host tie-breaks — returns
+exactly the rule the flat index would.  Mnemonics are mapped onto ``N``
+shards by a stable hash; shard stats also report which opcode classes
+(:class:`~repro.isa.instruction.Subgroup`) each shard holds.
+
+The index duck-types the slice of the RuleSet API the translator uses
+(``lookup``, ``max_guest_length``, truthiness), so a
+:class:`~repro.dbt.translator.TranslationConfig` can carry one
+transparently.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.isa.arm.opcodes import ARM
+from repro.isa.instruction import Instruction
+from repro.learning.rule import TranslationRule
+from repro.learning.ruleset import RuleSet
+
+DEFAULT_SHARDS = 8
+
+
+def shard_of(mnemonic: str, num_shards: int) -> int:
+    """Stable shard id for a guest mnemonic (crc32, not PYTHONHASHSEED)."""
+    return zlib.crc32(mnemonic.encode("utf-8")) % num_shards
+
+
+class _Shard:
+    """One shard: a self-contained RuleSet plus locked hit/miss counters."""
+
+    __slots__ = ("index", "rules", "mnemonics", "hits", "misses", "_lock")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.rules = RuleSet()
+        self.mnemonics: set = set()
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+
+    def record(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.hits += 1
+            else:
+                self.misses += 1
+
+    def stats(self) -> Dict[str, object]:
+        classes = set()
+        for name in self.mnemonics:
+            try:
+                classes.add(ARM.lookup(name).subgroup.value)
+            except Exception:
+                classes.add("unknown")
+        with self._lock:
+            hits, misses = self.hits, self.misses
+        total = hits + misses
+        return {
+            "shard": self.index,
+            "rules": len(self.rules),
+            "mnemonics": sorted(self.mnemonics),
+            "opcode_classes": sorted(classes),
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / total, 4) if total else 0.0,
+        }
+
+
+class ShardedRuleIndex:
+    """N-way sharded view of a frozen RuleSet, safe for threaded lookup."""
+
+    def __init__(self, rules: RuleSet, num_shards: int = DEFAULT_SHARDS) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.num_shards = num_shards
+        self._source = rules
+        self._max_guest_length = rules.max_guest_length()
+        self._total = len(rules)
+        self._shards: List[_Shard] = [_Shard(i) for i in range(num_shards)]
+        parts = rules.partition(
+            lambda rule: shard_of(rule.guest[0].mnemonic, num_shards)
+        )
+        for index, part in parts.items():
+            shard = self._shards[index]
+            shard.rules = part.freeze()
+            shard.mnemonics = {rule.guest[0].mnemonic for rule in part}
+
+    # -- RuleSet surface the translator relies on ---------------------------
+
+    def lookup(self, window: Sequence[Instruction]) -> Optional[TranslationRule]:
+        if not window:
+            return None
+        shard = self._shards[shard_of(window[0].mnemonic, self.num_shards)]
+        rule = shard.rules.lookup(window)
+        shard.record(rule is not None)
+        return rule
+
+    def max_guest_length(self) -> int:
+        return self._max_guest_length
+
+    def __len__(self) -> int:
+        return self._total
+
+    def __iter__(self) -> Iterator[TranslationRule]:
+        return iter(self._source)
+
+    @property
+    def frozen(self) -> bool:
+        return True
+
+    # -- observability -------------------------------------------------------
+
+    def lookups(self) -> int:
+        return sum(s.hits + s.misses for s in self._shards)
+
+    def stats(self) -> Dict[str, object]:
+        shards = [shard.stats() for shard in self._shards]
+        hits = sum(s["hits"] for s in shards)
+        misses = sum(s["misses"] for s in shards)
+        populated = sum(1 for s in shards if s["rules"])
+        return {
+            "num_shards": self.num_shards,
+            "populated_shards": populated,
+            "rules": self._total,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / (hits + misses), 4) if hits + misses else 0.0,
+            "shards": shards,
+        }

@@ -1,0 +1,123 @@
+"""Service observability: latency histograms and per-endpoint counters.
+
+Latencies go into fixed log-scale bucket histograms (~7% relative bucket
+width from 10µs to >60s), so recording is O(1), memory is constant no
+matter how long the server lives, and p50/p95/p99 come out with bounded
+relative error — the standard serving-system trade against unbounded
+sample reservoirs.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+#: Exponential bucket upper bounds in seconds: 10µs · 1.35^i, 58 buckets,
+#: topping out above 60s; one overflow bucket catches the rest.
+_GROWTH = 1.35
+_BUCKET_BOUNDS: List[float] = []
+_bound = 1e-5
+while _bound < 120.0:
+    _BUCKET_BOUNDS.append(_bound)
+    _bound *= _GROWTH
+_BUCKET_BOUNDS.append(float("inf"))
+
+
+class LatencyHistogram:
+    """Thread-safe fixed-bucket latency histogram with percentile readout."""
+
+    __slots__ = ("_counts", "count", "total", "max", "_lock")
+
+    def __init__(self) -> None:
+        self._counts = [0] * len(_BUCKET_BOUNDS)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        seconds = max(0.0, seconds)
+        # Bisect by hand-rolled scan would be O(buckets); binary search:
+        lo, hi = 0, len(_BUCKET_BOUNDS) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if seconds <= _BUCKET_BOUNDS[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        with self._lock:
+            self._counts[lo] += 1
+            self.count += 1
+            self.total += seconds
+            if seconds > self.max:
+                self.max = seconds
+
+    def percentile(self, q: float) -> float:
+        """Upper bucket bound at quantile ``q`` (0..1), 0.0 when empty."""
+        with self._lock:
+            if not self.count:
+                return 0.0
+            rank = q * self.count
+            seen = 0
+            for i, count in enumerate(self._counts):
+                seen += count
+                if seen >= rank:
+                    bound = _BUCKET_BOUNDS[i]
+                    return self.max if bound == float("inf") else min(bound, self.max)
+            return self.max
+
+    def summary(self) -> Dict[str, float]:
+        with self._lock:
+            count, total, peak = self.count, self.total, self.max
+        return {
+            "count": count,
+            "mean_ms": round(1e3 * total / count, 3) if count else 0.0,
+            "p50_ms": round(1e3 * self.percentile(0.50), 3),
+            "p95_ms": round(1e3 * self.percentile(0.95), 3),
+            "p99_ms": round(1e3 * self.percentile(0.99), 3),
+            "max_ms": round(1e3 * peak, 3),
+        }
+
+
+class EndpointStats:
+    """Per-endpoint latency histograms plus ok/error counts."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._latency: Dict[str, LatencyHistogram] = {}
+        self._ok: Dict[str, int] = {}
+        self._errors: Dict[str, int] = {}
+
+    def _histogram(self, op: str) -> LatencyHistogram:
+        with self._lock:
+            hist = self._latency.get(op)
+            if hist is None:
+                hist = self._latency[op] = LatencyHistogram()
+                self._ok.setdefault(op, 0)
+                self._errors.setdefault(op, 0)
+            return hist
+
+    def observe(self, op: str, seconds: float, ok: bool) -> None:
+        hist = self._histogram(op)
+        hist.observe(seconds)
+        with self._lock:
+            if ok:
+                self._ok[op] = self._ok.get(op, 0) + 1
+            else:
+                self._errors[op] = self._errors.get(op, 0) + 1
+
+    def latency(self, op: str) -> Optional[LatencyHistogram]:
+        with self._lock:
+            return self._latency.get(op)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        with self._lock:
+            ops = list(self._latency)
+        payload: Dict[str, Dict[str, float]] = {}
+        for op in ops:
+            entry = dict(self._latency[op].summary())
+            with self._lock:
+                entry["ok"] = self._ok.get(op, 0)
+                entry["errors"] = self._errors.get(op, 0)
+            payload[op] = entry
+        return payload

@@ -1,0 +1,54 @@
+"""The shared metadata block every ``BENCH_*.json`` report carries."""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime
+
+from repro.bench import (
+    BENCH_SCHEMA_VERSION,
+    bench_metadata,
+    write_json_report,
+    write_report,
+)
+from repro.bench_offline import write_offline_report
+from repro.service.loadgen import write_loadgen_report
+
+
+class TestBenchMetadata:
+    def test_metadata_shape(self):
+        meta = bench_metadata()
+        assert set(meta) == {"schema_version", "commit", "created_utc"}
+        assert meta["schema_version"] == BENCH_SCHEMA_VERSION
+        # a 40-hex commit inside a work tree, the literal "unknown" outside
+        assert meta["commit"] == "unknown" or len(meta["commit"]) == 40
+        # ISO-8601 with timezone, parseable round-trip
+        stamp = datetime.fromisoformat(meta["created_utc"])
+        assert stamp.tzinfo is not None
+
+    def test_write_json_report_stamps_meta(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        write_json_report({"results": [1, 2]}, str(path))
+        payload = json.loads(path.read_text())
+        assert payload["results"] == [1, 2]
+        assert payload["meta"]["schema_version"] == BENCH_SCHEMA_VERSION
+
+    def test_existing_meta_not_overwritten(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        write_json_report({"meta": {"schema_version": 99}}, str(path))
+        payload = json.loads(path.read_text())
+        assert payload["meta"] == {"schema_version": 99}
+
+    def test_all_writers_share_the_stamp(self, tmp_path):
+        """dbt, offline, and service reports all carry the same meta block."""
+        writers = {
+            "dbt": write_report,
+            "offline": write_offline_report,
+            "service": write_loadgen_report,
+        }
+        for name, writer in writers.items():
+            path = tmp_path / f"BENCH_{name}.json"
+            writer({"kind": name}, str(path))
+            payload = json.loads(path.read_text())
+            assert set(payload["meta"]) == {"schema_version", "commit", "created_utc"}
+            assert payload["kind"] == name

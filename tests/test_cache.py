@@ -123,6 +123,61 @@ class TestBoundedMemo:
         assert memo.get("other") is MISS
 
 
+class TestThreadSafety:
+    """The serving layer shares memos and STATS across worker threads."""
+
+    def test_bounded_memo_threaded_hammer(self):
+        import random
+        import threading
+
+        memo = BoundedMemo(maxsize=64, register=False)
+        threads, errors = 8, []
+        lookups_per_thread = 2000
+
+        def worker(seed: int) -> None:
+            rng = random.Random(seed)
+            try:
+                for _ in range(lookups_per_thread):
+                    key = rng.randrange(200)
+                    value = memo.get(key)
+                    if value is not MISS and value != key * 3:
+                        errors.append((key, value))
+                    memo.put(key, key * 3)
+            except Exception as exc:  # pragma: no cover - the failure signal
+                errors.append(exc)
+
+        pool = [
+            threading.Thread(target=worker, args=(seed,)) for seed in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert not errors
+        stats = memo.stats()
+        # every lookup was counted exactly once, despite the contention
+        assert stats["hits"] + stats["misses"] == threads * lookups_per_thread
+        assert len(memo) <= 64
+
+    def test_cache_stats_incr_is_atomic(self):
+        import threading
+
+        stats = CacheStats()
+        increments_per_thread = 5000
+
+        def worker() -> None:
+            for _ in range(increments_per_thread):
+                stats.incr(memo_hits=1, seconds_saved=0.5)
+
+        pool = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert stats.memo_hits == 8 * increments_per_thread
+        assert stats.seconds_saved == pytest.approx(8 * increments_per_thread * 0.5)
+
+
 class TestLifecycle:
     def test_registered_caches_are_cleared(self):
         memo = BoundedMemo()  # registers itself

@@ -50,6 +50,18 @@ class TestCacheCli:
         out = capsys.readouterr().out
         assert "cache directory" in out and "disk entries" in out
 
+    def test_cache_stats_json(self, capsys):
+        import json
+
+        assert main(["cache", "stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # the same serializer the service stats endpoint embeds
+        assert {"directory", "enabled", "process", "memos", "disk_entries"} <= set(
+            payload
+        )
+        assert isinstance(payload["memos"], list)
+        assert "derivations" in payload["process"]
+
     def test_cache_clear(self, capsys):
         from repro.cache import disk_cache
 
@@ -73,3 +85,22 @@ class TestCacheCli:
             assert "Fig. 2" in out
         finally:
             set_jobs(1)
+
+
+class TestServiceCli:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--port", "0", "--workers", "2"])
+        assert args.port == 0 and args.workers == 2
+        assert args.stage == "condition" and args.training == "quick"
+        assert args.shards == 8 and args.max_queue == 64
+
+    def test_loadgen_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["loadgen", "--duration", "5", "--concurrency", "8"]
+        )
+        assert args.duration == 5.0 and args.concurrency == 8
+        assert args.out == "BENCH_service.json"
+
+    def test_serve_rejects_unknown_stage(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--stage", "nope"])
