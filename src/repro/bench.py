@@ -62,6 +62,10 @@ def bench_metadata() -> Dict[str, object]:
         "schema_version": BENCH_SCHEMA_VERSION,
         "commit": _commit_hash(),
         "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        # Throughput/saturation numbers are meaningless without the core
+        # count they were measured on (a 1-core CI box cannot show pool
+        # speedup no matter how correct the pool is).
+        "cpu_count": os.cpu_count() or 1,
     }
 
 
@@ -254,3 +258,165 @@ def check_report(payload: Dict[str, object]) -> Tuple[bool, str]:
     if speedup <= 1.0:
         return False, f"jit is not faster than interp ({speedup:.2f}x)"
     return True, f"jit is {speedup:.2f}x interp"
+
+
+# ---------------------------------------------------------------------------
+# service saturation bench (``repro bench --service``)
+#
+# For each worker count, boot a real pool (``repro serve --workers N`` as a
+# subprocess) and sweep client concurrency against it with the oracle-
+# verified load generator.  The report is the clients-vs-latency curve per
+# worker count, plus the peak-throughput speedup over one worker.  The meta
+# block's ``cpu_count`` is the honest context for that speedup: on a
+# single-core machine the pool cannot (and will not) show parallel gains.
+
+
+def _boot_pool(workers: int, runtime_dir: str, log_path: str):
+    """Start ``repro serve`` as a subprocess; return (process, port)."""
+    import re
+    import sys
+
+    import repro
+
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(
+        os.environ,
+        PYTHONPATH=src_dir + os.pathsep + os.environ.get("PYTHONPATH", ""),
+    )
+    argv = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "serve",
+        "--port",
+        "0",
+        "--workers",
+        str(workers),
+    ]
+    if workers > 1:
+        argv += ["--pool-dir", os.path.join(runtime_dir, f"pool-{workers}")]
+    handle = open(log_path, "w")
+    proc = subprocess.Popen(
+        argv, stdout=handle, stderr=subprocess.STDOUT, env=env
+    )
+    pattern = re.compile(r"listening on [^:]+:(\d+)")
+    ready = re.compile(r"worker \d+ ready")
+    deadline = time.monotonic() + 300.0
+    port = None
+    while time.monotonic() < deadline:
+        try:
+            with open(log_path) as log_handle:
+                text = log_handle.read()
+        except OSError:
+            text = ""
+        match = pattern.search(text)
+        if match and (workers == 1 or len(ready.findall(text)) >= workers):
+            port = int(match.group(1))
+            break
+        if proc.poll() is not None:
+            raise RuntimeError(f"serve exited during boot:\n{text}")
+        time.sleep(0.1)
+    if port is None:
+        proc.kill()
+        raise RuntimeError("serve did not come up within 300s")
+    return proc, port
+
+
+def run_service_bench(
+    workers: Sequence[int] = (1, 2, 4, 8),
+    clients: Sequence[int] = (1, 2, 4, 8),
+    duration: float = 3.0,
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Per-worker-count saturation curves; returns the report payload."""
+    import signal
+    import tempfile
+
+    from repro.service.loadgen import LoadgenOptions, run_sweep
+
+    curves: List[Dict[str, object]] = []
+    with tempfile.TemporaryDirectory(prefix="repro-service-bench-") as runtime:
+        for count in workers:
+            if log is not None:
+                log(f"booting serve --workers {count} ...")
+            proc, port = _boot_pool(
+                count, runtime, os.path.join(runtime, f"serve-{count}.log")
+            )
+            try:
+                options = LoadgenOptions(
+                    port=port,
+                    duration=duration,
+                    seed=3,
+                    fuzz_programs=2,
+                    benchmarks=("mcf",),
+                )
+                sweep = run_sweep(options, list(clients), log=log)
+                curves.append(
+                    {"workers": count, "saturation": sweep["saturation"]}
+                )
+            finally:
+                if proc.poll() is None:
+                    proc.send_signal(signal.SIGTERM)
+                    proc.wait(timeout=120)
+    peak = {
+        str(curve["workers"]): max(
+            point["throughput_rps"] for point in curve["saturation"]
+        )
+        for curve in curves
+    }
+    base = peak.get(str(workers[0]), 0.0) or 0.0
+    divergences = sum(
+        point["divergences"]
+        for curve in curves
+        for point in curve["saturation"]
+    )
+    return {
+        "harness": "repro bench --service",
+        "duration_seconds": duration,
+        "clients": list(clients),
+        "workers": curves,
+        "summary": {
+            "peak_rps_by_workers": peak,
+            "speedup_vs_first": {
+                key: round(value / base, 2) if base else 0.0
+                for key, value in peak.items()
+            },
+            "total_divergences": divergences,
+        },
+    }
+
+
+def render_service_report(payload: Dict[str, object]) -> str:
+    from repro.service.loadgen import render_sweep_report
+
+    lines = [
+        f"service saturation bench "
+        f"({payload['duration_seconds']:.1f}s per point)"
+    ]
+    for curve in payload["workers"]:
+        lines.append(f"workers={curve['workers']}:")
+        lines.append(render_sweep_report(curve))
+    summary = payload["summary"]
+    lines.append("peak req/s by worker count:")
+    for key, value in summary["peak_rps_by_workers"].items():
+        lines.append(
+            f"  {key:>3s} workers: {value:>8.1f} req/s "
+            f"({summary['speedup_vs_first'][key]:.2f}x)"
+        )
+    return "\n".join(lines)
+
+
+def check_service_report(payload: Dict[str, object]) -> Tuple[bool, str]:
+    """CI gate: traffic flowed everywhere, zero errors, zero divergences."""
+    from repro.service.loadgen import check_sweep_report
+
+    for curve in payload["workers"]:
+        ok, message = check_sweep_report(curve)
+        if not ok:
+            return False, f"workers={curve['workers']}: {message}"
+    return True, (
+        f"{len(payload['workers'])} worker counts x "
+        f"{len(payload['clients'])} client counts clean; "
+        f"peak {max(payload['summary']['peak_rps_by_workers'].values()):.1f} "
+        "req/s, 0 divergences"
+    )

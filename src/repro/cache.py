@@ -234,6 +234,31 @@ class BoundedMemo:
 # On-disk cache
 
 
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write *text* to *path* atomically (temp file in-dir + rename).
+
+    The one atomic-publish discipline shared by every on-disk cache in the
+    repo (the derivation :class:`DiskCache` here and the serving layer's
+    :mod:`repro.service.diskcode`): a reader can observe the old entry or
+    the complete new entry, never a truncated one, no matter how many
+    processes write concurrently or crash mid-write.  Raises ``OSError``
+    on filesystem failure; callers decide whether that disables
+    persistence or propagates.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def digest_key(kind: str, *parts: Any) -> str:
     """Content digest of a cache key: kind + version stamp + JSON'd parts."""
     payload = json.dumps(
@@ -298,15 +323,7 @@ class DiskCache:
             "payload": payload,
         }
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w") as handle:
-                    json.dump(entry, handle)
-                os.replace(tmp, path)
-            except BaseException:
-                os.unlink(tmp)
-                raise
+            atomic_write_text(path, json.dumps(entry))
         except OSError:
             return  # a read-only or full cache dir disables persistence only
         STATS.incr(disk_writes=1)

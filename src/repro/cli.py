@@ -233,6 +233,8 @@ def _cmd_bench(args) -> int:
     """Benchmark the execution backends and write ``BENCH_dbt.json``."""
     if args.offline:
         return _cmd_bench_offline(args)
+    if args.service:
+        return _cmd_bench_service(args)
     from repro.bench import check_report, render_report, run_bench, write_report
 
     log = None if args.quiet else (lambda message: print(f"# {message}"))
@@ -264,6 +266,34 @@ def _cmd_bench_offline(args) -> int:
     print(f"report: {out}")
     if args.check:
         ok, message = check_offline_report(payload)
+        print(f"check: {message}")
+        return 0 if ok else 1
+    return 0
+
+
+def _cmd_bench_service(args) -> int:
+    """Per-worker-count saturation curves; writes ``BENCH_service.json``."""
+    from repro.bench import (
+        check_service_report,
+        render_service_report,
+        run_service_bench,
+        write_report,
+    )
+
+    log = None if args.quiet else (lambda message: print(f"# {message}"))
+    if args.quick:
+        workers, clients, duration = (1, 2), (1, 2, 4), 1.5
+    else:
+        workers, clients, duration = (1, 2, 4, 8), (1, 2, 4, 8, 16), 3.0
+    payload = run_service_bench(
+        workers=workers, clients=clients, duration=duration, log=log
+    )
+    print(render_service_report(payload))
+    out = args.out if args.out != "BENCH_dbt.json" else "BENCH_service.json"
+    write_report(payload, out)
+    print(f"report: {out}")
+    if args.check:
+        ok, message = check_service_report(payload)
         print(f"check: {message}")
         return 0 if ok else 1
     return 0
@@ -310,9 +340,21 @@ def _cmd_serve(args) -> int:
         shards=args.shards,
         cache_blocks=args.cache_blocks,
         max_queue=args.max_queue,
-        workers=args.workers,
+        handlers=args.handlers,
         request_timeout=args.timeout,
+        disk_code_dir=args.code_cache_dir,
+        chaining=not args.no_chaining,
     )
+    if args.workers > 1 or args.pool_dir:
+        from repro.service import PoolConfig, serve_pool
+
+        return serve_pool(
+            PoolConfig(
+                workers=args.workers,
+                service=config,
+                directory=args.pool_dir,
+            )
+        )
     return serve(config)
 
 
@@ -324,7 +366,12 @@ def _cmd_loadgen(args) -> int:
         render_loadgen_report,
         run_loadgen,
     )
-    from repro.service.loadgen import write_loadgen_report
+    from repro.service.loadgen import (
+        check_sweep_report,
+        render_sweep_report,
+        run_sweep,
+        write_loadgen_report,
+    )
 
     options = LoadgenOptions(
         host=args.host,
@@ -336,6 +383,15 @@ def _cmd_loadgen(args) -> int:
         out=args.out,
     )
     log = None if args.quiet else (lambda message: print(f"# {message}"))
+    if args.sweep:
+        clients = sorted({int(part) for part in args.sweep.split(",") if part})
+        payload = run_sweep(options, clients, log=log)
+        print(render_sweep_report(payload))
+        write_loadgen_report(payload, options.out)
+        print(f"report: {options.out}")
+        ok, message = check_sweep_report(payload)
+        print(f"check: {message}")
+        return 0 if ok else 1
     payload = run_loadgen(options, log=log)
     print(render_loadgen_report(payload))
     write_loadgen_report(payload, options.out)
@@ -420,6 +476,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--quick", action="store_true",
                        help="3-benchmark subset, cheap training rules (CI)")
+    bench.add_argument("--service", action="store_true",
+                       help="serving saturation bench: boot pools at each "
+                            "worker count and sweep client concurrency "
+                            "(writes BENCH_service.json)")
     bench.add_argument("--offline", action="store_true",
                        help="benchmark the offline learn/derive pipeline "
                             "instead (writes BENCH_offline.json)")
@@ -486,10 +546,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-queue", type=int, default=64,
                        help="request queue bound; beyond it clients get "
                             "retryable backpressure errors")
-    serve.add_argument("--workers", type=int, default=8,
-                       help="concurrent request workers")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="pre-fork worker processes sharing the listener "
+                            "and an on-disk code cache (1 = single process)")
+    serve.add_argument("--handlers", type=int, default=8,
+                       help="concurrent asyncio request handlers per process")
+    serve.add_argument("--pool-dir", default=None,
+                       help="pool runtime directory (worker stats + shared "
+                            "code cache); default: fresh temp dir")
+    serve.add_argument("--code-cache-dir", default=None,
+                       help="cross-process code cache directory for a "
+                            "single-process server (pools set their own)")
     serve.add_argument("--timeout", type=float, default=30.0,
                        help="per-request timeout in seconds")
+    serve.add_argument("--no-chaining", action="store_true",
+                       help="disable block chaining (chain links warm up "
+                            "across requests, so run metrics become "
+                            "cache-state-dependent; disable for strictly "
+                            "deterministic responses)")
     serve.set_defaults(fn=_cmd_serve)
 
     loadgen = sub.add_parser(
@@ -505,6 +579,10 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--seed", type=int, default=0,
                          help="request-mix RNG seed")
     loadgen.add_argument("--stage", default="condition", choices=STAGES)
+    loadgen.add_argument("--sweep", default=None, metavar="N,N,...",
+                         help="saturation sweep: drive each client count for "
+                              "--duration seconds and report the clients-vs-"
+                              "latency curve (e.g. --sweep 1,2,4,8)")
     loadgen.add_argument("--out", default="BENCH_service.json",
                          help="report path (default BENCH_service.json)")
     loadgen.add_argument("--quiet", action="store_true",

@@ -42,7 +42,8 @@ the shared semantics function, which is always correct.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.dbt.executor import _MAX_BLOCK_STEPS, WEIGHTS
 from repro.dbt.runtime import DISPATCH_LABEL
@@ -58,11 +59,14 @@ _M = "0xFFFFFFFF"
 #: Run-index sentinel: control leaves the block (the dispatch-label exit).
 EXIT = -1
 
-#: Observers notified with the :class:`TranslatedBlock` on every
-#: ``compile_block`` call.  The serving layer's single-flight test uses this
-#: to prove that concurrent identical translate requests coalesce onto
-#: exactly one compilation; keep listeners cheap — they run on the compile
-#: path.
+#: Observers notified with the :class:`TranslatedBlock` on every source
+#: **generation** (:func:`generate_block_source`, which every
+#: ``compile_block`` call goes through).  Re-instantiating cached source
+#: with :func:`compile_block_source` does *not* fire listeners: the serving
+#: layer's single-flight tests use the listener count to prove that
+#: concurrent identical requests — within one process or across a pre-fork
+#: worker pool sharing a disk code cache — coalesce onto exactly one
+#: codegen.  Keep listeners cheap; they run on the compile path.
 _COMPILE_LISTENERS: List = []
 
 
@@ -525,33 +529,129 @@ class GuardedCompiledBlock(CompiledBlock):
             index = runs[index](state, counts)
 
 
-def compile_block(
+@dataclass(frozen=True)
+class BlockSource:
+    """The portable product of block codegen: source text + run metadata.
+
+    Everything here is plain data (strings, ints, a bool), so a
+    ``BlockSource`` can be persisted to disk by one process and
+    re-instantiated by another with :func:`compile_block_source` — the
+    objects the generated code references by name (``_sem{k}`` semantics
+    functions and ``_i{k}`` instruction values for untemplated mnemonics)
+    are rebuilt deterministically from the translated block itself, never
+    serialized.
+    """
+
+    text: str
+    step_counts: Tuple[int, ...]
+    forward_only: bool
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serializable form (the disk code cache's entry payload)."""
+        return {
+            "text": self.text,
+            "step_counts": list(self.step_counts),
+            "forward_only": self.forward_only,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "BlockSource":
+        """Rebuild from :meth:`to_payload` output; raises on bad shape."""
+        text = payload["text"]
+        step_counts = payload["step_counts"]
+        forward_only = payload["forward_only"]
+        if (
+            not isinstance(text, str)
+            or not isinstance(step_counts, list)
+            or not all(isinstance(c, int) for c in step_counts)
+            or not isinstance(forward_only, bool)
+        ):
+            raise ValueError("malformed BlockSource payload")
+        return cls(
+            text=text,
+            step_counts=tuple(step_counts),
+            forward_only=forward_only,
+        )
+
+
+def _block_defs(
+    tb: TranslatedBlock, defs: Optional[Tuple[InstructionDef, ...]]
+) -> Tuple[InstructionDef, ...]:
+    if defs is None:
+        return tuple(X86.defn(insn) for insn in tb.host)
+    return defs
+
+
+def generate_block_source(
     tb: TranslatedBlock,
     defs: Optional[Tuple[InstructionDef, ...]] = None,
-) -> CompiledBlock:
-    """Compile one translated block into specialized Python code."""
-    if defs is None:
-        defs = tuple(X86.defn(insn) for insn in tb.host)
+) -> BlockSource:
+    """Lower one translated block to generated Python source (codegen only).
+
+    Deterministic: the same translated block always yields byte-identical
+    source text, which is what makes the cross-process disk code cache
+    sound — any worker's generation is interchangeable with any other's.
+    Fires the compile listeners (this is the "work happened" event the
+    single-flight proofs count).
+    """
+    defs = _block_defs(tb, defs)
     if not tb.host:
         raise ExecutionError("cannot compile an empty translated block")
     starts = _run_leaders(tb, defs)
     run_of = {pos: ri for ri, pos in enumerate(starts)}
-    ns: Dict = {"ExecutionError": ExecutionError, "_uninit": _uninit}
+    scratch: Dict = {}  # _emit_insn's fallback bindings; rebuilt at exec time
     source: List[str] = []
     step_counts: List[int] = []
     forward_only = True
     for ri, start in enumerate(starts):
         end = starts[ri + 1] if ri + 1 < len(starts) else len(tb.host)
-        lines, count, successors = _gen_run(tb, defs, ri, start, end, run_of, ns)
+        lines, count, successors = _gen_run(
+            tb, defs, ri, start, end, run_of, scratch
+        )
         source.extend(lines)
         step_counts.append(count)
         if any(nxt <= ri for nxt in successors):
             forward_only = False
-    code = compile("\n".join(source), f"<dbt-block@{tb.start:#x}>", "exec")
-    exec(code, ns)  # noqa: S102 - source generated from our own IR
-    runs = tuple(ns[f"_run{ri}"] for ri in range(len(starts)))
     for listener in tuple(_COMPILE_LISTENERS):
         listener(tb)
-    if forward_only:
+    return BlockSource(
+        text="\n".join(source),
+        step_counts=tuple(step_counts),
+        forward_only=forward_only,
+    )
+
+
+def compile_block_source(
+    tb: TranslatedBlock,
+    source: BlockSource,
+    defs: Optional[Tuple[InstructionDef, ...]] = None,
+) -> CompiledBlock:
+    """Instantiate generated source into an executable :class:`CompiledBlock`.
+
+    The namespace the source executes in is rebuilt here from the
+    translated block: every instruction's shared semantics function and
+    instruction value are bound as ``_sem{k}``/``_i{k}`` (a superset of
+    what the source references — unused bindings are free), so source
+    loaded from the disk code cache needs nothing beyond the block it was
+    generated from.
+    """
+    defs = _block_defs(tb, defs)
+    ns: Dict = {"ExecutionError": ExecutionError, "_uninit": _uninit}
+    for k, (insn, defn) in enumerate(zip(tb.host, defs)):
+        ns[f"_sem{k}"] = defn.semantics
+        ns[f"_i{k}"] = insn
+    code = compile(source.text, f"<dbt-block@{tb.start:#x}>", "exec")
+    exec(code, ns)  # noqa: S102 - source generated from our own IR
+    runs = tuple(ns[f"_run{ri}"] for ri in range(len(source.step_counts)))
+    if source.forward_only:
         return CompiledBlock(tb, runs)
-    return GuardedCompiledBlock(tb, runs, tuple(step_counts))
+    return GuardedCompiledBlock(tb, runs, source.step_counts)
+
+
+def compile_block(
+    tb: TranslatedBlock,
+    defs: Optional[Tuple[InstructionDef, ...]] = None,
+) -> CompiledBlock:
+    """Compile one translated block into specialized Python code."""
+    defs = _block_defs(tb, defs)
+    return compile_block_source(tb, generate_block_source(tb, defs), defs)

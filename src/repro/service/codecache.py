@@ -41,12 +41,20 @@ def _consume_exception(future: "asyncio.Future") -> None:
 
 
 class SingleFlightCodeCache:
-    """LRU of block key -> CodeCacheEntry with single-flight compilation."""
+    """LRU of block key -> CodeCacheEntry with single-flight compilation.
 
-    def __init__(self, maxsize: int = 4096) -> None:
+    ``disk`` optionally attaches the cross-process source-level layer
+    (:class:`repro.service.diskcode.DiskCodeCache`): the compile functions
+    passed to :meth:`get_or_compile` consult it themselves (they run in
+    executor threads, where blocking file IO belongs); the cache holds the
+    reference so one :meth:`stats` payload covers both layers.
+    """
+
+    def __init__(self, maxsize: int = 4096, disk: Optional[Any] = None) -> None:
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = maxsize
+        self.disk = disk
         self._lock = threading.Lock()
         self._data: "OrderedDict[BlockKey, Any]" = OrderedDict()
         self._inflight: Dict[BlockKey, "asyncio.Future"] = {}
@@ -136,7 +144,7 @@ class SingleFlightCodeCache:
     def stats(self) -> Dict[str, object]:
         with self._lock:
             total = self.hits + self.misses
-            return {
+            payload: Dict[str, object] = {
                 "size": len(self._data),
                 "maxsize": self.maxsize,
                 "hits": self.hits,
@@ -147,3 +155,6 @@ class SingleFlightCodeCache:
                 "evictions": self.evictions,
                 "inflight": len(self._inflight),
             }
+        if self.disk is not None:
+            payload["disk"] = self.disk.stats()
+        return payload

@@ -1,0 +1,287 @@
+"""Cross-process shared code cache: generated block source on disk.
+
+The in-memory :class:`~repro.service.codecache.SingleFlightCodeCache`
+coalesces concurrent compilations *within* one serving process.  A pre-fork
+worker pool (:mod:`repro.service.pool`) needs the same property *across*
+processes: when N freshly-forked workers take a cold-start stampede for the
+same program, the block codegen should happen once, cluster-wide, and every
+other worker should get a warm source-level hit.
+
+Two mechanisms, both built on plain files so they survive any worker dying
+at any point:
+
+* **content-addressed entries** — :func:`generate_block_source` output is
+  persisted as JSON keyed by a SHA-256 digest over ``(unit digest, stage,
+  block start, training corpus, pipeline version, codegen version)``.
+  Entries are published with the repo-wide atomic-rename discipline
+  (:func:`repro.cache.atomic_write_text`) and carry a SHA-256 checksum over
+  their own payload: a truncated, bit-flipped, or hand-edited entry fails
+  verification and is treated as a **miss** (deleted and rewritten), never
+  executed.
+* **lockfile claim-or-wait** — a worker that misses tries to create
+  ``<digest>.lock`` with ``O_CREAT | O_EXCL`` (atomic on every POSIX
+  filesystem).  The winner generates and publishes; losers poll for the
+  entry to appear instead of generating again.  A lock whose holder died
+  (no entry appears and the lockfile outlives ``stale_lock_seconds``) is
+  broken and re-claimed, so a SIGKILL'd claimant can never deadlock the
+  pool; and a waiter that exhausts ``wait_timeout`` falls back to
+  generating locally — duplicated work, never a stall.
+
+Workers recompile cached source locally with
+:func:`repro.dbt.compiler.compile_block_source` — only ``compile()`` of
+already-generated text, no codegen, no compile-listener fire — which is
+what the stampede tests count to prove single-flight held.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.cache import PIPELINE_VERSION, atomic_write_text
+from repro.dbt.compiler import BlockSource
+
+#: Bump when the generated-code shape changes incompatibly (new run
+#: calling convention, different namespace contract): stale entries from
+#: an older build become misses instead of being executed.
+DISKCODE_VERSION = "diskcode-v1"
+
+#: Claim outcomes returned by :meth:`DiskCodeCache.claim_or_wait`.
+CLAIMED = "claimed"
+CACHED = "cached"
+TIMEOUT = "timeout"
+
+
+def _payload_checksum(key: str, payload: Dict[str, Any]) -> str:
+    """Checksum binding an entry's payload to its key and format version."""
+    canon = json.dumps(
+        [DISKCODE_VERSION, key, payload], sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+class DiskCodeCache:
+    """Content-addressed generated-source store with lockfile single-flight.
+
+    All methods are safe to call from executor threads and from many
+    processes at once; the only shared state is the filesystem.  Counters
+    are per-process (each pool worker reports its own through the stats
+    endpoint; the pool aggregates).
+    """
+
+    def __init__(
+        self,
+        root: os.PathLike,
+        stale_lock_seconds: float = 5.0,
+        wait_timeout: float = 30.0,
+        poll_interval: float = 0.005,
+    ) -> None:
+        self.root = Path(root)
+        self.stale_lock_seconds = stale_lock_seconds
+        self.wait_timeout = wait_timeout
+        self.poll_interval = poll_interval
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.writes = 0
+        self.generations = 0  # codegen performed by this process
+        self.claims = 0
+        self.waits = 0  # claim lost; waited on another process's codegen
+        self.wait_timeouts = 0
+        self.stale_breaks = 0
+
+    def _incr(self, name: str, delta: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + delta)
+
+    # -- keys and paths ------------------------------------------------------
+
+    def key(self, unit_digest: str, stage: str, start: int, training: str) -> str:
+        """Content digest identifying one block's generated source."""
+        canon = json.dumps(
+            [
+                DISKCODE_VERSION,
+                PIPELINE_VERSION,
+                unit_digest,
+                stage,
+                start,
+                training,
+            ],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+    def entry_path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def lock_path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.lock"
+
+    # -- entry load/store ----------------------------------------------------
+
+    def load(self, digest: str) -> Optional[BlockSource]:
+        """The cached source for *digest*, or None.
+
+        A malformed, truncated, checksum-mismatched, or version-stale
+        entry is deleted (so the next writer rewrites it) and reported as
+        a miss — corrupted source text must never reach ``compile()``.
+        """
+        path = self.entry_path(digest)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            self._incr("misses")
+            return None
+        except (OSError, ValueError):
+            self._quarantine(path)
+            return None
+        try:
+            if entry["format"] != DISKCODE_VERSION or entry["key"] != digest:
+                raise ValueError("stale or misfiled entry")
+            payload = entry["payload"]
+            if entry["sha256"] != _payload_checksum(digest, payload):
+                raise ValueError("checksum mismatch")
+            source = BlockSource.from_payload(payload)
+        except (KeyError, TypeError, ValueError):
+            self._quarantine(path)
+            return None
+        self._incr("hits")
+        return source
+
+    def _quarantine(self, path: Path) -> None:
+        """Drop a corrupt entry so it is rewritten; count it as a miss."""
+        self._incr("corrupt")
+        self._incr("misses")
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def store(self, digest: str, source: BlockSource) -> bool:
+        """Publish generated source atomically; False if already present.
+
+        The present-check makes the stampede accounting exact: with the
+        claim protocol honoured only one process writes, and even a
+        fallback writer (post-timeout) will not clobber a published entry.
+        """
+        path = self.entry_path(digest)
+        if path.exists():
+            return False
+        payload = source.to_payload()
+        entry = {
+            "format": DISKCODE_VERSION,
+            "key": digest,
+            "sha256": _payload_checksum(digest, payload),
+            "payload": payload,
+        }
+        try:
+            atomic_write_text(path, json.dumps(entry, sort_keys=True))
+        except OSError:
+            return False  # read-only/full cache dir disables persistence only
+        self._incr("writes")
+        return True
+
+    # -- cross-process single-flight -----------------------------------------
+
+    def _try_claim(self, digest: str) -> bool:
+        lock = self.lock_path(digest)
+        try:
+            lock.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(str(lock), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError:
+            # Unwritable cache dir: behave as if we claimed; the caller
+            # generates locally and store() will no-op the same way.
+            return True
+        with os.fdopen(fd, "w") as handle:
+            handle.write(f"{os.getpid()} {time.time():.6f}\n")
+        return True
+
+    def release(self, digest: str) -> None:
+        try:
+            self.lock_path(digest).unlink()
+        except OSError:
+            pass
+
+    def _lock_age(self, digest: str) -> Optional[float]:
+        try:
+            return time.time() - self.lock_path(digest).stat().st_mtime
+        except OSError:
+            return None  # lock released between checks
+
+    def claim_or_wait(
+        self, digest: str
+    ) -> Tuple[str, Optional[BlockSource]]:
+        """Claim the right to generate *digest*, or wait for whoever did.
+
+        Returns one of::
+
+            (CLAIMED, None)     -- caller must generate, store, and release
+            (CACHED, source)    -- another process published; use it
+            (TIMEOUT, None)     -- waited too long; generate locally,
+                                   do NOT release (the lock isn't ours)
+
+        Never raises and never blocks longer than ``wait_timeout``: a
+        claimant that died pre-publish is detected through lock age and
+        its lock broken (``stale_breaks``), and a wait that still
+        exhausts the budget degrades to duplicated local work.
+        """
+        deadline = time.monotonic() + self.wait_timeout
+        while True:
+            if self._try_claim(digest):
+                # Double-check under the lock: the previous holder may have
+                # published between our load-miss and the claim.
+                cached = self.load(digest)
+                if cached is not None:
+                    self.release(digest)
+                    return CACHED, cached
+                self._incr("claims")
+                return CLAIMED, None
+            self._incr("waits")
+            while time.monotonic() < deadline:
+                cached = self.load(digest)
+                if cached is not None:
+                    return CACHED, cached
+                age = self._lock_age(digest)
+                if age is None:
+                    break  # lock released; race for the claim again
+                if age > self.stale_lock_seconds:
+                    # Dead claimant: break the lock and race to re-claim.
+                    self._incr("stale_breaks")
+                    self.release(digest)
+                    break
+                time.sleep(self.poll_interval)
+            else:
+                self._incr("wait_timeouts")
+                return TIMEOUT, None
+
+    # -- maintenance / observability -----------------------------------------
+
+    def entry_count(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "directory": str(self.root),
+                "hits": self.hits,
+                "misses": self.misses,
+                "corrupt": self.corrupt,
+                "writes": self.writes,
+                "generations": self.generations,
+                "claims": self.claims,
+                "waits": self.waits,
+                "wait_timeouts": self.wait_timeouts,
+                "stale_breaks": self.stale_breaks,
+            }

@@ -404,6 +404,103 @@ def run_loadgen(
     return asyncio.run(run_loadgen_async(options, log=log))
 
 
+# ---------------------------------------------------------------------------
+# Saturation sweep: clients vs latency/throughput curve
+
+
+def sweep_point(clients: int, payload: Dict[str, Any]) -> Dict[str, Any]:
+    """One saturation-curve point distilled from a full loadgen report."""
+    latency = payload["latency"]["overall"]
+    requests = payload["requests"]
+    return {
+        "clients": clients,
+        "throughput_rps": payload["throughput_rps"],
+        "p50_ms": latency["p50_ms"],
+        "p95_ms": latency["p95_ms"],
+        "p99_ms": latency["p99_ms"],
+        "ok": requests["ok"],
+        "errors": requests["errors"],
+        "backpressure_retries": requests["backpressure_retries"],
+        "runs_checked": payload["oracle"]["runs_checked"],
+        "divergences": payload["oracle"]["divergences"],
+    }
+
+
+async def run_sweep_async(
+    options: LoadgenOptions,
+    clients: List[int],
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Drive the same server at each client count; return the curve.
+
+    The oracle contract holds at every point — a divergence anywhere on the
+    curve fails the sweep, so throughput numbers are never bought with
+    correctness.
+    """
+    import dataclasses
+
+    points: List[Dict[str, Any]] = []
+    for count in clients:
+        if log is not None:
+            log(f"sweep: {count} clients ...")
+        step = dataclasses.replace(options, concurrency=count)
+        payload = await run_loadgen_async(step, log=None)
+        points.append(sweep_point(count, payload))
+    return {
+        "harness": "repro loadgen --sweep",
+        "options": asdict(options),
+        "clients": list(clients),
+        "saturation": points,
+    }
+
+
+def run_sweep(
+    options: LoadgenOptions,
+    clients: List[int],
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    return asyncio.run(run_sweep_async(options, clients, log=log))
+
+
+def render_sweep_report(payload: Dict[str, Any]) -> str:
+    lines = [
+        "saturation sweep (clients vs latency)",
+        f"  {'clients':>7s} {'req/s':>8s} {'p50_ms':>8s} {'p95_ms':>8s} "
+        f"{'p99_ms':>8s} {'errors':>6s} {'diverg':>6s}",
+    ]
+    for point in payload["saturation"]:
+        lines.append(
+            f"  {point['clients']:>7d} {point['throughput_rps']:>8.1f} "
+            f"{point['p50_ms']:>8.1f} {point['p95_ms']:>8.1f} "
+            f"{point['p99_ms']:>8.1f} {point['errors']:>6d} "
+            f"{point['divergences']:>6d}"
+        )
+    return "\n".join(lines)
+
+
+def check_sweep_report(payload: Dict[str, Any]) -> Tuple[bool, str]:
+    """CI gate for a sweep: every point flowed traffic, zero errors or
+    divergences anywhere on the curve."""
+    points = payload.get("saturation") or []
+    if not points:
+        return False, "sweep produced no points"
+    checked = sum(point["runs_checked"] for point in points)
+    for point in points:
+        if not point["ok"]:
+            return False, f"{point['clients']} clients: no successful requests"
+        if point["errors"]:
+            return False, f"{point['clients']} clients: {point['errors']} errors"
+        if point["divergences"]:
+            return (
+                False,
+                f"{point['clients']} clients: {point['divergences']} divergences",
+            )
+    return True, (
+        f"{len(points)}-point curve clean: {checked} snapshots "
+        "oracle-verified, 0 errors, 0 divergences"
+    )
+
+
 def write_loadgen_report(payload: Dict[str, Any], path: str) -> None:
     from repro.bench import write_json_report
 

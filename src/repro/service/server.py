@@ -41,7 +41,11 @@ from functools import partial
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.cache import BoundedMemo, stats_payload
-from repro.dbt.compiler import compile_block
+from repro.dbt.compiler import (
+    compile_block,
+    compile_block_source,
+    generate_block_source,
+)
 from repro.dbt.engine import CodeCacheEntry, DBTEngine
 from repro.dbt.executor import BlockKernel
 from repro.dbt.translator import BlockTranslator, TranslationConfig
@@ -49,6 +53,7 @@ from repro.errors import ExecutionError, ReproError
 from repro.param.engine import STAGES, SystemSetup
 from repro.service import protocol
 from repro.service.codecache import SingleFlightCodeCache
+from repro.service.diskcode import CLAIMED, DiskCodeCache
 from repro.service.protocol import ProtocolError
 from repro.service.shards import DEFAULT_SHARDS, ShardedRuleIndex
 from repro.service.stats import EndpointStats
@@ -56,7 +61,7 @@ from repro.service.stats import EndpointStats
 
 @dataclass
 class ServiceConfig:
-    """Tunables for one server process."""
+    """Tunables for one server process (one pool worker, or a solo server)."""
 
     host: str = "127.0.0.1"
     port: int = 9477
@@ -69,14 +74,45 @@ class ServiceConfig:
     cache_blocks: int = 4096
     #: queued (admitted, not yet running) requests before backpressure.
     max_queue: int = 64
-    workers: int = 8
+    #: concurrent asyncio request handlers per process (``--handlers``; the
+    #: OS-process fan-out is :class:`repro.service.pool.PoolConfig.workers`).
+    handlers: int = 8
     request_timeout: float = 30.0
     #: per-run guest block execution bound (runaway protection).
     max_blocks: int = 500_000
     chaining: bool = True
+    #: cross-process shared code cache directory; None disables the disk
+    #: layer (generated source stays in-process only).  The pre-fork pool
+    #: always sets this so sibling workers share compiled blocks.
+    disk_code_dir: Optional[str] = None
     #: enable the test-only ``_sleep`` op (deterministic backpressure /
     #: timeout exercises); never enable on a real deployment.
     debug_ops: bool = False
+
+
+@dataclass
+class PoolContext:
+    """A pool worker's identity, injected by :mod:`repro.service.pool`."""
+
+    directory: str
+    worker_index: int
+    workers: int
+
+
+def resolve_setup(config: ServiceConfig) -> SystemSetup:
+    """The frozen SystemSetup for *config*'s training corpus.
+
+    Factored out of :class:`TranslationService` so the pre-fork pool parent
+    can build it once, before forking — workers then share it copy-on-write
+    instead of re-learning rules N times.
+    """
+    if config.training == "full":
+        from repro.experiments.common import full_suite_setup
+
+        return full_suite_setup()
+    from repro.difftest.oracle import training_setup
+
+    return training_setup()
 
 
 class _UnitContext:
@@ -112,17 +148,19 @@ class TranslationService:
             raise ValueError(f"unknown stage {config.stage!r}")
         self.config = config
         if setup is None:
-            if config.training == "full":
-                from repro.experiments.common import full_suite_setup
-
-                setup = full_suite_setup()
-            else:
-                from repro.difftest.oracle import training_setup
-
-                setup = training_setup()
+            setup = resolve_setup(config)
         self._setup = setup
-        self.code_cache = SingleFlightCodeCache(config.cache_blocks)
+        self.disk_code: Optional[DiskCodeCache] = (
+            DiskCodeCache(config.disk_code_dir)
+            if config.disk_code_dir
+            else None
+        )
+        self.code_cache = SingleFlightCodeCache(
+            config.cache_blocks, disk=self.disk_code
+        )
         self.endpoints = EndpointStats()
+        #: set by :mod:`repro.service.pool` on workers; solo servers keep None.
+        self.pool_context: Optional[PoolContext] = None
         self._configs: Dict[str, TranslationConfig] = {}
         self._indices: Dict[str, ShardedRuleIndex] = {}
         self._cfg_lock = threading.Lock()
@@ -232,8 +270,39 @@ class TranslationService:
         translator = ctx.translator_for(stage, config)
         tb = translator.translate(ctx.blockmap.block_at(start))
         kernel = BlockKernel(tb)
-        compiled = compile_block(tb, kernel.defs)
+        if self.disk_code is None:
+            compiled = compile_block(tb, kernel.defs)
+        else:
+            compiled = self._compile_via_disk(ctx, stage, start, tb, kernel)
         return CodeCacheEntry(tb=tb, kernel=kernel, compiled=compiled)
+
+    def _compile_via_disk(self, ctx, stage: str, start: int, tb, kernel):
+        """Compile through the cross-process disk code cache.
+
+        Warm path: hash-verified cached source from any pool worker is
+        re-instantiated with a local ``compile()`` — no codegen, no
+        compile-listener fire.  Cold path: claim-or-wait ensures exactly
+        one worker generates and publishes; a wait timeout degrades to
+        duplicated local codegen (never a stall, never an error).  Runs in
+        an executor thread, so the blocking file IO here is fine.
+        """
+        disk = self.disk_code
+        digest = disk.key(ctx.digest, stage, start, self.config.training)
+        source = disk.load(digest)
+        if source is None:
+            outcome, cached = disk.claim_or_wait(digest)
+            if cached is not None:
+                source = cached
+            else:
+                try:
+                    source = generate_block_source(tb, kernel.defs)
+                    disk._incr("generations")
+                    if outcome == CLAIMED:
+                        disk.store(digest, source)
+                finally:
+                    if outcome == CLAIMED:
+                        disk.release(digest)
+        return compile_block_source(tb, source, kernel.defs)
 
     async def _ensure_blocks(
         self, ctx: _UnitContext, stage: str
@@ -362,6 +431,22 @@ class TranslationService:
         }
         if self.server_stats is not None:
             payload["server"] = self.server_stats()
+        if self.pool_context is not None:
+            from repro.service.pool import aggregate_pool_stats, publish_worker_stats
+
+            loop = asyncio.get_running_loop()
+
+            def pool_section() -> Dict[str, Any]:
+                # Flush our own snapshot first so the aggregate the client
+                # reads always includes the worker answering it.
+                publish_worker_stats(self, self.pool_context)
+                return aggregate_pool_stats(self.pool_context.directory)
+
+            payload["worker"] = {
+                "index": self.pool_context.worker_index,
+                "pid": os.getpid(),
+            }
+            payload["pool"] = await loop.run_in_executor(None, pool_section)
         return payload
 
     async def _op_sleep(self, obj: Dict[str, Any]) -> Dict[str, Any]:
@@ -418,13 +503,13 @@ class TranslationService:
 
 
 class ServiceServer:
-    """TCP transport: bounded queue, worker pool, graceful drain."""
+    """TCP transport: bounded queue, handler tasks, graceful drain."""
 
     def __init__(self, service: TranslationService, config: ServiceConfig) -> None:
         self.service = service
         self.config = config
         self._queue: "asyncio.Queue" = asyncio.Queue(maxsize=config.max_queue)
-        self._workers: list = []
+        self._handlers: list = []
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set = set()
         self._client_tasks: set = set()
@@ -436,26 +521,58 @@ class ServiceServer:
 
     # -- lifecycle ------------------------------------------------------------
 
-    async def start(self) -> None:
-        self._server = await asyncio.start_server(
-            self._on_client,
-            self.config.host,
-            self.config.port,
-            limit=protocol.MAX_LINE_BYTES,
-        )
+    async def start(self, sock=None) -> None:
+        """Start listening — on host:port, or on an inherited *sock*.
+
+        Pool workers pass the listener the parent bound before forking, so
+        every worker ``accept()``s on the same socket and the kernel
+        balances connections across the pool.
+        """
+        if sock is not None:
+            self._server = await asyncio.start_server(
+                self._on_client, sock=sock, limit=protocol.MAX_LINE_BYTES
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._on_client,
+                self.config.host,
+                self.config.port,
+                limit=protocol.MAX_LINE_BYTES,
+            )
         self.port = self._server.sockets[0].getsockname()[1]
-        self._workers = [
-            asyncio.create_task(self._worker()) for _ in range(self.config.workers)
+        self._handlers = [
+            asyncio.create_task(self._handler())
+            for _ in range(self.config.handlers)
         ]
         self.service.server_stats = self.stats
 
     def install_signal_handlers(self) -> None:
+        """Drain on SIGTERM/SIGINT, on every platform.
+
+        ``loop.add_signal_handler`` is the right tool where it exists, but
+        it raises ``NotImplementedError`` on some platforms/loops — and the
+        old code suppressed that and silently installed *nothing*, so
+        SIGTERM hard-killed the process instead of draining (exit 143, no
+        "drained cleanly").  The fallback installs a plain ``signal.signal``
+        handler that trampolines onto the loop thread-safely, so the pool
+        parent's SIGTERM fan-out gets the same graceful drain everywhere.
+        """
         loop = asyncio.get_running_loop()
+
+        def begin_drain() -> None:
+            asyncio.ensure_future(self.drain())
+
         for signum in (signal.SIGTERM, signal.SIGINT):
-            with contextlib.suppress(NotImplementedError, ValueError):
-                loop.add_signal_handler(
-                    signum, lambda: asyncio.ensure_future(self.drain())
-                )
+            try:
+                loop.add_signal_handler(signum, begin_drain)
+            except (NotImplementedError, ValueError):
+                try:
+                    signal.signal(
+                        signum,
+                        lambda *_: loop.call_soon_threadsafe(begin_drain),
+                    )
+                except (ValueError, OSError):
+                    pass  # non-main thread or unsupported signal
 
     async def drain(self) -> None:
         """Stop accepting, answer everything queued, then shut down."""
@@ -466,9 +583,9 @@ class ServiceServer:
             self._server.close()
             await self._server.wait_closed()
         await self._queue.join()
-        for worker in self._workers:
-            worker.cancel()
-        await asyncio.gather(*self._workers, return_exceptions=True)
+        for handler in self._handlers:
+            handler.cancel()
+        await asyncio.gather(*self._handlers, return_exceptions=True)
         for writer in list(self._connections):
             with contextlib.suppress(Exception):
                 writer.close()
@@ -559,7 +676,7 @@ class ServiceServer:
             with contextlib.suppress(Exception):
                 writer.close()
 
-    async def _worker(self) -> None:
+    async def _handler(self) -> None:
         while True:
             obj, writer, write_lock = await self._queue.get()
             self._active += 1
@@ -596,7 +713,7 @@ class ServiceServer:
         return {
             "queue_depth": self._queue.qsize(),
             "queue_max": self.config.max_queue,
-            "workers": self.config.workers,
+            "handlers": self.config.handlers,
             "active": self._active,
             "connections": len(self._connections),
             "backpressure_rejections": self.backpressure_rejections,
@@ -605,12 +722,16 @@ class ServiceServer:
 
 
 async def start_server(
-    config: ServiceConfig, setup: Optional[SystemSetup] = None
+    config: ServiceConfig,
+    setup: Optional[SystemSetup] = None,
+    sock=None,
+    pool_context: Optional[PoolContext] = None,
 ) -> ServiceServer:
     """Build a service + transport and start listening (tests, embedders)."""
     service = TranslationService(config, setup=setup)
+    service.pool_context = pool_context
     server = ServiceServer(service, config)
-    await server.start()
+    await server.start(sock=sock)
     return server
 
 
@@ -620,7 +741,7 @@ async def _amain(config: ServiceConfig) -> int:
     print(
         f"repro serve: listening on {config.host}:{server.port} "
         f"(stage={config.stage}, training={config.training}, "
-        f"workers={config.workers}, pid={os.getpid()})",
+        f"handlers={config.handlers}, pid={os.getpid()})",
         flush=True,
     )
     await server.wait_closed()

@@ -78,6 +78,45 @@ class LatencyHistogram:
             "max_ms": round(1e3 * peak, 3),
         }
 
+    # -- cross-process aggregation ------------------------------------------
+    #
+    # Pool workers publish raw bucket counts; the stats endpoint merges
+    # sibling payloads index-wise into one histogram, so pooled p50/p95/p99
+    # are computed over the union of observations — averaging per-worker
+    # percentiles would be statistically meaningless.
+
+    def raw_payload(self) -> Dict[str, object]:
+        """Mergeable raw state (bucket counts, not percentiles)."""
+        with self._lock:
+            return {
+                "buckets": list(self._counts),
+                "count": self.count,
+                "total": self.total,
+                "max": self.max,
+            }
+
+    @classmethod
+    def merged(cls, payloads: List[Dict[str, object]]) -> "LatencyHistogram":
+        """One histogram holding the union of several raw payloads.
+
+        Payloads whose bucket layout doesn't match this build's (a worker
+        from another version) are skipped rather than misbinned.
+        """
+        hist = cls()
+        for payload in payloads:
+            try:
+                buckets = payload["buckets"]
+                if len(buckets) != len(hist._counts):
+                    continue
+                for i, n in enumerate(buckets):
+                    hist._counts[i] += int(n)
+                hist.count += int(payload["count"])
+                hist.total += float(payload["total"])
+                hist.max = max(hist.max, float(payload["max"]))
+            except (KeyError, TypeError, ValueError):
+                continue
+        return hist
+
 
 class EndpointStats:
     """Per-endpoint latency histograms plus ok/error counts."""
@@ -121,3 +160,37 @@ class EndpointStats:
                 entry["errors"] = self._errors.get(op, 0)
             payload[op] = entry
         return payload
+
+    def raw_payload(self) -> Dict[str, Dict[str, object]]:
+        """Per-op mergeable state (see :meth:`LatencyHistogram.raw_payload`)."""
+        with self._lock:
+            ops = list(self._latency)
+        payload: Dict[str, Dict[str, object]] = {}
+        for op in ops:
+            entry = self._latency[op].raw_payload()
+            with self._lock:
+                entry["ok"] = self._ok.get(op, 0)
+                entry["errors"] = self._errors.get(op, 0)
+            payload[op] = entry
+        return payload
+
+
+def merge_endpoint_payloads(
+    payloads: List[Dict[str, Dict[str, object]]],
+) -> Dict[str, Dict[str, float]]:
+    """Merge per-worker :meth:`EndpointStats.raw_payload` dicts into one
+    per-op summary (the pool-wide view the ``stats`` endpoint serves)."""
+    by_op: Dict[str, List[Dict[str, object]]] = {}
+    for payload in payloads:
+        if not isinstance(payload, dict):
+            continue
+        for op, entry in payload.items():
+            if isinstance(entry, dict):
+                by_op.setdefault(op, []).append(entry)
+    merged: Dict[str, Dict[str, float]] = {}
+    for op, entries in sorted(by_op.items()):
+        summary = LatencyHistogram.merged(entries).summary()
+        summary["ok"] = sum(int(e.get("ok", 0)) for e in entries)
+        summary["errors"] = sum(int(e.get("errors", 0)) for e in entries)
+        merged[op] = summary
+    return merged

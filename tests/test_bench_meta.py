@@ -18,7 +18,7 @@ from repro.service.loadgen import write_loadgen_report
 class TestBenchMetadata:
     def test_metadata_shape(self):
         meta = bench_metadata()
-        assert set(meta) == {"schema_version", "commit", "created_utc"}
+        assert set(meta) == {"schema_version", "commit", "created_utc", "cpu_count"}
         assert meta["schema_version"] == BENCH_SCHEMA_VERSION
         # a 40-hex commit inside a work tree, the literal "unknown" outside
         assert meta["commit"] == "unknown" or len(meta["commit"]) == 40
@@ -50,5 +50,5 @@ class TestBenchMetadata:
             path = tmp_path / f"BENCH_{name}.json"
             writer({"kind": name}, str(path))
             payload = json.loads(path.read_text())
-            assert set(payload["meta"]) == {"schema_version", "commit", "created_utc"}
+            assert set(payload["meta"]) == {"schema_version", "commit", "created_utc", "cpu_count"}
             assert payload["kind"] == name

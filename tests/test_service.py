@@ -204,7 +204,7 @@ class TestServiceServer:
     def test_ping_translate_and_stats(self, service_setup):
         async def body():
             server = await start_server(
-                ServiceConfig(port=0, workers=4), setup=service_setup
+                ServiceConfig(port=0, handlers=4), setup=service_setup
             )
             try:
                 reader, writer = await _connect(server.port)
@@ -241,7 +241,7 @@ class TestServiceServer:
 
         async def body():
             server = await start_server(
-                ServiceConfig(port=0, workers=2), setup=service_setup
+                ServiceConfig(port=0, handlers=2), setup=service_setup
             )
             try:
                 reader, writer = await _connect(server.port)
@@ -275,7 +275,7 @@ class TestServiceServer:
 
         async def body():
             server = await start_server(
-                ServiceConfig(port=0, workers=4), setup=service_setup
+                ServiceConfig(port=0, handlers=4), setup=service_setup
             )
             try:
                 request = {"id": "same", "op": "translate", "benchmark": "libquantum"}
@@ -310,7 +310,7 @@ class TestServiceServer:
     def test_malformed_request_isolation(self, service_setup):
         async def body():
             server = await start_server(
-                ServiceConfig(port=0, workers=2), setup=service_setup
+                ServiceConfig(port=0, handlers=2), setup=service_setup
             )
             try:
                 reader, writer = await _connect(server.port)
@@ -349,7 +349,7 @@ class TestServiceServer:
     def test_debug_sleep_hidden_without_flag(self, service_setup):
         async def body():
             server = await start_server(
-                ServiceConfig(port=0, workers=1), setup=service_setup
+                ServiceConfig(port=0, handlers=1), setup=service_setup
             )
             try:
                 reader, writer = await _connect(server.port)
@@ -366,7 +366,7 @@ class TestServiceServer:
     def test_backpressure_when_queue_full(self, service_setup):
         async def body():
             server = await start_server(
-                ServiceConfig(port=0, workers=1, max_queue=1, debug_ops=True),
+                ServiceConfig(port=0, handlers=1, max_queue=1, debug_ops=True),
                 setup=service_setup,
             )
             try:
@@ -396,7 +396,7 @@ class TestServiceServer:
         async def body():
             server = await start_server(
                 ServiceConfig(
-                    port=0, workers=1, request_timeout=0.2, debug_ops=True
+                    port=0, handlers=1, request_timeout=0.2, debug_ops=True
                 ),
                 setup=service_setup,
             )
@@ -419,7 +419,7 @@ class TestServiceServer:
     def test_graceful_drain_answers_queued_requests(self, service_setup):
         async def body():
             server = await start_server(
-                ServiceConfig(port=0, workers=1, debug_ops=True),
+                ServiceConfig(port=0, handlers=1, debug_ops=True),
                 setup=service_setup,
             )
             reader, writer = await _connect(server.port)
@@ -443,7 +443,7 @@ class TestServiceServer:
 
         async def body():
             server = await start_server(
-                ServiceConfig(port=0, workers=2), setup=service_setup
+                ServiceConfig(port=0, handlers=2), setup=service_setup
             )
             try:
                 reader, writer = await _connect(server.port)
@@ -477,7 +477,7 @@ class TestLoadgen:
 
         async def body():
             server = await start_server(
-                ServiceConfig(port=0, workers=4), setup=service_setup
+                ServiceConfig(port=0, handlers=4), setup=service_setup
             )
             try:
                 options = LoadgenOptions(
@@ -508,7 +508,7 @@ class TestLoadgen:
         with open(options.out) as handle:
             on_disk = json.load(handle)
         assert on_disk["meta"]["schema_version"] == 1
-        assert set(on_disk["meta"]) == {"schema_version", "commit", "created_utc"}
+        assert set(on_disk["meta"]) == {"schema_version", "commit", "created_utc", "cpu_count"}
 
     def test_check_fails_on_errors_or_divergences(self):
         from repro.service.loadgen import check_loadgen_report
