@@ -91,9 +91,29 @@ CONFIGS: Tuple[Tuple[str, str, bool], ...] = (
     ("interp+chain", "interp", True),
     ("jit", "jit", False),
     ("jit+chain", "jit", True),
+    ("jit+trace", "trace", True),
 )
 
+#: configuration keys accepted by ``--configs``.
+CONFIG_KEYS: Tuple[str, ...] = tuple(key for key, _, _ in CONFIGS)
+
 STAGE = "condition"
+
+
+def _select_configs(
+    configs: Optional[Sequence[str]],
+) -> Tuple[Tuple[str, str, bool], ...]:
+    """Resolve a ``--configs`` filter against :data:`CONFIGS` (order kept)."""
+    if configs is None:
+        return CONFIGS
+    unknown = sorted(set(configs) - set(CONFIG_KEYS))
+    if unknown:
+        raise ValueError(
+            f"unknown bench configs {unknown}; expected a subset of "
+            f"{list(CONFIG_KEYS)}"
+        )
+    wanted = set(configs)
+    return tuple(row for row in CONFIGS if row[0] in wanted)
 
 
 def _bench_config(name: str, quick: bool):
@@ -107,19 +127,26 @@ def _bench_config(name: str, quick: bool):
 
 
 def _bench_one(
-    name: str, config, repeats: int
+    name: str,
+    config,
+    repeats: int,
+    configs: Tuple[Tuple[str, str, bool], ...] = CONFIGS,
 ) -> Dict[str, Dict[str, float]]:
-    """Time one benchmark under all four configurations."""
+    """Time one benchmark under the selected configurations."""
     from repro.workloads import compiled_benchmark
 
     unit = compiled_benchmark(name).guest
     rows: Dict[str, Dict[str, float]] = {}
     baseline_snapshot = None
-    for key, backend, chaining in CONFIGS:
+    for key, backend, chaining in configs:
         engine = DBTEngine(unit, config, chaining=chaining, backend=backend)
         started = time.perf_counter()
         result = engine.run()
         cold = time.perf_counter() - started
+        # Translation happens once, on the cold run; warm-run metrics report
+        # blocks_translated == 0 by design, so the translation count must be
+        # captured here.
+        cold_metrics = result.metrics
         warm = cold
         for _ in range(repeats):
             started = time.perf_counter()
@@ -143,37 +170,52 @@ def _bench_one(
             "chain_rate": round(metrics.chain_rate, 4),
             "guest_dynamic": metrics.guest_dynamic,
             "block_executions": metrics.block_executions,
-            "blocks_translated": metrics.blocks_translated,
+            "blocks_translated": cold_metrics.blocks_translated,
         }
+        if backend == "trace":
+            # Tier diagnostics: formation happens while the engine settles
+            # (cold + early warm runs), steady-state entries come from the
+            # reported warm run.
+            rows[key]["traces_live"] = len(engine._traces)
+            rows[key]["traces_blacklisted"] = len(engine._trace_blacklist)
+            rows[key]["trace_entries"] = metrics.trace_entries
+            rows[key]["trace_guard_exits"] = metrics.trace_guard_exits
     return rows
 
 
 def _summary(benchmarks: Dict[str, Dict]) -> Dict[str, object]:
-    per_config: Dict[str, List[float]] = {key: [] for key, _, _ in CONFIGS}
+    """Geomean rates plus derived ratios for whichever configs were run.
+
+    Tolerates ``--configs`` subsets: a ratio is only emitted when both of
+    its operand configs are present in the report.
+    """
+    per_config: Dict[str, List[float]] = {}
     for rows in benchmarks.values():
         for key, values in rows["configs"].items():
-            per_config[key].append(values["guest_insns_per_sec"])
+            per_config.setdefault(key, []).append(values["guest_insns_per_sec"])
     rates = {key: round(geomean(vals), 1) for key, vals in per_config.items()}
-    jit_speedup = rates["jit"] / rates["interp"] if rates["interp"] else 0.0
-    chain_gain_jit = (
-        rates["jit+chain"] / rates["jit"] if rates["jit"] else 0.0
-    )
-    chain_gain_interp = (
-        rates["interp+chain"] / rates["interp"] if rates["interp"] else 0.0
-    )
+    summary: Dict[str, object] = {"geomean_guest_insns_per_sec": rates}
+
+    def ratio(label: str, num: str, den: str, digits: int) -> None:
+        if num in rates and den in rates:
+            summary[label] = round(
+                rates[num] / rates[den] if rates[den] else 0.0, digits
+            )
+
+    ratio("jit_speedup_over_interp", "jit", "interp", 2)
+    ratio("chain_gain_jit", "jit+chain", "jit", 3)
+    ratio("chain_gain_interp", "interp+chain", "interp", 3)
+    ratio("trace_gain_jit", "jit+trace", "jit+chain", 3)
     chain_rates = [
         rows["configs"]["jit+chain"]["chain_rate"]
         for rows in benchmarks.values()
+        if "jit+chain" in rows["configs"]
     ]
-    return {
-        "geomean_guest_insns_per_sec": rates,
-        "jit_speedup_over_interp": round(jit_speedup, 2),
-        "chain_gain_jit": round(chain_gain_jit, 3),
-        "chain_gain_interp": round(chain_gain_interp, 3),
-        "mean_chain_rate_jit": round(
+    if chain_rates:
+        summary["mean_chain_rate_jit"] = round(
             sum(chain_rates) / len(chain_rates), 4
-        ) if chain_rates else 0.0,
-    }
+        )
+    return summary
 
 
 def run_bench(
@@ -181,8 +223,13 @@ def run_bench(
     repeats: int = 3,
     quick: bool = False,
     log: Optional[Callable[[str], None]] = None,
+    configs: Optional[Sequence[str]] = None,
 ) -> Dict[str, object]:
-    """Benchmark the execution backends; return the report payload."""
+    """Benchmark the execution backends; return the report payload.
+
+    ``configs`` filters the configuration grid by report key (CI bench-smoke
+    runs only the cheap ones); ``None`` runs the full grid.
+    """
     if names is None:
         if quick:
             names = QUICK_NAMES
@@ -190,20 +237,23 @@ def run_bench(
             from repro.workloads import BENCHMARK_NAMES
 
             names = BENCHMARK_NAMES
+    selected = _select_configs(configs)
     benchmarks: Dict[str, Dict] = {}
     for name in names:
         if log is not None:
             log(f"benchmarking {name} ...")
         config = _bench_config(name, quick)
-        rows = _bench_one(name, config, repeats)
+        rows = _bench_one(name, config, repeats, selected)
+        first_key = selected[0][0]
         benchmarks[name] = {
-            "guest_dynamic": rows["interp"]["guest_dynamic"],
+            "guest_dynamic": rows[first_key]["guest_dynamic"],
             "configs": rows,
         }
     return {
         "harness": "repro bench",
         "mode": "quick" if quick else "full",
         "stage": STAGE,
+        "configs": [key for key, _, _ in selected],
         "repeats": repeats,
         "benchmarks": benchmarks,
         "summary": _summary(benchmarks),
@@ -223,7 +273,7 @@ def render_report(payload: Dict[str, object]) -> str:
         f"{'blocks/s':>10s} {'warm s':>8s} {'chain':>6s}",
     ]
     for name, rows in payload["benchmarks"].items():
-        for key, _, _ in CONFIGS:
+        for key in rows["configs"]:
             values = rows["configs"][key]
             lines.append(
                 f"{name:12s} {key:13s} {values['guest_insns_per_sec']:>14,.0f} "
@@ -235,29 +285,42 @@ def render_report(payload: Dict[str, object]) -> str:
     rates = summary["geomean_guest_insns_per_sec"]
     lines.append("")
     lines.append("geomean guest insns/sec:")
-    for key, _, _ in CONFIGS:
-        lines.append(f"  {key:13s} {rates[key]:>14,.0f}")
-    lines.append(
-        f"jit speedup over interp : {summary['jit_speedup_over_interp']:.2f}x"
+    for key, rate in rates.items():
+        lines.append(f"  {key:13s} {rate:>14,.0f}")
+    labels = (
+        ("jit_speedup_over_interp", "jit speedup over interp ", "{:.2f}x"),
+        ("chain_gain_jit", "chaining gain (jit)     ", "{:.3f}x"),
+        ("chain_gain_interp", "chaining gain (interp)  ", "{:.3f}x"),
+        ("trace_gain_jit", "trace gain over jit+chain", "{:.3f}x"),
+        ("mean_chain_rate_jit", "mean jit chain rate     ", "{:.2f}"),
     )
-    lines.append(
-        f"chaining gain (jit)     : {summary['chain_gain_jit']:.3f}x"
-    )
-    lines.append(
-        f"chaining gain (interp)  : {summary['chain_gain_interp']:.3f}x"
-    )
-    lines.append(
-        f"mean jit chain rate     : {summary['mean_chain_rate_jit']:.2f}"
-    )
+    for key, label, fmt in labels:
+        if key in summary:
+            lines.append(f"{label}: {fmt.format(summary[key])}")
     return "\n".join(lines)
 
 
 def check_report(payload: Dict[str, object]) -> Tuple[bool, str]:
-    """CI gate: the jit backend must beat the interpreter."""
-    speedup = payload["summary"]["jit_speedup_over_interp"]
-    if speedup <= 1.0:
-        return False, f"jit is not faster than interp ({speedup:.2f}x)"
-    return True, f"jit is {speedup:.2f}x interp"
+    """CI gate: jit must beat interp, and the trace tier must not lose to
+    the block tier — whenever the report contains the configs to judge it.
+    """
+    summary = payload["summary"]
+    notes = []
+    speedup = summary.get("jit_speedup_over_interp")
+    if speedup is not None:
+        if speedup <= 1.0:
+            return False, f"jit is not faster than interp ({speedup:.2f}x)"
+        notes.append(f"jit is {speedup:.2f}x interp")
+    trace_gain = summary.get("trace_gain_jit")
+    if trace_gain is not None:
+        if trace_gain <= 1.0:
+            return False, (
+                f"trace tier is not faster than jit+chain ({trace_gain:.3f}x)"
+            )
+        notes.append(f"trace is {trace_gain:.3f}x jit+chain")
+    if not notes:
+        return True, "no gated ratios in report (config subset)"
+    return True, "; ".join(notes)
 
 
 # ---------------------------------------------------------------------------

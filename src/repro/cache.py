@@ -392,6 +392,7 @@ def stats_payload(include_disk: bool = True) -> Dict[str, Any]:
     skipped — the serving hot path asks for stats far more often than the
     CLI does.
     """
+    from repro.dbt.trace import TRACE_STATS
     from repro.symir.expr import intern_table_size
 
     cache = disk_cache()
@@ -401,6 +402,7 @@ def stats_payload(include_disk: bool = True) -> Dict[str, Any]:
         "process": STATS.as_dict(),
         "interned_exprs": intern_table_size(),
         "memos": [memo.stats() for memo in memo_registry()],
+        "trace_tier": TRACE_STATS.snapshot(),
     }
     if include_disk:
         payload["disk_entries"] = cache.entry_count()

@@ -111,6 +111,16 @@ def _cmd_cache(args) -> int:
             f"{stats['misses']:6d} misses  "
             f"size {stats['size']}/{stats['maxsize']}"
         )
+    from repro.dbt.trace import TRACE_STATS
+
+    trace = TRACE_STATS.snapshot()
+    print("trace tier (this process):")
+    print(f"  formed {trace['formed']}  failed {trace['form_failed']}  "
+          f"retired {trace['retired']}")
+    print(f"  entries {trace['entries']}  iterations {trace['iterations']}  "
+          f"guard exits {trace['guard_exits']}")
+    print(f"  source cache: {trace['source_cache_hits']} hits, "
+          f"{trace['source_cache_stores']} stores")
     return 0
 
 
@@ -237,8 +247,17 @@ def _cmd_bench(args) -> int:
         return _cmd_bench_service(args)
     from repro.bench import check_report, render_report, run_bench, write_report
 
+    configs = None
+    if args.configs:
+        configs = [part.strip() for part in args.configs.split(",") if part.strip()]
     log = None if args.quiet else (lambda message: print(f"# {message}"))
-    payload = run_bench(repeats=args.repeats, quick=args.quick, log=log)
+    try:
+        payload = run_bench(
+            repeats=args.repeats, quick=args.quick, log=log, configs=configs
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(render_report(payload))
     write_report(payload, args.out)
     print(f"report: {args.out}")
@@ -308,6 +327,7 @@ def _cmd_difftest(args) -> int:
         programs=args.programs,
         stage=args.stage,
         fault=args.fault,
+        backend=args.backend,
         corpus_dir=args.corpus_dir,
         max_shrinks=args.max_shrinks,
         time_budget=args.time_budget,
@@ -344,6 +364,7 @@ def _cmd_serve(args) -> int:
         request_timeout=args.timeout,
         disk_code_dir=args.code_cache_dir,
         chaining=not args.no_chaining,
+        backend=args.backend,
     )
     if args.workers > 1 or args.pool_dir:
         from repro.service import PoolConfig, serve_pool
@@ -485,6 +506,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "instead (writes BENCH_offline.json)")
     bench.add_argument("--repeats", type=int, default=3,
                        help="warm repetitions per configuration (min is kept)")
+    bench.add_argument("--configs", default=None, metavar="KEY,KEY,...",
+                       help="run only these configurations (subset of "
+                            "interp,interp+chain,jit,jit+chain,jit+trace; "
+                            "default: the full grid)")
     bench.add_argument("--out", default="BENCH_dbt.json",
                        help="report path (default BENCH_dbt.json, or "
                             "BENCH_offline.json with --offline)")
@@ -502,6 +527,9 @@ def build_parser() -> argparse.ArgumentParser:
     difftest.add_argument("--programs", type=int, default=200,
                           help="number of generated guest programs")
     difftest.add_argument("--stage", default="condition", choices=STAGES)
+    difftest.add_argument("--backend", default="interp", choices=BACKENDS,
+                          help="DBT execution backend under test (the "
+                               "reference interpreter is always the oracle)")
     from repro.difftest.oracle import FAULTS
 
     difftest.add_argument("--fault", choices=FAULTS,
@@ -559,6 +587,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "single-process server (pools set their own)")
     serve.add_argument("--timeout", type=float, default=30.0,
                        help="per-request timeout in seconds")
+    serve.add_argument("--backend", default="jit", choices=("jit", "trace"),
+                       help="execution backend for run/coverage requests "
+                            "(trace adds hot-cycle superblocks; their "
+                            "generated source shares the disk code cache)")
     serve.add_argument("--no-chaining", action="store_true",
                        help="disable block chaining (chain links warm up "
                             "across requests, so run metrics become "

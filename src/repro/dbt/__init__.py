@@ -11,6 +11,7 @@ from repro.dbt.engine import (
 from repro.dbt.guest_interp import GuestInterpreter, RunResult
 from repro.dbt.loader import unit_from_assembly
 from repro.dbt.metrics import DISPATCH_COST, RunMetrics, speedup
+from repro.dbt.trace import TRACE_STATS, CompiledTrace, TraceConfig
 from repro.dbt.translator import (
     BlockTranslator,
     TranslatedBlock,
@@ -31,6 +32,9 @@ __all__ = [
     "RunMetrics",
     "DISPATCH_COST",
     "speedup",
+    "TRACE_STATS",
+    "CompiledTrace",
+    "TraceConfig",
     "unit_from_assembly",
     "BlockTranslator",
     "TranslatedBlock",

@@ -40,6 +40,15 @@ class RunMetrics:
     chained_executions: int = 0
     #: rule -> dynamically translated guest instructions through that rule.
     rule_hits: Dict = field(default_factory=dict)
+    #: trace-tier diagnostics (``backend="trace"`` only).  Deliberately
+    #: excluded from backend-parity comparisons: they describe *how* the
+    #: tiered engine ran, not the architectural work it performed — the
+    #: fields above stay byte-identical to the interp oracle regardless.
+    traces_formed: int = 0
+    traces_retired: int = 0
+    trace_entries: int = 0
+    trace_iterations: int = 0
+    trace_guard_exits: int = 0
 
     def account_block(self, guest_count: int, covered_count: int, rule_agg) -> None:
         """Batched per-execution accounting for one translated block.

@@ -65,6 +65,9 @@ class DifftestOptions:
     #: reproducibility of the *program count* for a bounded runtime — meant
     #: for CI smoke jobs, not for determinism-sensitive runs.
     time_budget: Optional[float] = None
+    #: DBT execution backend under test ("interp", "jit", or "trace"; the
+    #: reference interpreter is always the other side of the diff).
+    backend: str = "interp"
 
 
 @dataclass
@@ -95,6 +98,7 @@ class CampaignReport:
     stage: str
     requested: int
     fault: Optional[str] = None
+    backend: str = "interp"
     executed: int = 0
     invalid: int = 0
     coverage_hit: int = 0
@@ -131,6 +135,7 @@ class CampaignReport:
     def render(self) -> str:
         lines = [
             f"difftest: seed={self.seed} stage={self.stage}"
+            + f" backend={self.backend}"
             + (f" fault={self.fault}" if self.fault else "")
             + f" programs={self.requested}",
             f"executed: {self.executed} (invalid: {self.invalid})",
@@ -165,6 +170,7 @@ class CampaignReport:
         return {
             "seed": self.seed,
             "stage": self.stage,
+            "backend": self.backend,
             "fault": self.fault,
             "requested": self.requested,
             "executed": self.executed,
@@ -214,10 +220,10 @@ def _campaign_config(stage: str, fault: Optional[str]):
 
 def _oracle_worker(item: Tuple) -> Dict:
     """Run the oracle on one generated program (parallel_map entry point)."""
-    lines, stage, fault = item
+    lines, stage, fault, backend = item
     config = _campaign_config(stage, fault)
     try:
-        outcome = run_oracle(list(lines), config)
+        outcome = run_oracle(list(lines), config, backend=backend)
     except InvalidProgram as exc:
         return {"invalid": str(exc)}
     result: Dict = {"divergence": None, "ref_steps": outcome.ref_steps}
@@ -256,6 +262,7 @@ def run_difftest(options: DifftestOptions, log=None) -> CampaignReport:
         seed=options.seed,
         stage=options.stage,
         fault=options.fault,
+        backend=options.backend,
         requested=options.programs,
         coverage_total=coverage.total,
     )
@@ -286,7 +293,10 @@ def run_difftest(options: DifftestOptions, log=None) -> CampaignReport:
             index += 1
         outcomes = parallel_map(
             _oracle_worker,
-            [(program.lines, options.stage, options.fault) for program in programs],
+            [
+                (program.lines, options.stage, options.fault, options.backend)
+                for program in programs
+            ],
         )
         for program, outcome in zip(programs, outcomes):
             if "invalid" in outcome:
@@ -334,7 +344,13 @@ def _shrink_failures(report, config, options: DifftestOptions, emit) -> None:
 
         def interesting(lines: List[str]) -> bool:
             try:
-                outcome = run_oracle(lines, config, max_steps=limit, max_blocks=limit)
+                outcome = run_oracle(
+                    lines,
+                    config,
+                    max_steps=limit,
+                    max_blocks=limit,
+                    backend=options.backend,
+                )
             except InvalidProgram:
                 return False
             divergence = outcome.divergence

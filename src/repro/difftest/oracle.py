@@ -142,6 +142,7 @@ def run_oracle(
     config: TranslationConfig,
     max_steps: int = MAX_REF_STEPS,
     max_blocks: int = MAX_DBT_BLOCKS,
+    backend: str = "interp",
 ) -> OracleOutcome:
     """Differentially execute one guest program under *config*.
 
@@ -150,6 +151,11 @@ def run_oracle(
     a :class:`Divergence`.  Tighter ``max_steps``/``max_blocks`` make
     shrinking cheap: splices that turn a bounded loop into a runaway are
     rejected quickly instead of burning the full default budget.
+
+    ``backend`` selects the DBT execution engine under test.  The trace
+    backend gets :meth:`TraceConfig.aggressive` settings — fuzzed programs
+    are tiny, so production thresholds would never form a trace and the
+    campaign would silently test the block tier twice.
     """
     unit = program if isinstance(program, CompiledUnit) else assemble_program(program)
     try:
@@ -157,8 +163,15 @@ def run_oracle(
     except Exception as exc:  # runaway splice, wild branch, bad label, ...
         raise InvalidProgram(f"reference: {type(exc).__name__}: {exc}") from exc
 
+    engine_kwargs = {}
+    if backend == "trace":
+        from repro.dbt.trace import TraceConfig
+
+        engine_kwargs["trace_config"] = TraceConfig.aggressive()
     try:
-        result = DBTEngine(unit, config).run(max_blocks=max_blocks)
+        result = DBTEngine(unit, config, backend=backend, **engine_kwargs).run(
+            max_blocks=max_blocks
+        )
     except ExecutionError as exc:
         return OracleOutcome(
             Divergence("dbt-error", str(exc)), None, ref_steps=reference.steps

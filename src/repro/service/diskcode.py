@@ -45,6 +45,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.cache import PIPELINE_VERSION, atomic_write_text
 from repro.dbt.compiler import BlockSource
+from repro.dbt.trace import TRACE_CODEGEN_VERSION, TraceSource
 
 #: Bump when the generated-code shape changes incompatibly (new run
 #: calling convention, different namespace contract): stale entries from
@@ -118,6 +119,35 @@ class DiskCodeCache:
         )
         return hashlib.sha256(canon.encode("utf-8")).hexdigest()
 
+    def trace_key(
+        self,
+        unit_digest: str,
+        stage: str,
+        block_starts: Tuple[int, ...],
+        training: str,
+    ) -> str:
+        """Content digest for one superblock's generated trace source.
+
+        Traces are content-addressed exactly like blocks, with the
+        constituent block-start tuple standing in for the single start and
+        the trace codegen version mixed in so a trace-calling-convention
+        change can never resurrect stale entries.
+        """
+        canon = json.dumps(
+            [
+                DISKCODE_VERSION,
+                PIPELINE_VERSION,
+                TRACE_CODEGEN_VERSION,
+                unit_digest,
+                stage,
+                list(block_starts),
+                training,
+            ],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
     def entry_path(self, digest: str) -> Path:
         return self.root / digest[:2] / f"{digest}.json"
 
@@ -127,12 +157,19 @@ class DiskCodeCache:
     # -- entry load/store ----------------------------------------------------
 
     def load(self, digest: str) -> Optional[BlockSource]:
-        """The cached source for *digest*, or None.
+        """The cached block source for *digest*, or None.
 
         A malformed, truncated, checksum-mismatched, or version-stale
         entry is deleted (so the next writer rewrites it) and reported as
         a miss — corrupted source text must never reach ``compile()``.
         """
+        return self._load_entry(digest, BlockSource.from_payload)
+
+    def load_trace(self, digest: str) -> Optional[TraceSource]:
+        """The cached trace source for *digest*, or None (same discipline)."""
+        return self._load_entry(digest, TraceSource.from_payload)
+
+    def _load_entry(self, digest: str, from_payload):
         path = self.entry_path(digest)
         try:
             with open(path) as handle:
@@ -149,7 +186,7 @@ class DiskCodeCache:
             payload = entry["payload"]
             if entry["sha256"] != _payload_checksum(digest, payload):
                 raise ValueError("checksum mismatch")
-            source = BlockSource.from_payload(payload)
+            source = from_payload(payload)
         except (KeyError, TypeError, ValueError):
             self._quarantine(path)
             return None
@@ -165,9 +202,11 @@ class DiskCodeCache:
         except OSError:
             pass
 
-    def store(self, digest: str, source: BlockSource) -> bool:
+    def store(self, digest: str, source) -> bool:
         """Publish generated source atomically; False if already present.
 
+        ``source`` is any payload-bearing codegen product (``BlockSource``
+        or ``TraceSource`` — both round-trip through ``to_payload()``).
         The present-check makes the stampede accounting exact: with the
         claim protocol honoured only one process writes, and even a
         fallback writer (post-timeout) will not clobber a published entry.
@@ -285,3 +324,35 @@ class DiskCodeCache:
                 "wait_timeouts": self.wait_timeouts,
                 "stale_breaks": self.stale_breaks,
             }
+
+
+class TraceSourceDiskAdapter:
+    """Binds a :class:`DiskCodeCache` to one (unit, stage, training) so the
+    engine's ``trace_source_cache`` protocol — ``get(block_starts)`` /
+    ``put(block_starts, source)`` — resolves to content-addressed disk
+    entries.  Trace formation is rare (a few per hot program) and already
+    off the hot path, so plain load/store without the claim protocol is
+    enough: a cross-process race costs one duplicated codegen, and
+    ``store``'s present-check keeps the published entry stable.
+    """
+
+    __slots__ = ("disk", "unit_digest", "stage", "training")
+
+    def __init__(
+        self, disk: DiskCodeCache, unit_digest: str, stage: str, training: str
+    ) -> None:
+        self.disk = disk
+        self.unit_digest = unit_digest
+        self.stage = stage
+        self.training = training
+
+    def _key(self, block_starts: Tuple[int, ...]) -> str:
+        return self.disk.trace_key(
+            self.unit_digest, self.stage, tuple(block_starts), self.training
+        )
+
+    def get(self, block_starts: Tuple[int, ...]) -> Optional[TraceSource]:
+        return self.disk.load_trace(self._key(block_starts))
+
+    def put(self, block_starts: Tuple[int, ...], source: TraceSource) -> None:
+        self.disk.store(self._key(block_starts), source)

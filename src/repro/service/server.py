@@ -81,6 +81,11 @@ class ServiceConfig:
     #: per-run guest block execution bound (runaway protection).
     max_blocks: int = 500_000
     chaining: bool = True
+    #: execution backend for ``run``/``coverage`` requests ("jit" or
+    #: "trace").  The trace tier forms superblocks within one request's
+    #: run; with a disk code cache their generated source is shared
+    #: cross-process, content-addressed like blocks.
+    backend: str = "jit"
     #: cross-process shared code cache directory; None disables the disk
     #: layer (generated source stays in-process only).  The pre-fork pool
     #: always sets this so sibling workers share compiled blocks.
@@ -146,6 +151,11 @@ class TranslationService:
     ) -> None:
         if config.stage not in STAGES:
             raise ValueError(f"unknown stage {config.stage!r}")
+        if config.backend not in ("jit", "trace"):
+            raise ValueError(
+                f"unknown service backend {config.backend!r}; "
+                "expected 'jit' or 'trace'"
+            )
         self.config = config
         if setup is None:
             setup = resolve_setup(config)
@@ -320,12 +330,21 @@ class TranslationService:
         self, ctx: _UnitContext, stage: str, entries: Dict[int, CodeCacheEntry]
     ):
         """Executor-side guest run over pre-seeded shared code-cache entries."""
+        backend = self.config.backend
+        engine_kwargs = {}
+        if backend == "trace" and self.disk_code is not None:
+            from repro.service.diskcode import TraceSourceDiskAdapter
+
+            engine_kwargs["trace_source_cache"] = TraceSourceDiskAdapter(
+                self.disk_code, ctx.digest, stage, self.config.training
+            )
         engine = DBTEngine(
             ctx.unit,
             self.config_for(stage),
             chaining=self.config.chaining,
-            backend="jit",
+            backend=backend,
             code_cache=dict(entries),
+            **engine_kwargs,
         )
         try:
             return engine.run(max_blocks=self.config.max_blocks)
@@ -420,6 +439,7 @@ class TranslationService:
             "uptime_seconds": round(self.uptime(), 3),
             "stage_default": self.config.stage,
             "training": self.config.training,
+            "backend": self.config.backend,
             "requests": {"total": total, "errors_by_code": errors},
             "endpoints": self.endpoints.summary(),
             "code_cache": self.code_cache.stats(),

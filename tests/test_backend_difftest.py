@@ -1,4 +1,4 @@
-"""Backend differential test: the jit backend against the interp oracle.
+"""Backend differential test: jit and trace backends against the interp oracle.
 
 The closure-compiled backend (:mod:`repro.dbt.compiler`) re-implements the
 host instruction semantics as generated Python code, so its correctness
@@ -6,7 +6,12 @@ contract is *bit-exact equivalence with the interpreter backend*: for any
 guest program, both backends must produce byte-identical architectural
 snapshots (registers, flags, memory) and identical ``RunMetrics`` counts —
 including the weighted per-category host instruction counts and the
-chained-execution accounting.
+chained-execution accounting.  The trace backend stacks superblock
+formation, guard side-exits, and retirement on top of the jit tier and is
+held to the same contract; fuzzed programs run it with
+``TraceConfig.aggressive()`` so tiny programs actually reach trace
+formation, guard exits, and retirement instead of staying below the
+production thresholds.
 
 Coverage comes from two sources: every shrunk reproducer in
 ``tests/corpus/`` (each one is a regression distilled from a past fuzzing
@@ -22,6 +27,7 @@ import os
 import pytest
 
 from repro.dbt.engine import DBTEngine
+from repro.dbt.trace import TraceConfig
 from repro.difftest.gen import ProgramGenerator
 from repro.difftest.oracle import (
     MAX_DBT_BLOCKS,
@@ -53,7 +59,10 @@ def config():
 
 def _outcome(unit, config, backend, chaining):
     """(snapshot, metrics dict) on success, ("error", type, message) on not."""
-    engine = DBTEngine(unit, config, chaining=chaining, backend=backend)
+    kwargs = {}
+    if backend == "trace":
+        kwargs["trace_config"] = TraceConfig.aggressive()
+    engine = DBTEngine(unit, config, chaining=chaining, backend=backend, **kwargs)
     try:
         result = engine.run(max_blocks=MAX_DBT_BLOCKS)
     except Exception as exc:
@@ -68,11 +77,12 @@ def _assert_backends_agree(lines, config, context, chaining=True):
     except InvalidProgram:
         return False
     interp = _outcome(unit, config, "interp", chaining)
-    jit = _outcome(unit, config, "jit", chaining)
-    assert interp == jit, (
-        f"{context}: backend divergence (chaining={chaining})\n"
-        f"interp: {interp}\njit   : {jit}"
-    )
+    for backend in ("jit", "trace"):
+        other = _outcome(unit, config, backend, chaining)
+        assert interp == other, (
+            f"{context}: backend divergence (chaining={chaining})\n"
+            f"interp: {interp}\n{backend:6s}: {other}"
+        )
     return True
 
 
@@ -85,7 +95,7 @@ def _corpus_entries():
 
 
 class TestCorpusReplay:
-    def test_corpus_byte_identical_under_both_backends(self, config):
+    def test_corpus_byte_identical_under_all_backends(self, config):
         replayed = 0
         for name, entry in _corpus_entries():
             for chaining in (False, True):
@@ -96,7 +106,7 @@ class TestCorpusReplay:
 
 
 class TestFuzzSweep:
-    def test_fuzzed_programs_byte_identical_under_both_backends(self, config):
+    def test_fuzzed_programs_byte_identical_under_all_backends(self, config):
         generator = ProgramGenerator(seed=FUZZ_SEED)
         executed = 0
         for index in range(FUZZ_PROGRAMS):
