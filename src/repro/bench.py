@@ -164,6 +164,9 @@ def _bench_one(
         rows[key] = {
             "cold_seconds": round(cold, 6),
             "warm_seconds": round(warm, 6),
+            # Explicit cold-run split: the cold run pays translation once
+            # on top of an execution; the warm minimum is pure execution.
+            "execute_seconds": round(warm, 6),
             "translate_seconds": round(max(0.0, cold - warm), 6),
             "guest_insns_per_sec": round(metrics.guest_dynamic / warm, 1),
             "blocks_per_sec": round(metrics.block_executions / warm, 1),
@@ -190,11 +193,22 @@ def _summary(benchmarks: Dict[str, Dict]) -> Dict[str, object]:
     its operand configs are present in the report.
     """
     per_config: Dict[str, List[float]] = {}
+    translate: Dict[str, List[float]] = {}
     for rows in benchmarks.values():
         for key, values in rows["configs"].items():
             per_config.setdefault(key, []).append(values["guest_insns_per_sec"])
+            translate.setdefault(key, []).append(values["translate_seconds"])
     rates = {key: round(geomean(vals), 1) for key, vals in per_config.items()}
-    summary: Dict[str, object] = {"geomean_guest_insns_per_sec": rates}
+    summary: Dict[str, object] = {
+        "geomean_guest_insns_per_sec": rates,
+        # Mean (not geomean: cold/warm deltas can legitimately hit 0.0)
+        # translate cost per config — the number the --check translate-time
+        # regression gate compares against a prior report.
+        "mean_translate_seconds": {
+            key: round(sum(vals) / len(vals), 6)
+            for key, vals in translate.items()
+        },
+    }
 
     def ratio(label: str, num: str, den: str, digits: int) -> None:
         if num in rates and den in rates:
@@ -300,12 +314,71 @@ def render_report(payload: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
-def check_report(payload: Dict[str, object]) -> Tuple[bool, str]:
+#: A config's mean translate time may grow this much over the baseline
+#: report before ``--check`` fails.  Translate costs on the quick corpus
+#: are milliseconds, so a generous multiplicative slack absorbs scheduler
+#: noise while still catching a real (2x+) translate-path regression.
+TRANSLATE_REGRESSION_SLACK = 1.75
+
+#: Mean translate times below this are considered noise-floor and never
+#: gated (a 2ms -> 5ms swing on a loaded CI box is not a regression).
+TRANSLATE_GATE_FLOOR_SECONDS = 0.01
+
+
+def _check_translate_regression(
+    payload: Dict[str, object], baseline: Dict[str, object]
+) -> Tuple[bool, str]:
+    """Gate current mean translate_seconds against a prior report's.
+
+    Only comparable reports are judged: same mode and stage, and only
+    configs present in both summaries.  Older baselines without the
+    ``mean_translate_seconds`` summary field are skipped, not failed.
+    """
+    if baseline.get("mode") != payload.get("mode") or (
+        baseline.get("stage") != payload.get("stage")
+    ):
+        return True, "baseline mode/stage differs; translate gate skipped"
+    current = payload["summary"].get("mean_translate_seconds") or {}
+    prior = (baseline.get("summary") or {}).get("mean_translate_seconds") or {}
+    shared = [key for key in current if key in prior]
+    if not shared:
+        return True, "no shared translate timings with baseline"
+    worst_key, worst_ratio = "", 0.0
+    for key in shared:
+        now, then = current[key], prior[key]
+        if max(now, then) < TRANSLATE_GATE_FLOOR_SECONDS:
+            continue
+        ratio = now / then if then else float("inf")
+        if ratio > worst_ratio:
+            worst_key, worst_ratio = key, ratio
+    if worst_ratio > TRANSLATE_REGRESSION_SLACK:
+        return False, (
+            f"translate time regressed: {worst_key} mean "
+            f"{current[worst_key]:.4f}s vs baseline "
+            f"{prior[worst_key]:.4f}s ({worst_ratio:.2f}x > "
+            f"{TRANSLATE_REGRESSION_SLACK}x slack)"
+        )
+    if worst_ratio:
+        return True, f"translate time within slack (worst {worst_ratio:.2f}x)"
+    return True, "translate timings below gate floor"
+
+
+def check_report(
+    payload: Dict[str, object],
+    baseline: Optional[Dict[str, object]] = None,
+) -> Tuple[bool, str]:
     """CI gate: jit must beat interp, and the trace tier must not lose to
     the block tier — whenever the report contains the configs to judge it.
+    With a ``baseline`` report (the previous on-disk ``BENCH_dbt.json``),
+    also gates translate-time regression per config.
     """
     summary = payload["summary"]
     notes = []
+    if baseline is not None:
+        ok, message = _check_translate_regression(payload, baseline)
+        if not ok:
+            return False, message
+        notes.append(message)
     speedup = summary.get("jit_speedup_over_interp")
     if speedup is not None:
         if speedup <= 1.0:

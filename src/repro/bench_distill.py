@@ -1,0 +1,495 @@
+"""Tier-0 distillation benchmark harness (``repro bench --distill``).
+
+A/B-measures the translate-time fast path introduced with the distilled
+tier-0 hot ruleset, under three lookup modes sharing one rule set:
+
+* ``legacy`` — the pre-fast-path translator (two canonicalization passes
+  per window, no memo) over the flat :class:`~repro.learning.ruleset.RuleSet`;
+* ``flat`` — the fingerprint-once + window-memo fast path over the same
+  flat set (isolates the memo/fingerprint gain);
+* ``tier0`` — the fast path over a :class:`~repro.learning.hotindex.HotIndex`
+  packed from the distilled artifact, flat set as fallback (the full win).
+
+Timed work is pure translation: every basic block of every workload
+benchmark through a **fresh** :class:`~repro.dbt.translator.BlockTranslator`
+per round, minimum over ``repeats``.  A separate cold-run A/B times a fresh
+:class:`~repro.dbt.engine.DBTEngine` end to end (translate + execute) with
+and without the tier-0 front.  Service-side lookup latency is measured by
+replaying the translators' sliding-window stream against the crc32-sharded
+index and the :class:`~repro.service.shards.Tier0Front`, into the serving
+histograms (p50/p99).
+
+The hard gate is **byte-identical translation parity**: every difftest
+corpus entry plus a seeded batch of fuzzed programs is translated under all
+modes (including the service front) and the serialized blocks must match
+exactly — zero divergences, or ``--check`` fails.  Speedups are reported
+honestly; a shortfall against the 2x target is a note, not a failure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: fuzzed parity programs (generator seed is fixed; programs are stable).
+FUZZ_SEED = 11
+FUZZ_PROGRAMS_QUICK = 120
+FUZZ_PROGRAMS_FULL = 500
+
+#: benchmarks profiled/timed under ``--quick`` (same subset as the backend
+#: bench, so reports line up).
+QUICK_NAMES = ("mcf", "libquantum", "astar")
+
+#: translate speedup target (tier0 vs legacy) recorded in the report.
+SPEEDUP_TARGET = 2.0
+
+
+def _corpus_dir() -> str:
+    """``tests/corpus`` of this checkout (empty string when not present)."""
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    path = os.path.join(os.path.dirname(src), "tests", "corpus")
+    return path if os.path.isdir(path) else ""
+
+
+def _parity_programs(quick: bool) -> Tuple[List[Tuple[str, object]], int]:
+    """(name, CompiledUnit) parity inputs; also returns the invalid count.
+
+    Difftest corpus entries first (their guest lines, assembled fresh),
+    then the seeded fuzz batch.  Programs the assembler rejects are counted
+    and skipped — both corpora are overwhelmingly valid, and an invalid
+    program exercises no lookups.
+    """
+    from repro.difftest.gen import ProgramGenerator
+    from repro.difftest.oracle import InvalidProgram, assemble_program
+
+    programs: List[Tuple[str, object]] = []
+    invalid = 0
+    corpus = _corpus_dir()
+    if corpus:
+        from repro.difftest.corpus import load_corpus
+
+        for entry in load_corpus(corpus):
+            try:
+                programs.append((f"corpus:{entry.name}", assemble_program(entry.lines)))
+            except InvalidProgram:
+                invalid += 1
+    generator = ProgramGenerator(FUZZ_SEED)
+    count = FUZZ_PROGRAMS_QUICK if quick else FUZZ_PROGRAMS_FULL
+    for index in range(count):
+        program = generator.generate(index)
+        try:
+            programs.append((f"fuzz:{index}", assemble_program(program.lines)))
+        except InvalidProgram:
+            invalid += 1
+    return programs, invalid
+
+
+def _translate_all(unit, config, legacy: bool = False) -> List:
+    """All blocks of ``unit`` through one fresh translator, in block order."""
+    from repro.dbt.block import BlockMap
+    from repro.dbt.translator import BlockTranslator
+
+    blockmap = BlockMap(unit)
+    translator = BlockTranslator(unit, blockmap, config, legacy_lookup=legacy)
+    return [translator.translate(block) for block in blockmap.blocks]
+
+
+def _serialize_blocks(blocks: List, rule_order: Dict[int, int]) -> str:
+    """Canonical text of a translation — the parity comparison unit.
+
+    Applied rules are named by their position in the flat rule set (all
+    modes resolve onto the same serving rule objects, so positions are
+    shared); everything else is the literal translated payload.
+    """
+    parts: List[str] = []
+    for tb in blocks:
+        parts.append(
+            "|".join(
+                (
+                    str(tb.start),
+                    str(tb.guest_count),
+                    ";".join(repr(insn) for insn in tb.host),
+                    ";".join(tb.categories),
+                    ";".join(f"{k}={v}" for k, v in sorted(tb.labels.items())),
+                    "".join("1" if c else "0" for c in tb.covered),
+                    ";".join(
+                        f"{rule_order.get(id(rule), -1)}x{length}"
+                        for rule, length in tb.applied
+                    ),
+                )
+            )
+        )
+    return "\n".join(parts)
+
+
+def _window_stream(units: Sequence) -> List[Tuple]:
+    """The sliding-window stream translation planning would probe.
+
+    Every window of length 1..4 at every block position — the same
+    enumeration ``BlockTranslator._plan`` performs, without requiring a
+    planner run, so both lookup paths see an identical probe sequence.
+    """
+    from repro.dbt.block import BlockMap
+
+    windows: List[Tuple] = []
+    for unit in units:
+        blockmap = BlockMap(unit)
+        for block in blockmap.blocks:
+            insns = blockmap.instructions(block)
+            for i in range(len(insns)):
+                for length in range(1, min(4, len(insns) - i) + 1):
+                    windows.append(tuple(insns[i : i + length]))
+    return windows
+
+
+def _histogram_summary(histogram) -> Dict[str, float]:
+    return {
+        "p50_us": round(histogram.percentile(0.50) * 1e6, 2),
+        "p99_us": round(histogram.percentile(0.99) * 1e6, 2),
+        "mean_us": round(
+            (histogram.total / histogram.count) * 1e6 if histogram.count else 0.0, 2
+        ),
+    }
+
+
+def run_distill_bench(
+    repeats: int = 3,
+    quick: bool = False,
+    tier0_path: Optional[str] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Run the tier-0 A/B benchmark; returns the report payload."""
+    from repro.dbt import DBTEngine
+    from repro.learning.distill import (
+        DEFAULT_COVERAGE,
+        distill,
+        load_artifact,
+        resolve_artifact,
+        setup_for_training,
+    )
+    from repro.learning.hotindex import HotIndex
+    from repro.service.shards import ShardedRuleIndex, Tier0Front
+    from repro.service.stats import LatencyHistogram
+    from repro.workloads import BENCHMARK_NAMES, compiled_benchmark
+
+    emit = log or (lambda message: None)
+    training = "quick" if quick else "full"
+    names = QUICK_NAMES if quick else tuple(BENCHMARK_NAMES)
+    stage = "condition"
+    config = setup_for_training(training).configs[stage]
+    flat = config.rules
+
+    # -- artifact: load, or distill in-process from the same setup ----------
+    if tier0_path:
+        emit(f"loading tier-0 artifact {tier0_path} ...")
+        artifact = load_artifact(tier0_path)
+        artifact_source = tier0_path
+    else:
+        emit(f"distilling tier-0 from {len(names)} benchmarks ...")
+        artifact = distill(
+            config, stage=stage, benchmarks=list(names), training=training
+        )
+        artifact_source = "distilled in-process"
+    resolved = resolve_artifact(artifact, flat)
+    hot = HotIndex(
+        resolved.rules, flat, coverage=resolved.coverage, digest=resolved.digest
+    )
+    front = Tier0Front(
+        resolved.rules,
+        flat,
+        coverage=resolved.coverage,
+        digest=resolved.digest,
+        dropped=resolved.dropped,
+        stale=resolved.stale,
+    )
+    modes = {
+        "legacy": (flat, True),
+        "flat": (flat, False),
+        "tier0": (hot, False),
+        "service": (front, False),
+    }
+    configs = {
+        key: dataclasses.replace(config, rules=rules)
+        for key, (rules, _) in modes.items()
+    }
+
+    # -- parity gate: byte-identical translation across all modes -----------
+    emit("checking translation parity over corpus + fuzzed programs ...")
+    programs, invalid = _parity_programs(quick)
+    rule_order = {id(rule): i for i, rule in enumerate(flat.rules)}
+    divergences: List[str] = []
+    blocks_compared = 0
+    for name, unit in programs:
+        rendered: Dict[str, str] = {}
+        for key, (_, legacy) in modes.items():
+            try:
+                blocks = _translate_all(unit, configs[key], legacy=legacy)
+                rendered[key] = _serialize_blocks(blocks, rule_order)
+            except Exception as exc:  # must fail identically across modes
+                rendered[key] = f"error:{type(exc).__name__}:{exc}"
+        blocks_compared += rendered["legacy"].count("\n") + 1
+        if len(set(rendered.values())) != 1:
+            divergences.append(name)
+    emit(
+        f"parity: {len(programs)} programs, {len(divergences)} divergences, "
+        f"{invalid} invalid skipped"
+    )
+
+    # -- translate-time A/B: fresh translator per round, min over repeats ---
+    translate: Dict[str, Dict[str, float]] = {}
+    timed_modes = ("legacy", "flat", "tier0")
+    units = {name: compiled_benchmark(name).guest for name in names}
+    for name in names:
+        row = {}
+        for key in timed_modes:
+            _, legacy = modes[key]
+            best = float("inf")
+            for _ in range(repeats):
+                started = time.perf_counter()
+                _translate_all(units[name], configs[key], legacy=legacy)
+                best = min(best, time.perf_counter() - started)
+            row[f"{key}_seconds"] = round(best, 6)
+        translate[name] = row
+        emit(
+            f"translate {name}: legacy {row['legacy_seconds'] * 1000:.2f}ms, "
+            f"flat {row['flat_seconds'] * 1000:.2f}ms, "
+            f"tier0 {row['tier0_seconds'] * 1000:.2f}ms"
+        )
+    totals = {
+        f"{key}_seconds": round(
+            sum(row[f"{key}_seconds"] for row in translate.values()), 6
+        )
+        for key in timed_modes
+    }
+
+    def _speedup(base: str, new: str) -> float:
+        denominator = totals[f"{new}_seconds"]
+        return round(totals[f"{base}_seconds"] / denominator, 3) if denominator else 0.0
+
+    speedups = {
+        "tier0_vs_legacy": _speedup("legacy", "tier0"),
+        "flat_vs_legacy": _speedup("legacy", "flat"),
+        "tier0_vs_flat": _speedup("flat", "tier0"),
+    }
+
+    # -- cold-run A/B: full engine (translate + execute), fresh each round --
+    cold: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        row = {}
+        for key in ("flat", "tier0"):
+            best = float("inf")
+            for _ in range(repeats):
+                engine = DBTEngine(units[name], configs[key], backend="jit")
+                started = time.perf_counter()
+                engine.run()
+                best = min(best, time.perf_counter() - started)
+            row[f"{key}_cold_seconds"] = round(best, 6)
+        cold[name] = row
+    cold_totals = {
+        key: round(sum(row[key] for row in cold.values()), 6)
+        for key in ("flat_cold_seconds", "tier0_cold_seconds")
+    }
+
+    # -- service lookup latency: sharded vs tier-0 front, same stream -------
+    emit("replaying lookup stream against sharded index and tier-0 front ...")
+    windows = _window_stream([unit for _, unit in programs] + list(units.values()))
+    sharded = ShardedRuleIndex(flat)
+    lookup_front = Tier0Front(
+        resolved.rules, flat, coverage=resolved.coverage, digest=resolved.digest
+    )
+    histograms = {"sharded": LatencyHistogram(), "tier0": LatencyHistogram()}
+    for window in windows:
+        started = time.perf_counter()
+        sharded.lookup(window)
+        histograms["sharded"].observe(time.perf_counter() - started)
+        started = time.perf_counter()
+        lookup_front.lookup(window)
+        histograms["tier0"].observe(time.perf_counter() - started)
+    front_stats = lookup_front.hot.stats()
+
+    return {
+        "harness": "repro bench --distill",
+        "quick": quick,
+        "stage": stage,
+        "training": training,
+        "repeats": repeats,
+        "benchmarks": list(names),
+        "artifact": {
+            "source": artifact_source,
+            "digest": artifact["digest"],
+            "rules": len(resolved.rules),
+            "source_rules": artifact["source_rules"],
+            "coverage": artifact["coverage"],
+            "coverage_target": artifact.get("coverage_target", DEFAULT_COVERAGE),
+            "dropped": resolved.dropped,
+            "stale": resolved.stale,
+        },
+        "parity": {
+            "programs": len(programs),
+            "fuzz_programs": FUZZ_PROGRAMS_QUICK if quick else FUZZ_PROGRAMS_FULL,
+            "invalid_skipped": invalid,
+            "blocks_compared": blocks_compared,
+            "divergences": len(divergences),
+            "diverged": divergences[:20],
+        },
+        "translate": {
+            "per_benchmark": translate,
+            "total": totals,
+            "speedup": speedups,
+            "speedup_target": SPEEDUP_TARGET,
+        },
+        "cold": {
+            "per_benchmark": cold,
+            "total": cold_totals,
+        },
+        "lookup": {
+            "windows": len(windows),
+            "sharded": _histogram_summary(histograms["sharded"]),
+            "tier0": _histogram_summary(histograms["tier0"]),
+            "tier0_hit_rate": front_stats["tier0_hit_rate"],
+        },
+    }
+
+
+def write_distill_report(payload: Dict[str, object]) -> Tuple[str, str]:
+    """Merge the report into ``BENCH_offline.json`` + ``BENCH_service.json``.
+
+    The offline report gains a ``distill`` section (translate/cold A/B +
+    parity + artifact provenance); the service report gains a
+    ``tier0_lookup`` section (lookup latency A/B).  Existing sections of
+    both files are preserved; the file-level ``meta`` is restamped since
+    the file content changed.
+    """
+    import json
+
+    from repro.bench import bench_metadata, write_json_report
+
+    def _merge(path: str, section: str, value: Dict[str, object]) -> str:
+        existing: Dict[str, object] = {}
+        if os.path.exists(path):
+            try:
+                with open(path) as handle:
+                    existing = json.load(handle)
+            except (OSError, ValueError):
+                existing = {}
+        existing[section] = value
+        existing["meta"] = bench_metadata()
+        write_json_report(existing, path)
+        return path
+
+    offline_section = {
+        key: payload[key]
+        for key in (
+            "quick",
+            "stage",
+            "training",
+            "repeats",
+            "benchmarks",
+            "artifact",
+            "parity",
+            "translate",
+            "cold",
+        )
+    }
+    service_section = {
+        "quick": payload["quick"],
+        "stage": payload["stage"],
+        "artifact_digest": payload["artifact"]["digest"],
+        **payload["lookup"],
+    }
+    offline_path = _merge("BENCH_offline.json", "distill", offline_section)
+    service_path = _merge("BENCH_service.json", "tier0_lookup", service_section)
+    return offline_path, service_path
+
+
+def render_distill_report(payload: Dict[str, object]) -> str:
+    artifact = payload["artifact"]
+    parity = payload["parity"]
+    translate = payload["translate"]
+    lookup = payload["lookup"]
+    lines = [
+        "tier-0 distillation benchmark"
+        + (" (quick subset)" if payload["quick"] else ""),
+        f"artifact: {artifact['rules']}/{artifact['source_rules']} rules, "
+        f"{100 * artifact['coverage']:.1f}% dynamic coverage "
+        f"(target {100 * artifact['coverage_target']:.0f}%), "
+        f"digest {artifact['digest'][:12]}",
+        f"parity: {parity['programs']} programs / "
+        f"{parity['blocks_compared']} blocks, "
+        f"{parity['divergences']} divergences",
+        f"{'benchmark':12s} {'legacy':>10s} {'flat+memo':>10s} {'tier0':>10s}",
+    ]
+    for name, row in translate["per_benchmark"].items():
+        lines.append(
+            f"{name:12s} {row['legacy_seconds'] * 1000:>8.2f}ms "
+            f"{row['flat_seconds'] * 1000:>8.2f}ms "
+            f"{row['tier0_seconds'] * 1000:>8.2f}ms"
+        )
+    totals = translate["total"]
+    lines.append(
+        f"{'total':12s} {totals['legacy_seconds'] * 1000:>8.2f}ms "
+        f"{totals['flat_seconds'] * 1000:>8.2f}ms "
+        f"{totals['tier0_seconds'] * 1000:>8.2f}ms"
+    )
+    speedup = translate["speedup"]
+    lines.append(
+        f"translate speedup: tier0 {speedup['tier0_vs_legacy']:.2f}x legacy "
+        f"(memo alone {speedup['flat_vs_legacy']:.2f}x; "
+        f"target {translate['speedup_target']:.1f}x)"
+    )
+    cold_totals = payload["cold"]["total"]
+    lines.append(
+        f"cold run total: flat {cold_totals['flat_cold_seconds'] * 1000:.1f}ms, "
+        f"tier0 {cold_totals['tier0_cold_seconds'] * 1000:.1f}ms"
+    )
+    lines.append(
+        f"lookup ({lookup['windows']} windows): "
+        f"sharded p50 {lookup['sharded']['p50_us']:.1f}us "
+        f"p99 {lookup['sharded']['p99_us']:.1f}us; "
+        f"tier0 p50 {lookup['tier0']['p50_us']:.1f}us "
+        f"p99 {lookup['tier0']['p99_us']:.1f}us "
+        f"(hit rate {100 * lookup['tier0_hit_rate']:.1f}%)"
+    )
+    return "\n".join(lines)
+
+
+def check_distill_report(payload: Dict[str, object]) -> Tuple[bool, str]:
+    """CI gate: zero parity divergences, coverage at target.
+
+    The speedup number is reported, not gated: a slow CI box missing the
+    2x target is an honest shortfall to document, while a translation
+    divergence or an under-covering artifact is a correctness bug.
+    """
+    parity = payload["parity"]
+    if parity["divergences"]:
+        return False, (
+            f"{parity['divergences']} translation parity divergences "
+            f"(first: {', '.join(parity['diverged'][:3])})"
+        )
+    artifact = payload["artifact"]
+    if artifact["coverage"] < artifact["coverage_target"]:
+        return False, (
+            f"tier-0 coverage {100 * artifact['coverage']:.1f}% below target "
+            f"{100 * artifact['coverage_target']:.0f}%"
+        )
+    if artifact["dropped"]:
+        return False, f"{artifact['dropped']} artifact rules failed to resolve"
+    speedup = payload["translate"]["speedup"]["tier0_vs_legacy"]
+    note = (
+        f"translate speedup {speedup:.2f}x"
+        if speedup >= payload["translate"]["speedup_target"]
+        else (
+            f"translate speedup {speedup:.2f}x below "
+            f"{payload['translate']['speedup_target']:.1f}x target "
+            "(reported honestly, not gated)"
+        )
+    )
+    return True, (
+        f"parity clean over {parity['programs']} programs "
+        f"({parity['blocks_compared']} blocks); "
+        f"coverage {100 * artifact['coverage']:.1f}%; {note}"
+    )

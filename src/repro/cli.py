@@ -121,6 +121,15 @@ def _cmd_cache(args) -> int:
           f"guard exits {trace['guard_exits']}")
     print(f"  source cache: {trace['source_cache_hits']} hits, "
           f"{trace['source_cache_stores']} stores")
+    from repro.learning.hotindex import TIER0_STATS
+
+    tier0 = TIER0_STATS.snapshot()
+    print("tier-0 hot index (this process):")
+    print(f"  loads {tier0['loads']}  rules {tier0['rules']}  "
+          f"coverage {100 * tier0['coverage']:.1f}%")
+    print(f"  resolved {tier0['resolved_rules']}  dropped {tier0['dropped_rules']}")
+    print(f"  lookups: {tier0['tier0_hits']} tier-0, "
+          f"{tier0['fallback_hits']} fallback, {tier0['misses']} miss")
     return 0
 
 
@@ -222,9 +231,13 @@ def _cmd_analyze(args) -> int:
 
 
 def _cmd_translate(args) -> int:
-    from repro.experiments.common import run_benchmark
+    tier0_stats = None
+    if args.tier0 and not args.no_tier0:
+        metrics, tier0_stats = _translate_tier0(args)
+    else:
+        from repro.experiments.common import run_benchmark
 
-    metrics = run_benchmark(args.benchmark, args.stage, backend=args.backend)
+        metrics = run_benchmark(args.benchmark, args.stage, backend=args.backend)
     print(f"benchmark          : {args.benchmark}")
     print(f"configuration      : {args.stage}")
     print(f"backend            : {args.backend}")
@@ -236,6 +249,91 @@ def _cmd_translate(args) -> int:
     print(f"blocks translated  : {metrics.blocks_translated}")
     print(f"block executions   : {metrics.block_executions}")
     print(f"simulated cost     : {metrics.cost():.0f}")
+    if tier0_stats is not None:
+        print(f"tier-0 rules       : {tier0_stats['rules']} "
+              f"(coverage {100 * tier0_stats['coverage']:.1f}%, "
+              f"digest {tier0_stats['digest'][:12]})")
+        print(f"tier-0 lookups     : {tier0_stats['tier0_hits']} hot, "
+              f"{tier0_stats['fallback_hits']} fallback, "
+              f"{tier0_stats['misses']} miss")
+    return 0
+
+
+def _translate_tier0(args):
+    """One DBT run with the rule index fronted by a tier-0 artifact.
+
+    Uses the artifact's own training corpus (not the leave-one-out rules),
+    validates against the reference interpreter, and reports the front's
+    hit counters alongside the usual metrics.
+    """
+    import dataclasses
+
+    from repro.dbt import DBTEngine, check_against_reference
+    from repro.errors import ExecutionError
+    from repro.learning.distill import (
+        hot_index_for,
+        load_artifact,
+        setup_for_training,
+    )
+    from repro.workloads import compiled_benchmark
+
+    payload = load_artifact(args.tier0)
+    setup = setup_for_training(payload.get("training", "quick"))
+    config = setup.configs[args.stage]
+    hot = hot_index_for(payload, config.rules)
+    pair = compiled_benchmark(args.benchmark)
+    engine = DBTEngine(
+        pair.guest,
+        dataclasses.replace(config, rules=hot),
+        backend=args.backend,
+    )
+    result = engine.run()
+    ok, message = check_against_reference(pair.guest, result)
+    if not ok:
+        raise ExecutionError(
+            f"{args.benchmark}/{args.stage}: tier-0 execution diverged: {message}"
+        )
+    return result.metrics, hot.stats()
+
+
+def _cmd_distill(args) -> int:
+    """Distill a tier-0 hot-ruleset artifact from workload profiling."""
+    from repro.learning.distill import distill, setup_for_training, write_artifact
+    from repro.workloads import BENCHMARK_NAMES
+
+    if args.benchmarks:
+        names = [part.strip() for part in args.benchmarks.split(",") if part.strip()]
+        unknown = [name for name in names if name not in BENCHMARK_NAMES]
+        if unknown:
+            print(f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    else:
+        names = list(BENCHMARK_NAMES)
+    log = None if args.quiet else (lambda message: print(f"# {message}"))
+    if log:
+        log(f"training rules: {args.training}; profiling {len(names)} benchmarks "
+            f"under {args.backend}/{args.stage}")
+    setup = setup_for_training(args.training)
+    config = setup.configs[args.stage]
+    payload = distill(
+        config,
+        stage=args.stage,
+        benchmarks=names,
+        training=args.training,
+        backend=args.backend,
+        coverage_target=args.coverage,
+        max_rules=args.max_rules,
+    )
+    write_artifact(payload, args.out)
+    print(f"stage              : {payload['stage']}")
+    print(f"profiled           : {len(payload['profiled'])} benchmarks")
+    print(f"source rules       : {payload['source_rules']}")
+    print(f"tier-0 rules       : {len(payload['rules'])}")
+    print(f"dynamic coverage   : {100 * payload['coverage']:.2f}% "
+          f"(target {100 * payload['coverage_target']:.0f}%)")
+    print(f"observed hits      : {payload['total_hits']}")
+    print(f"digest             : {payload['digest']}")
+    print(f"artifact           : {args.out}")
     return 0
 
 
@@ -245,12 +343,15 @@ def _cmd_bench(args) -> int:
         return _cmd_bench_offline(args)
     if args.service:
         return _cmd_bench_service(args)
+    if args.distill:
+        return _cmd_bench_distill(args)
     from repro.bench import check_report, render_report, run_bench, write_report
 
     configs = None
     if args.configs:
         configs = [part.strip() for part in args.configs.split(",") if part.strip()]
     log = None if args.quiet else (lambda message: print(f"# {message}"))
+    baseline = _load_baseline(args.out) if args.check else None
     try:
         payload = run_bench(
             repeats=args.repeats, quick=args.quick, log=log, configs=configs
@@ -262,7 +363,48 @@ def _cmd_bench(args) -> int:
     write_report(payload, args.out)
     print(f"report: {args.out}")
     if args.check:
-        ok, message = check_report(payload)
+        ok, message = check_report(payload, baseline=baseline)
+        print(f"check: {message}")
+        return 0 if ok else 1
+    return 0
+
+
+def _load_baseline(path: str):
+    """The previous on-disk bench report, for regression gating (or None)."""
+    import json
+    import os
+
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def _cmd_bench_distill(args) -> int:
+    """Tier-0 A/B harness + byte-identical-translation parity gate."""
+    from repro.bench_distill import (
+        check_distill_report,
+        render_distill_report,
+        run_distill_bench,
+        write_distill_report,
+    )
+
+    log = None if args.quiet else (lambda message: print(f"# {message}"))
+    payload = run_distill_bench(
+        repeats=args.repeats,
+        quick=args.quick,
+        tier0_path=args.tier0 or None,
+        log=log,
+    )
+    print(render_distill_report(payload))
+    offline_path, service_path = write_distill_report(payload)
+    print(f"report: {offline_path} (distill section) + {service_path} "
+          "(tier0_lookup section)")
+    if args.check:
+        ok, message = check_distill_report(payload)
         print(f"check: {message}")
         return 0 if ok else 1
     return 0
@@ -365,6 +507,7 @@ def _cmd_serve(args) -> int:
         disk_code_dir=args.code_cache_dir,
         chaining=not args.no_chaining,
         backend=args.backend,
+        tier0_path=None if args.no_tier0 else args.tier0,
     )
     if args.workers > 1 or args.pool_dir:
         from repro.service import PoolConfig, serve_pool
@@ -489,8 +632,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     translate.add_argument("--backend", default="interp", choices=BACKENDS,
                            help="execution backend (interp is the oracle)")
+    translate.add_argument("--tier0", metavar="PATH",
+                           help="front rule lookups with this distilled "
+                                "tier-0 artifact (from `repro distill`)")
+    translate.add_argument("--no-tier0", action="store_true",
+                           help="ignore --tier0 (flat full-index lookup)")
     _add_jobs(translate)
     translate.set_defaults(fn=_cmd_translate)
+
+    distill = sub.add_parser(
+        "distill", help="distill a tier-0 hot ruleset from workload "
+                        "profiling (versioned, content-addressed artifact)"
+    )
+    distill.add_argument("--training", default="quick", choices=("quick", "full"),
+                         help="rule-training corpus to distill from (matches "
+                              "`serve --training`)")
+    distill.add_argument("--stage", default="condition", choices=STAGES,
+                         help="parameterization stage the artifact fronts")
+    distill.add_argument("--backend", default="jit", choices=BACKENDS,
+                         help="execution backend used for profiling runs")
+    distill.add_argument("--benchmarks", default=None, metavar="NAME,NAME,...",
+                         help="profiling corpus (default: the whole suite)")
+    distill.add_argument("--coverage", type=float, default=0.95,
+                         help="fraction of observed dynamic rule hits tier-0 "
+                              "must cover (default 0.95)")
+    distill.add_argument("--max-rules", type=int, default=None,
+                         help="hard cap on tier-0 size")
+    distill.add_argument("--out", default="tier0.json",
+                         help="artifact path (default tier0.json)")
+    distill.add_argument("--quiet", action="store_true",
+                         help="suppress progress lines")
+    _add_jobs(distill)
+    distill.set_defaults(fn=_cmd_distill)
 
     bench = sub.add_parser(
         "bench", help="benchmark the execution backends (writes BENCH_dbt.json)"
@@ -504,6 +677,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--offline", action="store_true",
                        help="benchmark the offline learn/derive pipeline "
                             "instead (writes BENCH_offline.json)")
+    bench.add_argument("--distill", action="store_true",
+                       help="tier-0 A/B harness: legacy vs memoized vs "
+                            "tier-0 translate times, lookup p50/p99, and a "
+                            "byte-identical-translation parity gate (merges "
+                            "into BENCH_offline.json + BENCH_service.json)")
+    bench.add_argument("--tier0", default=None, metavar="PATH",
+                       help="with --distill: reuse an existing artifact "
+                            "instead of distilling in-process")
     bench.add_argument("--repeats", type=int, default=3,
                        help="warm repetitions per configuration (min is kept)")
     bench.add_argument("--configs", default=None, metavar="KEY,KEY,...",
@@ -514,8 +695,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="report path (default BENCH_dbt.json, or "
                             "BENCH_offline.json with --offline)")
     bench.add_argument("--check", action="store_true",
-                       help="exit nonzero unless jit beats interp (or, with "
-                            "--offline, unless batched == direct)")
+                       help="exit nonzero unless jit beats interp and "
+                            "translate time has not regressed vs the prior "
+                            "on-disk report (or, with --offline, unless "
+                            "batched == direct; with --distill, unless "
+                            "tier-0 translation is byte-identical)")
     bench.add_argument("--quiet", action="store_true",
                        help="suppress progress lines")
     bench.set_defaults(fn=_cmd_bench)
@@ -591,6 +775,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="execution backend for run/coverage requests "
                             "(trace adds hot-cycle superblocks; their "
                             "generated source shares the disk code cache)")
+    serve.add_argument("--tier0", default=None, metavar="PATH",
+                       help="front the rule index with a distilled tier-0 "
+                            "artifact (from `repro distill`; applies to the "
+                            "stage it was distilled for)")
+    serve.add_argument("--no-tier0", action="store_true",
+                       help="ignore --tier0 (plain sharded index)")
     serve.add_argument("--no-chaining", action="store_true",
                        help="disable block chaining (chain links warm up "
                             "across requests, so run metrics become "

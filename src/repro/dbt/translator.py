@@ -43,7 +43,9 @@ from repro.dbt.runtime import (
 from repro.isa.arm.opcodes import ARM
 from repro.isa.instruction import Instruction
 from repro.isa.operands import Imm, Label, Mem, Reg, RegList
+from repro.errors import RuleError
 from repro.isa.x86.opcodes import X86
+from repro.learning.rule import window_key_prefixes, window_keys
 from repro.learning.ruleset import RuleSet
 
 CAT_RULE = "rule"
@@ -53,6 +55,9 @@ CAT_CONTROL = "control"
 
 _EXIT_TAKEN = "__exit_taken"
 _PC_PLACEHOLDER = "r_pc"
+
+#: Memo sentinel: ``None`` is a valid (negative) lookup resolution.
+_UNRESOLVED = object()
 
 
 @dataclass
@@ -119,13 +124,61 @@ class _Segment:
 
 
 class BlockTranslator:
-    def __init__(self, unit, blockmap: BlockMap, config: TranslationConfig) -> None:
+    def __init__(
+        self,
+        unit,
+        blockmap: BlockMap,
+        config: TranslationConfig,
+        legacy_lookup: bool = False,
+    ) -> None:
         self.unit = unit
         self.blockmap = blockmap
         self.config = config
         self.live_in_global = blockmap.live_in_flags()
+        #: pre-fast-path lookup (two canonicalization passes per window, no
+        #: memo); kept as the honest baseline for ``repro bench --distill``.
+        self.legacy_lookup = legacy_lookup
+        self._window_rules: Dict[Tuple[Instruction, ...], object] = {}
+        self._lookup_canonical = getattr(config.rules, "lookup_canonical", None)
+        #: window-length cap, computed once per translator — the legacy
+        #: baseline recomputes it per block (``max()`` over every rule),
+        #: which on real rule sets is a measurable share of translate time.
+        self._max_window = (
+            min(config.rules.max_guest_length(), 4)
+            if config.rules is not None
+            else 0
+        )
 
     # -- planning ---------------------------------------------------------------
+
+    def _lookup_rule(self, lookup: Tuple[Instruction, ...]):
+        """Rule for a (pc-rewritten) window: fingerprint once, memo forever.
+
+        The canonical key pair is computed in a single pass
+        (:func:`window_keys`) and the resolution — rule or ``None`` — is
+        memoized on the window tuple.  Lookup is purely content-based, so a
+        resolution is valid for every block of this translator's run; PC
+        windows are safe too because the memo key is the *rewritten* window
+        (placeholder register, no concrete address).
+        """
+        lookup_canonical = self._lookup_canonical
+        if self.legacy_lookup:
+            rules = self.config.rules
+            legacy = getattr(rules, "lookup_legacy", None)
+            return legacy(lookup) if legacy is not None else rules.lookup(lookup)
+        if lookup_canonical is None:
+            return self.config.rules.lookup(lookup)
+        memo = self._window_rules
+        rule = memo.get(lookup, _UNRESOLVED)
+        if rule is _UNRESOLVED:
+            try:
+                general, specific = window_keys(lookup)
+            except RuleError:
+                rule = None
+            else:
+                rule = lookup_canonical(general, specific)
+            memo[lookup] = rule
+        return rule
 
     def _pc_rewrite(
         self, window: Tuple[Instruction, ...], abs_index: int
@@ -147,30 +200,102 @@ class BlockTranslator:
         )
         return (Instruction(insn.mnemonic, operands),), abs_index * 4 + 8
 
+    def _match_fast(
+        self,
+        insns: Sequence[Instruction],
+        defs,
+        pc_flags,
+        block: Block,
+        i: int,
+        limit: int,
+    ) -> Optional[_Segment]:
+        """Longest-match probe at position ``i`` on the fast path.
+
+        All candidate lengths share one :func:`window_key_prefixes` walk
+        (computed lazily, only when the memo has no answer), so a position
+        is fingerprinted once no matter how many window lengths get probed.
+        PC-using windows keep the rewrite-then-memo route — their lookup
+        window differs from the raw slice.
+        """
+        lookup_canonical = self._lookup_canonical
+        memo = self._window_rules
+        prefixes = None
+        for length in range(limit, 0, -1):
+            if any(defs[i + k].is_branch for k in range(length - 1)):
+                continue
+            last = defs[i + length - 1]
+            if last.is_branch and last.cond is None:
+                continue  # unconditional transfers go through exits
+            window = tuple(insns[i : i + length])
+            if any(pc_flags[i + k] for k in range(length)):
+                lookup, pc_value = self._pc_rewrite(window, block.start + i)
+                if lookup is None:
+                    continue
+                rule = self._lookup_rule(lookup)
+                if rule is not None:
+                    return _Segment(i, length, rule, lookup, pc_value)
+                continue
+            rule = memo.get(window, _UNRESOLVED)
+            if rule is _UNRESOLVED:
+                if prefixes is None:
+                    prefixes = window_key_prefixes(window)
+                if length <= len(prefixes):
+                    general, specific = prefixes[length - 1]
+                    rule = lookup_canonical(general, specific)
+                else:
+                    rule = None
+                memo[window] = rule
+            if rule is not None:
+                return _Segment(i, length, rule, window, None)
+        return None
+
     def _plan(self, insns: Sequence[Instruction], block: Block) -> List[_Segment]:
         rules = self.config.rules
         defs = [ARM.defn(i) for i in insns]
         segments: List[_Segment] = []
         i = 0
         n = len(insns)
-        max_len = min(rules.max_guest_length(), 4) if rules else 0
+        fast = not self.legacy_lookup and self._lookup_canonical is not None
+        if fast or rules is None:
+            max_len = self._max_window
+        else:
+            # Seed pipeline, kept verbatim as the ``bench --distill``
+            # legacy baseline: window cap recomputed per block.
+            max_len = min(rules.max_guest_length(), 4)
+        pc_flags = None
+        if fast and rules is not None:
+            pc_flags = [
+                any(
+                    isinstance(op, Reg) and op.name == "pc"
+                    for op in insn.operands
+                )
+                for insn in insns
+            ]
         while i < n:
             segment = None
             if rules is not None:
-                for length in range(min(max_len, n - i), 0, -1):
-                    if any(defs[i + k].is_branch for k in range(length - 1)):
-                        continue
-                    last = defs[i + length - 1]
-                    if last.is_branch and last.cond is None:
-                        continue  # unconditional transfers go through exits
-                    window = tuple(insns[i : i + length])
-                    lookup, pc_value = self._pc_rewrite(window, block.start + i)
-                    if lookup is None:
-                        continue
-                    rule = rules.lookup(lookup)
-                    if rule is not None:
-                        segment = _Segment(i, length, rule, lookup, pc_value)
-                        break
+                limit = min(max_len, n - i)
+                if fast:
+                    segment = self._match_fast(
+                        insns, defs, pc_flags, block, i, limit
+                    )
+                else:
+                    for length in range(limit, 0, -1):
+                        if any(defs[i + k].is_branch for k in range(length - 1)):
+                            continue
+                        last = defs[i + length - 1]
+                        if last.is_branch and last.cond is None:
+                            continue  # unconditional transfers exit instead
+                        window = tuple(insns[i : i + length])
+                        lookup, pc_value = self._pc_rewrite(
+                            window, block.start + i
+                        )
+                        if lookup is None:
+                            continue
+                        rule = self._lookup_rule(lookup)
+                        if rule is not None:
+                            segment = _Segment(i, length, rule, lookup, pc_value)
+                            break
             segments.append(segment or _Segment(i, 1))
             i += segments[-1].length
         return segments

@@ -8,7 +8,25 @@ from repro.learning.learn import (
     learn_pair,
     learn_suite,
 )
-from repro.learning.rule import TranslationRule, guest_key, window_bindings
+from repro.learning.distill import (
+    DistillSelection,
+    ResolvedTier0,
+    build_artifact,
+    distill,
+    hot_index_for,
+    load_artifact,
+    profile_rule_hits,
+    resolve_artifact,
+    select_tier0,
+    write_artifact,
+)
+from repro.learning.hotindex import TIER0_STATS, HotIndex, slot_owner
+from repro.learning.rule import (
+    TranslationRule,
+    guest_key,
+    window_bindings,
+    window_keys,
+)
 from repro.learning.ruleset import RuleSet
 from repro.learning.store import (
     dump_rules,
@@ -33,6 +51,20 @@ __all__ = [
     "RuleSet",
     "guest_key",
     "window_bindings",
+    "window_keys",
+    "HotIndex",
+    "TIER0_STATS",
+    "slot_owner",
+    "DistillSelection",
+    "ResolvedTier0",
+    "build_artifact",
+    "distill",
+    "hot_index_for",
+    "load_artifact",
+    "profile_rule_hits",
+    "resolve_artifact",
+    "select_tier0",
+    "write_artifact",
     "dump_rules",
     "load_rules",
     "save_rules",

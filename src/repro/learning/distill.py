@@ -1,0 +1,306 @@
+"""Tier-0 distillation: profile dynamic rule hits, select, freeze, serve.
+
+The full derived rule set answers every lookup, but dynamic behaviour is
+heavily skewed: a small top-K of rules (by dynamically translated guest
+instructions) serves ~95% of observed lookups.  Distillation runs the
+workload corpus through the DBT, aggregates per-rule hit counts
+(:attr:`RunMetrics.rule_hits` — the same translate-time ``rule_agg``
+accounting the engine uses), and freezes the dominant rules into a
+versioned, content-addressed *tier-0 artifact*.  At serve time the artifact
+is resolved back onto the serving rule set and packed into a
+:class:`~repro.learning.hotindex.HotIndex` in front of the full index.
+
+Only *slot owners* are admitted (see :mod:`repro.learning.hotindex` for the
+parity argument).  Rules that were applied at translate time are slot
+owners of the profiled rule set by construction — ``RuleSet.lookup``
+returns exactly the index-slot holders — so the filter is a defensive
+invariant, not a selection heuristic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError, ReproError, RuleError
+from repro.learning.hotindex import TIER0_STATS, HotIndex, slot_owner
+from repro.learning.rule import TranslationRule
+from repro.learning.ruleset import RuleSet
+from repro.learning.store import rule_from_dict, rule_to_dict, ruleset_fingerprint
+
+#: Artifact format tag; bump on any incompatible schema change.
+TIER0_FORMAT = "repro-tier0-v1"
+
+#: Default fraction of observed dynamic rule hits tier-0 must cover.
+DEFAULT_COVERAGE = 0.95
+
+
+def profile_rule_hits(
+    config, names: Sequence[str], backend: str = "jit"
+) -> Dict[TranslationRule, int]:
+    """Dynamic rule hit counts over the given workload benchmarks.
+
+    Every run is validated against the reference interpreter before its
+    counts are trusted (same contract as ``run_benchmark``).  Counts are
+    dynamically translated guest instructions per rule, keyed by the
+    serving rule *objects* of ``config.rules``.
+    """
+    from repro.dbt import DBTEngine, check_against_reference
+    from repro.workloads import compiled_benchmark
+
+    hits: Dict[TranslationRule, int] = {}
+    for name in names:
+        pair = compiled_benchmark(name)
+        result = DBTEngine(pair.guest, config, backend=backend).run()
+        ok, message = check_against_reference(pair.guest, result)
+        if not ok:
+            raise ExecutionError(
+                f"profiling {name}: translated execution diverged: {message}"
+            )
+        for rule, count in result.metrics.rule_hits.items():
+            hits[rule] = hits.get(rule, 0) + count
+    return hits
+
+
+@dataclass
+class DistillSelection:
+    """Outcome of the top-K-by-hits selection."""
+
+    rules: List[TranslationRule]
+    hits: List[int]
+    total_hits: int
+    covered_hits: int
+    dropped_non_owners: int
+
+    @property
+    def coverage(self) -> float:
+        if not self.total_hits:
+            return 0.0
+        return self.covered_hits / self.total_hits
+
+
+def select_tier0(
+    hits: Dict[TranslationRule, int],
+    full: RuleSet,
+    coverage_target: float = DEFAULT_COVERAGE,
+    max_rules: Optional[int] = None,
+) -> DistillSelection:
+    """Pick the smallest hit-ordered prefix covering ``coverage_target``.
+
+    Rules are ranked by descending dynamic hits, ties broken by position in
+    the full set (deterministic across processes).  Non-slot-owners are
+    dropped and counted; they contribute to the denominator, so reported
+    coverage never flatters the artifact.
+    """
+    order = {id(rule): i for i, rule in enumerate(full.rules)}
+    ranked = sorted(
+        hits.items(), key=lambda kv: (-kv[1], order.get(id(kv[0]), len(order)))
+    )
+    total = sum(count for _, count in ranked)
+    selected: List[TranslationRule] = []
+    selected_hits: List[int] = []
+    covered = 0
+    dropped = 0
+    for rule, count in ranked:
+        if max_rules is not None and len(selected) >= max_rules:
+            break
+        if total and covered >= coverage_target * total:
+            break
+        if not slot_owner(full, rule):
+            dropped += 1
+            continue
+        selected.append(rule)
+        selected_hits.append(count)
+        covered += count
+    return DistillSelection(
+        rules=selected,
+        hits=selected_hits,
+        total_hits=total,
+        covered_hits=covered,
+        dropped_non_owners=dropped,
+    )
+
+
+# -- artifact ------------------------------------------------------------------
+
+
+def _body_digest(body: dict) -> str:
+    text = json.dumps(body, sort_keys=True)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def build_artifact(
+    selection: DistillSelection,
+    full: RuleSet,
+    *,
+    stage: str,
+    training: str = "quick",
+    profiled: Sequence[str] = (),
+    backend: str = "jit",
+    coverage_target: float = DEFAULT_COVERAGE,
+) -> dict:
+    """Serializable tier-0 artifact (versioned + content-addressed).
+
+    ``training`` is the serving training-corpus label ("quick" / "full" —
+    the same vocabulary as ``ServiceConfig.training``), so consumers can
+    rebuild the exact rule set the artifact was distilled from.  ``digest``
+    is the sha256 of the canonical JSON of everything else, so identical
+    distillations are byte-identical artifacts and any tampering or
+    truncation fails :func:`load_artifact`.
+    """
+    body = {
+        "format": TIER0_FORMAT,
+        "stage": stage,
+        "training": training,
+        "profiled": list(profiled),
+        "backend": backend,
+        "coverage_target": coverage_target,
+        "coverage": round(selection.coverage, 6),
+        "total_hits": selection.total_hits,
+        "covered_hits": selection.covered_hits,
+        "source_rules": len(full),
+        "source_fingerprint": ruleset_fingerprint(full),
+        "rules": [
+            {"hits": count, "rule": rule_to_dict(rule)}
+            for rule, count in zip(selection.rules, selection.hits)
+        ],
+    }
+    return {**body, "digest": _body_digest(body)}
+
+
+def write_artifact(payload: dict, path: str) -> str:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_artifact(path: str) -> dict:
+    """Load + validate a tier-0 artifact (format tag and content digest)."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("format") != TIER0_FORMAT:
+        raise ReproError(
+            f"{path}: unsupported tier-0 format {payload.get('format')!r} "
+            f"(expected {TIER0_FORMAT})"
+        )
+    body = {key: value for key, value in payload.items() if key != "digest"}
+    digest = _body_digest(body)
+    if digest != payload.get("digest"):
+        raise ReproError(f"{path}: tier-0 digest mismatch (corrupt artifact)")
+    return payload
+
+
+@dataclass
+class ResolvedTier0:
+    """A tier-0 artifact resolved onto a serving rule set."""
+
+    rules: Tuple[TranslationRule, ...]
+    dropped: int
+    coverage: float
+    digest: str
+    #: artifact was distilled from a different rule set than it now fronts.
+    stale: bool
+
+
+def resolve_artifact(payload: dict, serving: RuleSet) -> ResolvedTier0:
+    """Map artifact rules onto the *serving* rule objects.
+
+    Rules loaded from JSON are distinct objects; serving them directly
+    would break the identity-keyed ``rule_agg``/``rule_hits`` accounting
+    and could shadow the serving set's tie-breaks.  Each artifact rule is
+    therefore resolved via ``serving.lookup(rule.guest)`` and admitted only
+    if the serving slot owner has the identical canonical identity —
+    otherwise it is dropped (counted), so a stale artifact degrades to the
+    full index instead of changing translations.
+    """
+    resolved: List[TranslationRule] = []
+    dropped = 0
+    for entry in payload.get("rules", ()):
+        try:
+            rule = rule_from_dict(entry["rule"])
+            owner = serving.lookup(rule.guest)
+            if owner is not None and (
+                owner.canonical_identity() == rule.canonical_identity()
+            ):
+                resolved.append(owner)
+            else:
+                dropped += 1
+        except (ReproError, RuleError, KeyError):
+            dropped += 1
+    coverage = float(payload.get("coverage", 0.0))
+    stale = payload.get("source_fingerprint") != ruleset_fingerprint(serving)
+    TIER0_STATS.incr("resolved_rules", len(resolved))
+    TIER0_STATS.incr("dropped_rules", dropped)
+    TIER0_STATS.note_load(len(resolved), coverage)
+    return ResolvedTier0(
+        rules=tuple(resolved),
+        dropped=dropped,
+        coverage=coverage,
+        digest=payload.get("digest", ""),
+        stale=stale,
+    )
+
+
+def hot_index_for(payload: dict, serving: RuleSet, fallback=None) -> HotIndex:
+    """HotIndex over *serving*, fronted by the artifact's resolved rules.
+
+    ``fallback`` defaults to the serving set itself; the service passes its
+    sharded index instead.
+    """
+    resolved = resolve_artifact(payload, serving)
+    return HotIndex(
+        resolved.rules,
+        fallback if fallback is not None else serving,
+        coverage=resolved.coverage,
+        digest=resolved.digest,
+    )
+
+
+def setup_for_training(training: str):
+    """SystemSetup for a training-corpus label (mirrors the service).
+
+    "quick" is the two-benchmark difftest training set, "full" the whole
+    suite — the same vocabulary ``ServiceConfig.training`` uses, so an
+    artifact consumer rebuilds exactly the rule set it was distilled from.
+    """
+    if training == "full":
+        from repro.experiments.common import full_suite_setup
+
+        return full_suite_setup()
+    if training != "quick":
+        raise ReproError(f"unknown training corpus {training!r}")
+    from repro.difftest.oracle import training_setup
+
+    return training_setup()
+
+
+# -- one-call driver -----------------------------------------------------------
+
+
+def distill(
+    config,
+    *,
+    stage: str,
+    benchmarks: Sequence[str],
+    training: str = "quick",
+    backend: str = "jit",
+    coverage_target: float = DEFAULT_COVERAGE,
+    max_rules: Optional[int] = None,
+) -> dict:
+    """Profile → select → artifact, in one call (the ``repro distill`` core)."""
+    hits = profile_rule_hits(config, benchmarks, backend=backend)
+    selection = select_tier0(
+        hits, config.rules, coverage_target=coverage_target, max_rules=max_rules
+    )
+    return build_artifact(
+        selection,
+        config.rules,
+        stage=stage,
+        training=training,
+        profiled=benchmarks,
+        backend=backend,
+        coverage_target=coverage_target,
+    )

@@ -1,0 +1,210 @@
+"""Packed tier-0 lookup front over a full rule index.
+
+A :class:`HotIndex` holds a small distilled subset of a rule set (the
+*tier-0* rules, selected by dynamic hit count — see
+:mod:`repro.learning.distill`) in a single flat dict keyed by the canonical
+window fingerprint from :func:`repro.learning.rule.window_keys`.  A lookup
+computes the (generalized, value-specific) key pair once, probes the packed
+dict, and only on a miss falls back to the full index (a flat
+:class:`~repro.learning.ruleset.RuleSet` or the service's sharded index).
+
+Parity argument (why a tier-0 hit can never change a translation): general
+keys tag immediates ``("i", slot)`` / ``("m", ...)`` while specific keys tag
+them ``("iv", slot, value)`` / ``("mv", ...)``, so the two key families
+cannot collide unless a window is immediate-free, in which case both forms
+are the same tuple.  Tier-0 admits only *slot owners* — rules ``r`` with
+``full.lookup(r.guest) is r`` — so a generalized hit is exactly the full
+index's generalized probe, and a specific hit implies no generalized rule
+exists for that window's general key in the full set (otherwise the stored
+rule would have lost its slot).  Every miss delegates to the full index.
+Hence ``HotIndex`` and the flat lookup return the same rule for every
+window; the distill bench enforces this byte-for-byte over the corpus.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
+
+from repro.errors import RuleError
+from repro.isa.instruction import Instruction
+from repro.learning.rule import CanonicalKey, TranslationRule, window_keys
+from repro.learning.ruleset import RuleSet
+
+
+class Tier0Stats:
+    """Process-wide tier-0 counters.
+
+    Surfaced through :func:`repro.cache.stats_payload`, which is what both
+    ``repro cache stats`` and the service ``stats`` endpoint serialize.
+    ``rules`` / ``coverage`` are gauges describing the most recently loaded
+    tier-0 set; the rest are monotonic counters.  The per-lookup counters
+    are bumped lock-free from :meth:`HotIndex.lookup_canonical` (hot path;
+    a lost increment under thread races is acceptable observability error),
+    the lock only guards the cold operations (reset / load / snapshot).
+    """
+
+    _FIELDS = (
+        "loads",
+        "resolved_rules",
+        "dropped_rules",
+        "tier0_hits",
+        "fallback_hits",
+        "misses",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.reset()
+
+    def reset(self) -> None:
+        with getattr(self, "_lock"):
+            for name in self._FIELDS:
+                setattr(self, name, 0)
+            self.rules = 0
+            self.coverage = 0.0
+
+    def incr(self, name: str, delta: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + delta)
+
+    def note_load(self, rules: int, coverage: float) -> None:
+        with self._lock:
+            self.loads += 1
+            self.rules = rules
+            self.coverage = coverage
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            payload: Dict[str, object] = {
+                name: getattr(self, name) for name in self._FIELDS
+            }
+            payload["rules"] = self.rules
+            payload["coverage"] = round(self.coverage, 6)
+            return payload
+
+
+#: The process-wide counter instance.
+TIER0_STATS = Tier0Stats()
+
+
+def slot_owner(full: RuleSet, rule: TranslationRule) -> bool:
+    """Does the full index answer ``rule.guest`` with this exact object?
+
+    The admission filter for tier-0: only slot owners may enter the packed
+    dict (see the module docstring's parity argument).
+    """
+    return full.lookup(rule.guest) is rule
+
+
+class HotIndex:
+    """Flat packed dict over tier-0 rules with full-index miss fallback.
+
+    Duck-types the ``RuleSet`` lookup surface the translator and service
+    rely on (``lookup`` / ``lookup_canonical`` / ``max_guest_length`` /
+    ``__len__`` / ``__iter__`` / ``frozen``).  Iteration, length and
+    ``max_guest_length`` delegate to the *fallback* (full) index when one is
+    present so window planning and every non-lookup consumer behave exactly
+    as without tier-0.
+    """
+
+    def __init__(
+        self,
+        rules: Iterable[TranslationRule],
+        fallback=None,
+        *,
+        coverage: float = 0.0,
+        digest: str = "",
+    ) -> None:
+        self._fallback = fallback
+        self.coverage = float(coverage)
+        self.digest = digest
+        self.tier0_rules: Tuple[TranslationRule, ...] = tuple(rules)
+        packed: Dict[CanonicalKey, TranslationRule] = {}
+        for rule in self.tier0_rules:
+            key = rule.key()
+            current = packed.get(key)
+            # Slot owners cannot collide; keep the flat preference anyway
+            # (generalized beats specific) if a caller hands us extras.
+            if current is None or (
+                rule.imm_generalized and not current.imm_generalized
+            ):
+                packed[key] = rule
+        self._packed = packed
+        self.tier0_hits = 0
+        self.fallback_hits = 0
+        self.misses = 0
+
+    # -- RuleSet surface -------------------------------------------------------
+
+    @property
+    def frozen(self) -> bool:
+        return True
+
+    @property
+    def tier0_size(self) -> int:
+        return len(self.tier0_rules)
+
+    def __len__(self) -> int:
+        if self._fallback is not None:
+            return len(self._fallback)
+        return len(self.tier0_rules)
+
+    def __iter__(self) -> Iterator[TranslationRule]:
+        if self._fallback is not None:
+            return iter(self._fallback)
+        return iter(self.tier0_rules)
+
+    def max_guest_length(self) -> int:
+        if self._fallback is not None:
+            return self._fallback.max_guest_length()
+        return max((rule.guest_length for rule in self.tier0_rules), default=0)
+
+    def lookup(self, window: Sequence[Instruction]) -> Optional[TranslationRule]:
+        try:
+            general, specific = window_keys(window)
+        except RuleError:
+            return None
+        return self.lookup_canonical(general, specific)
+
+    def lookup_canonical(
+        self, general: CanonicalKey, specific: CanonicalKey
+    ) -> Optional[TranslationRule]:
+        # Counter bumps are deliberately lock-free: this sits on the
+        # translate hot path, and a lost increment under thread races is an
+        # acceptable observability error (single-threaded counts are exact).
+        packed = self._packed
+        rule = packed.get(general)
+        if rule is None and specific is not general:
+            rule = packed.get(specific)
+        if rule is not None:
+            self.tier0_hits += 1
+            TIER0_STATS.tier0_hits += 1
+            return rule
+        fallback = self._fallback
+        if fallback is not None:
+            rule = fallback.lookup_canonical(general, specific)
+        if rule is not None:
+            self.fallback_hits += 1
+            TIER0_STATS.fallback_hits += 1
+        else:
+            self.misses += 1
+            TIER0_STATS.misses += 1
+        return rule
+
+    # -- observability ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        tier0_hits = self.tier0_hits
+        fallback_hits = self.fallback_hits
+        misses = self.misses
+        total = tier0_hits + fallback_hits + misses
+        return {
+            "rules": self.tier0_size,
+            "coverage": round(self.coverage, 6),
+            "digest": self.digest,
+            "tier0_hits": tier0_hits,
+            "fallback_hits": fallback_hits,
+            "misses": misses,
+            "tier0_hit_rate": round(tier0_hits / total, 6) if total else 0.0,
+        }

@@ -93,6 +93,147 @@ def guest_key(
     return _canonicalize(instructions, {}, {}, with_values, collect=True)
 
 
+def window_keys(
+    instructions: Sequence[Instruction],
+) -> Tuple[CanonicalKey, CanonicalKey]:
+    """(generalized key, value-specific key) in one canonicalization pass.
+
+    Equivalent to ``(guest_key(w, False), guest_key(w, True))`` — register
+    indices and immediate slots grow in first-occurrence order regardless of
+    ``with_values``, so both key forms share one walk over the window.  For
+    immediate-free windows the two forms are the same tuple and the same
+    object is returned twice (callers may use ``is`` to skip the second
+    probe).
+    """
+    reg_index: Dict[str, int] = {}
+    imm_slots: Dict[int, int] = {}
+
+    def reg_idx(name: str) -> int:
+        if name not in reg_index:
+            reg_index[name] = len(reg_index)
+        return reg_index[name]
+
+    def imm_slot(value: int) -> int:
+        if value not in imm_slots:
+            imm_slots[value] = len(imm_slots)
+        return imm_slots[value]
+
+    general_items = []
+    specific_items = []
+    has_values = False
+    for insn in instructions:
+        general: List[Descriptor] = []
+        specific: List[Descriptor] = []
+        for op in insn.operands:
+            if isinstance(op, Reg):
+                descriptor = ("r", reg_idx(op.name))
+                general.append(descriptor)
+                specific.append(descriptor)
+            elif isinstance(op, Imm):
+                slot = imm_slot(op.value)
+                general.append(("i", slot))
+                specific.append(("iv", slot, op.value))
+                has_values = True
+            elif isinstance(op, Mem):
+                base = reg_idx(op.base.name) if op.base is not None else None
+                index = reg_idx(op.index.name) if op.index is not None else None
+                slot = imm_slot(op.disp)
+                general.append(("m", base, index, slot, op.scale))
+                specific.append(("mv", base, index, slot, op.disp, op.scale))
+                has_values = True
+            elif isinstance(op, Label):
+                descriptor = ("l",)
+                general.append(descriptor)
+                specific.append(descriptor)
+            else:
+                raise RuleError(f"operand {op!r} cannot appear in a rule")
+        general_items.append((insn.mnemonic, tuple(general)))
+        specific_items.append((insn.mnemonic, tuple(specific)))
+    general_key = tuple(general_items)
+    if not has_values:
+        return general_key, general_key
+    return general_key, tuple(specific_items)
+
+
+def window_key_prefixes(
+    instructions: Sequence[Instruction],
+) -> List[Tuple[CanonicalKey, CanonicalKey]]:
+    """Key pairs for **every prefix** of the sequence, in one walk.
+
+    ``result[k - 1]`` equals ``window_keys(instructions[:k])`` — canonical
+    renaming assigns indices in first-occurrence order, so the maps built
+    while walking a long window are, at each step, exactly the maps the
+    prefix would have built on its own.  This is what lets the translator's
+    longest-match probe fingerprint a position once instead of once per
+    candidate length (cost ``n`` instruction visits instead of
+    ``n + (n-1) + ... + 1``).
+
+    Stops at the first instruction that cannot be canonicalized; the
+    prefixes computed up to that point are still returned (shorter windows
+    remain probeable, exactly as per-window :func:`window_keys` calls would
+    behave).
+    """
+    reg_index: Dict[str, int] = {}
+    imm_slots: Dict[int, int] = {}
+
+    def reg_idx(name: str) -> int:
+        if name not in reg_index:
+            reg_index[name] = len(reg_index)
+        return reg_index[name]
+
+    def imm_slot(value: int) -> int:
+        if value not in imm_slots:
+            imm_slots[value] = len(imm_slots)
+        return imm_slots[value]
+
+    general_items: List[Tuple] = []
+    specific_items: List[Tuple] = []
+    has_values = False
+    pairs: List[Tuple[CanonicalKey, CanonicalKey]] = []
+    for insn in instructions:
+        general: List[Descriptor] = []
+        specific: List[Descriptor] = []
+        try:
+            for op in insn.operands:
+                if isinstance(op, Reg):
+                    descriptor = ("r", reg_idx(op.name))
+                    general.append(descriptor)
+                    specific.append(descriptor)
+                elif isinstance(op, Imm):
+                    slot = imm_slot(op.value)
+                    general.append(("i", slot))
+                    specific.append(("iv", slot, op.value))
+                    has_values = True
+                elif isinstance(op, Mem):
+                    base = reg_idx(op.base.name) if op.base is not None else None
+                    index = (
+                        reg_idx(op.index.name) if op.index is not None else None
+                    )
+                    slot = imm_slot(op.disp)
+                    general.append(("m", base, index, slot, op.scale))
+                    specific.append(
+                        ("mv", base, index, slot, op.disp, op.scale)
+                    )
+                    has_values = True
+                elif isinstance(op, Label):
+                    descriptor = ("l",)
+                    general.append(descriptor)
+                    specific.append(descriptor)
+                else:
+                    raise RuleError(f"operand {op!r} cannot appear in a rule")
+        except RuleError:
+            break
+        general_items.append((insn.mnemonic, tuple(general)))
+        specific_items.append((insn.mnemonic, tuple(specific)))
+        general_key = tuple(general_items)
+        pairs.append(
+            (general_key, general_key)
+            if not has_values
+            else (general_key, tuple(specific_items))
+        )
+    return pairs
+
+
 def window_bindings(
     instructions: Sequence[Instruction],
 ) -> Tuple[Tuple[str, ...], Tuple[int, ...]]:
@@ -162,6 +303,24 @@ class TranslationRule:
 
     # -- instantiation -----------------------------------------------------------
 
+    def _instantiation_template(self) -> Tuple:
+        """Template-side instantiation context, computed once per rule.
+
+        The template bindings, inverse register mapping and temp indices
+        depend only on the (immutable) rule, yet were historically rebuilt
+        on every application — a measurable slice of translate time.  The
+        dataclass is frozen, so the lazy cache goes through
+        ``object.__setattr__``.
+        """
+        cached = self.__dict__.get("_inst_template")
+        if cached is None:
+            tpl_regs, tpl_imms = window_bindings(self.guest)
+            inverse = {h: g for g, h in self.reg_mapping}
+            temp_index = {name: i for i, name in enumerate(self.host_temps)}
+            cached = (tpl_regs, tpl_imms, inverse, temp_index)
+            object.__setattr__(self, "_inst_template", cached)
+        return cached
+
     def matches(self, window: Sequence[Instruction]) -> bool:
         try:
             return guest_key(window, with_values=not self.imm_generalized) == self.key()
@@ -183,7 +342,7 @@ class TranslationRule:
         target into the host-side label.
         """
         win_regs, win_imms = window_bindings(window)
-        tpl_regs, tpl_imms = window_bindings(self.guest)
+        tpl_regs, tpl_imms, inverse, temp_index = self._instantiation_template()
         if len(win_regs) != len(tpl_regs) or len(win_imms) != len(tpl_imms):
             raise RuleError("window does not match rule shape")
         guest_of_template = dict(zip(tpl_regs, win_regs))
@@ -191,10 +350,6 @@ class TranslationRule:
         window_labels = [
             op.name for insn in window for op in insn.operands if isinstance(op, Label)
         ]
-
-        mapping = self.mapping_dict
-        inverse = {h: g for g, h in mapping.items()}
-        temp_index = {name: i for i, name in enumerate(self.host_temps)}
 
         def host_operand(op: Operand) -> Operand:
             if isinstance(op, Reg):

@@ -7,7 +7,12 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 
 from repro.errors import RuleError
 from repro.isa.instruction import Instruction
-from repro.learning.rule import CanonicalKey, TranslationRule, guest_key
+from repro.learning.rule import (
+    CanonicalKey,
+    TranslationRule,
+    guest_key,
+    window_keys,
+)
 
 
 @dataclass
@@ -76,6 +81,36 @@ class RuleSet:
 
     def lookup(self, window: Sequence[Instruction]) -> Optional[TranslationRule]:
         """Best rule matching a concrete guest window, or None."""
+        try:
+            general, specific = window_keys(window)
+        except RuleError:
+            return None
+        return self.lookup_canonical(general, specific)
+
+    def lookup_canonical(
+        self, general: CanonicalKey, specific: CanonicalKey
+    ) -> Optional[TranslationRule]:
+        """Lookup from precomputed :func:`window_keys` key pair.
+
+        Preference order is identical to :meth:`lookup`: the
+        immediate-generalized index wins, the value-specific index is the
+        fallback.
+        """
+        rule = self._generalized.get(general)
+        if rule is not None:
+            return rule
+        return self._specific.get(specific)
+
+    def lookup_legacy(
+        self, window: Sequence[Instruction]
+    ) -> Optional[TranslationRule]:
+        """The pre-fast-path lookup: one canonicalization pass per probe.
+
+        Kept verbatim as the honest A/B baseline for ``repro bench
+        --distill`` — :func:`window_keys` computes both keys in a single
+        walk, this recomputes from scratch per index.  Must return exactly
+        what :meth:`lookup` returns (the distill parity gate covers this).
+        """
         try:
             general = guest_key(window, with_values=False)
         except RuleError:

@@ -168,19 +168,45 @@ def _pick(rng: random.Random) -> str:
     return MIX[-1][0]
 
 
+def _phase_key(op: str, unit: Any, stage: str, seen: set) -> str:
+    """``op:cold`` / ``op:warm`` per-endpoint histogram key.
+
+    The first request the client issues for a (unit, stage) pair hits a
+    server that has not translated it yet — that request pays the
+    translate phase on top of the run phase.  Later requests for the same
+    unit are served from the warm translator/code cache.  Classification
+    is client-side and at build time (a shared single-event-loop set), so
+    it is an approximation under concurrent first requests — the server's
+    single-flight translation makes all of those pay cold-start latency
+    anyway, which is exactly what the cold bucket should capture.
+    """
+    key = (unit, stage)
+    if key in seen:
+        return f"{op}:warm"
+    seen.add(key)
+    return f"{op}:cold"
+
+
 def _build_request(
     kind: str,
     ident: str,
     rng: random.Random,
     options: LoadgenOptions,
     fuzz_pool: List[Tuple[str, ...]],
-) -> Tuple[Dict[str, Any], Optional[Any]]:
-    """(request object, oracle key) — oracle key is None for unchecked ops."""
+    seen: set,
+) -> Tuple[Dict[str, Any], Optional[Any], str]:
+    """(request, oracle key, stats key) — oracle key None for unchecked ops.
+
+    The stats key is the per-endpoint histogram bucket: translating ops
+    (``run`` / ``translate``) are split into ``:cold`` / ``:warm`` phases
+    so translate-phase latency reports separately from run-phase latency.
+    """
     if kind == "run-bench" or (kind == "run-fuzz" and not fuzz_pool):
         name = rng.choice(options.benchmarks)
         return (
             {"id": ident, "op": "run", "benchmark": name, "stage": options.stage},
             ("benchmark", name),
+            _phase_key("run", ("benchmark", name), options.stage, seen),
         )
     if kind == "run-fuzz":
         lines = fuzz_pool[rng.randrange(len(fuzz_pool))]
@@ -192,6 +218,7 @@ def _build_request(
                 "stage": options.stage,
             },
             ("program", lines),
+            _phase_key("run", ("program", lines), options.stage, seen),
         )
     if kind == "translate":
         name = rng.choice(options.benchmarks)
@@ -203,6 +230,7 @@ def _build_request(
                 "stage": options.stage,
             },
             None,
+            _phase_key("translate", ("benchmark", name), options.stage, seen),
         )
     if kind == "coverage":
         name = rng.choice(options.benchmarks)
@@ -214,10 +242,11 @@ def _build_request(
                 "stage": options.stage,
             },
             None,
+            "coverage",
         )
     if kind == "stats":
-        return {"id": ident, "op": "stats"}, None
-    return {"id": ident, "op": "ping"}, None
+        return {"id": ident, "op": "stats"}, None, "stats"
+    return {"id": ident, "op": "ping"}, None, "ping"
 
 
 async def _worker(
@@ -229,6 +258,7 @@ async def _worker(
     overall: LatencyHistogram,
     oracle: _OracleBook,
     fuzz_pool: List[Tuple[str, ...]],
+    seen_units: set,
 ) -> None:
     from repro.difftest.oracle import diff_snapshots
 
@@ -246,8 +276,8 @@ async def _worker(
             sequence += 1
             ident = f"w{wid}-{sequence}"
             kind = _pick(rng)
-            request, oracle_key = _build_request(
-                kind, ident, rng, options, fuzz_pool
+            request, oracle_key, stats_key = _build_request(
+                kind, ident, rng, options, fuzz_pool, seen_units
             )
             op = request["op"]
             started = time.perf_counter()
@@ -272,17 +302,17 @@ async def _worker(
             try:
                 response = json.loads(raw.decode("utf-8"))
             except ValueError as exc:
-                endpoint_stats.observe(op, elapsed, False)
+                endpoint_stats.observe(stats_key, elapsed, False)
                 tally.note_error(f"{ident} ({op}): unparseable response: {exc}")
                 continue
             if response.get("id") != ident:
-                endpoint_stats.observe(op, elapsed, False)
+                endpoint_stats.observe(stats_key, elapsed, False)
                 tally.note_error(
                     f"{ident} ({op}): response id mismatch ({response.get('id')!r})"
                 )
                 continue
             if response.get("ok"):
-                endpoint_stats.observe(op, elapsed, True)
+                endpoint_stats.observe(stats_key, elapsed, True)
                 tally.ok += 1
                 if oracle_key is not None:
                     reference = (
@@ -305,11 +335,11 @@ async def _worker(
                 continue
             error = response.get("error") or {}
             if error.get("retryable"):
-                endpoint_stats.observe(op, elapsed, True)
+                endpoint_stats.observe(stats_key, elapsed, True)
                 tally.backpressure_retries += 1
                 await asyncio.sleep(rng.uniform(0.005, 0.025))
                 continue
-            endpoint_stats.observe(op, elapsed, False)
+            endpoint_stats.observe(stats_key, elapsed, False)
             tally.note_error(
                 f"{ident} ({op}): {error.get('code')}: {error.get('message')}"
             )
@@ -354,6 +384,9 @@ async def run_loadgen_async(
     tally = _Tally()
     endpoint_stats = EndpointStats()
     overall = LatencyHistogram()
+    # Shared cold/warm classification state: first builder of a request for
+    # a (unit, stage) pair claims its cold slot (single event loop).
+    seen_units: set = set()
     started = time.monotonic()
     deadline = started + options.duration
     await asyncio.gather(
@@ -367,6 +400,7 @@ async def run_loadgen_async(
                 overall,
                 oracle,
                 fuzz_pool,
+                seen_units,
             )
             for wid in range(options.concurrency)
         )

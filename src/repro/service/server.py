@@ -55,7 +55,7 @@ from repro.service import protocol
 from repro.service.codecache import SingleFlightCodeCache
 from repro.service.diskcode import CLAIMED, DiskCodeCache
 from repro.service.protocol import ProtocolError
-from repro.service.shards import DEFAULT_SHARDS, ShardedRuleIndex
+from repro.service.shards import DEFAULT_SHARDS, ShardedRuleIndex, Tier0Front
 from repro.service.stats import EndpointStats
 
 
@@ -90,6 +90,12 @@ class ServiceConfig:
     #: layer (generated source stays in-process only).  The pre-fork pool
     #: always sets this so sibling workers share compiled blocks.
     disk_code_dir: Optional[str] = None
+    #: path to a distilled tier-0 artifact (``repro distill``); None serves
+    #: every lookup from the sharded full index.  The artifact fronts only
+    #: the stage it was distilled for and is resolved onto the serving rule
+    #: set at load — a stale artifact degrades to the full index instead of
+    #: changing any response bytes.
+    tier0_path: Optional[str] = None
     #: enable the test-only ``_sleep`` op (deterministic backpressure /
     #: timeout exercises); never enable on a real deployment.
     debug_ops: bool = False
@@ -160,6 +166,11 @@ class TranslationService:
         if setup is None:
             setup = resolve_setup(config)
         self._setup = setup
+        self._tier0_payload: Optional[Dict[str, Any]] = None
+        if config.tier0_path:
+            from repro.learning.distill import load_artifact
+
+            self._tier0_payload = load_artifact(config.tier0_path)
         self.disk_code: Optional[DiskCodeCache] = (
             DiskCodeCache(config.disk_code_dir)
             if config.disk_code_dir
@@ -204,11 +215,33 @@ class TranslationService:
                 if base.rules is None:  # the rule-less qemu baseline stage
                     cfg = base
                 else:
-                    index = ShardedRuleIndex(base.rules, self.config.shards)
+                    index = self._build_index(stage, base.rules)
                     self._indices[stage] = index
                     cfg = dataclasses.replace(base, rules=index)
                 self._configs[stage] = cfg
             return cfg
+
+    def _build_index(self, stage: str, rules):
+        """Sharded index for a stage, fronted by tier-0 when it applies.
+
+        The tier-0 artifact names the stage it was distilled for; other
+        stages keep the plain sharded index.
+        """
+        payload = self._tier0_payload
+        if payload is None or payload.get("stage") != stage:
+            return ShardedRuleIndex(rules, self.config.shards)
+        from repro.learning.distill import resolve_artifact
+
+        resolved = resolve_artifact(payload, rules)
+        return Tier0Front(
+            resolved.rules,
+            rules,
+            self.config.shards,
+            coverage=resolved.coverage,
+            digest=resolved.digest,
+            dropped=resolved.dropped,
+            stale=resolved.stale,
+        )
 
     def _stage_of(self, obj: Dict[str, Any]) -> str:
         stage = obj.get("stage", self.config.stage)

@@ -28,7 +28,8 @@ from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.isa.arm.opcodes import ARM
 from repro.isa.instruction import Instruction
-from repro.learning.rule import TranslationRule
+from repro.learning.hotindex import HotIndex
+from repro.learning.rule import CanonicalKey, TranslationRule
 from repro.learning.ruleset import RuleSet
 
 DEFAULT_SHARDS = 8
@@ -109,6 +110,18 @@ class ShardedRuleIndex:
         shard.record(rule is not None)
         return rule
 
+    def lookup_canonical(
+        self, general: CanonicalKey, specific: CanonicalKey
+    ) -> Optional[TranslationRule]:
+        """Precomputed-key lookup: the general key carries the first guest
+        mnemonic (``general[0][0]``), so routing needs no re-canonicalization."""
+        if not general:
+            return None
+        shard = self._shards[shard_of(general[0][0], self.num_shards)]
+        rule = shard.rules.lookup_canonical(general, specific)
+        shard.record(rule is not None)
+        return rule
+
     def max_guest_length(self) -> int:
         return self._max_guest_length
 
@@ -141,3 +154,69 @@ class ShardedRuleIndex:
             "hit_rate": round(hits / (hits + misses), 4) if hits + misses else 0.0,
             "shards": shards,
         }
+
+
+class Tier0Front:
+    """Distilled tier-0 front over the sharded full index (serving layout).
+
+    A :class:`~repro.learning.hotindex.HotIndex` answers the hot ~95% of
+    lookups from one flat packed dict; every miss falls through to the
+    crc32-sharded full index, so the front is translation-transparent (the
+    hotindex module's parity argument).  ``stats()`` nests the tier-0
+    counters (tier0_hits / fallback_hits / misses, size, coverage) above
+    the usual shard breakdown — fallback lookups still bump the shard
+    counters they land on.
+    """
+
+    def __init__(
+        self,
+        tier0_rules: Sequence[TranslationRule],
+        full: RuleSet,
+        num_shards: int = DEFAULT_SHARDS,
+        *,
+        coverage: float = 0.0,
+        digest: str = "",
+        dropped: int = 0,
+        stale: bool = False,
+    ) -> None:
+        self.shards = ShardedRuleIndex(full, num_shards)
+        self.hot = HotIndex(
+            tier0_rules, self.shards, coverage=coverage, digest=digest
+        )
+        self.dropped = dropped
+        self.stale = stale
+
+    # -- RuleSet surface the translator relies on ---------------------------
+
+    def lookup(self, window: Sequence[Instruction]) -> Optional[TranslationRule]:
+        return self.hot.lookup(window)
+
+    def lookup_canonical(
+        self, general: CanonicalKey, specific: CanonicalKey
+    ) -> Optional[TranslationRule]:
+        return self.hot.lookup_canonical(general, specific)
+
+    def max_guest_length(self) -> int:
+        return self.shards.max_guest_length()
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __iter__(self) -> Iterator[TranslationRule]:
+        return iter(self.shards)
+
+    @property
+    def frozen(self) -> bool:
+        return True
+
+    # -- observability -------------------------------------------------------
+
+    def lookups(self) -> int:
+        stats = self.hot.stats()
+        return stats["tier0_hits"] + stats["fallback_hits"] + stats["misses"]
+
+    def stats(self) -> Dict[str, object]:
+        tier0 = self.hot.stats()
+        tier0["dropped"] = self.dropped
+        tier0["stale"] = self.stale
+        return {"tier0": tier0, **self.shards.stats()}

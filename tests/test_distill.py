@@ -1,0 +1,258 @@
+"""Tier-0 distillation: lookup parity, artifact round-trip, counters.
+
+The load-bearing property is **lookup parity**: a :class:`HotIndex` packed
+from any slot-owner subset of a rule set, with that set as fallback, must
+answer every window exactly like the flat set — including the
+generalized-over-specific preference and the shorter-host slot tie-break.
+The hypothesis test drives this over random instruction windows; the
+handcrafted cases pin the two preference rules explicitly.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.isa.arm import assemble as arm
+from repro.isa.x86 import assemble as x86
+from repro.learning.hotindex import TIER0_STATS, HotIndex, slot_owner
+from repro.learning.rule import (
+    TranslationRule,
+    guest_key,
+    window_key_prefixes,
+    window_keys,
+)
+from repro.learning.ruleset import RuleSet
+
+from .strategies import arm_instructions
+
+
+def make_rule(guest, host, mapping, imm_gen=False, origin="learned", temps=()):
+    return TranslationRule(
+        guest=arm(guest),
+        host=x86(host),
+        reg_mapping=tuple(sorted(mapping.items())),
+        host_temps=tuple(temps),
+        imm_generalized=imm_gen,
+        origin=origin,
+    )
+
+
+@pytest.fixture(scope="module")
+def training():
+    """The two-benchmark training rule set (shared across this module)."""
+    from repro.difftest.oracle import training_rules
+
+    return training_rules()
+
+
+def tier0_subset(full, limit=40):
+    return [rule for rule in full.rules if slot_owner(full, rule)][:limit]
+
+
+class TestWindowKeys:
+    @given(window=st.lists(arm_instructions(), min_size=1, max_size=4))
+    def test_window_keys_match_guest_key(self, window):
+        window = tuple(window)
+        general, specific = window_keys(window)
+        assert general == guest_key(window, with_values=False)
+        assert specific == guest_key(window, with_values=True)
+
+    @given(window=st.lists(arm_instructions(), min_size=1, max_size=4))
+    def test_prefixes_match_per_prefix_window_keys(self, window):
+        window = tuple(window)
+        prefixes = window_key_prefixes(window)
+        assert len(prefixes) == len(window)
+        for k, pair in enumerate(prefixes, start=1):
+            assert pair == window_keys(window[:k])
+
+    def test_imm_free_window_shares_key_object(self):
+        general, specific = window_keys(arm("add r0, r1, r2"))
+        assert specific is general
+        general, specific = window_keys(arm("add r0, r1, #4"))
+        assert specific is not general
+
+
+class TestLookupParity:
+    @settings(max_examples=60, deadline=None)
+    @given(window=st.lists(arm_instructions(), min_size=1, max_size=4))
+    def test_hotindex_matches_flat_lookup(self, training, window):
+        window = tuple(window)
+        hot = HotIndex(tier0_subset(training), training)
+        assert hot.lookup(window) is training.lookup(window)
+
+    def test_tier0_rule_guests_resolve_identically(self, training):
+        subset = tier0_subset(training)
+        hot = HotIndex(subset, training)
+        for rule in subset:
+            assert hot.lookup(rule.guest) is rule
+            assert training.lookup(rule.guest) is rule
+
+    def test_generalized_preferred_over_specific(self):
+        full = RuleSet()
+        specific = make_rule(
+            "add r0, r0, #4", "addl $4, %eax", {"r0": "eax"}, imm_gen=False
+        )
+        generalized = make_rule(
+            "add r0, r0, #4", "addl $4, %eax", {"r0": "eax"}, imm_gen=True
+        )
+        assert full.add(specific) and full.add(generalized)
+        hot = HotIndex([r for r in full.rules if slot_owner(full, r)], full)
+        window = arm("add r3, r3, #4")
+        assert full.lookup(window) is generalized
+        assert hot.lookup(window) is generalized
+
+    def test_specific_hit_only_without_generalized_owner(self):
+        full = RuleSet()
+        specific = make_rule(
+            "add r0, r0, #4", "addl $4, %eax", {"r0": "eax"}, imm_gen=False
+        )
+        assert full.add(specific)
+        hot = HotIndex([specific], full)
+        assert hot.lookup(arm("add r5, r5, #4")) is specific
+        # A different immediate misses the specific slot in both indexes.
+        assert hot.lookup(arm("add r5, r5, #8")) is None
+        assert full.lookup(arm("add r5, r5, #8")) is None
+
+    def test_shorter_host_tie_break_survives_packing(self):
+        full = RuleSet()
+        long_host = make_rule(
+            "sub r0, r0, r1",
+            "movl %eax, %ecx\nsubl %edx, %ecx\nmovl %ecx, %eax",
+            {"r0": "eax", "r1": "edx"},
+            origin="learned",
+            temps=("ecx",),
+        )
+        short_host = make_rule(
+            "sub r0, r0, r1", "subl %edx, %eax", {"r0": "eax", "r1": "edx"},
+            origin="opcode-param",
+        )
+        assert full.add(long_host) and full.add(short_host)
+        window = arm("sub r4, r4, r9")
+        assert full.lookup(window) is short_host
+        assert not slot_owner(full, long_host)
+        hot = HotIndex([r for r in full.rules if slot_owner(full, r)], full)
+        assert hot.lookup(window) is short_host
+
+    def test_legacy_lookup_matches_fast_lookup(self, training):
+        for rule in training.rules[:50]:
+            assert training.lookup_legacy(rule.guest) is training.lookup(
+                rule.guest
+            )
+
+
+class TestCounters:
+    def test_hit_fallback_miss_counters(self, training):
+        subset = tier0_subset(training, limit=5)
+        hot = HotIndex(subset, training)
+        before = TIER0_STATS.snapshot()
+        hot.lookup(subset[0].guest)  # tier-0 hit
+        fallback_rule = next(
+            rule
+            for rule in training.rules
+            if slot_owner(training, rule) and rule not in subset
+        )
+        hot.lookup(fallback_rule.guest)  # fallback hit
+        hot.lookup(arm("mvn r0, r1"))  # likely miss; either way accounted
+        stats = hot.stats()
+        assert stats["tier0_hits"] == 1
+        assert stats["fallback_hits"] >= 1
+        assert stats["tier0_hits"] + stats["fallback_hits"] + stats["misses"] == 3
+        after = TIER0_STATS.snapshot()
+        assert after["tier0_hits"] == before["tier0_hits"] + 1
+
+    def test_stats_payload_has_tier0_section(self):
+        from repro.cache import stats_payload
+
+        payload = stats_payload(include_disk=False)
+        assert "tier0" in payload
+        for key in ("loads", "tier0_hits", "fallback_hits", "misses", "rules"):
+            assert key in payload["tier0"]
+
+
+class TestArtifact:
+    @pytest.fixture(scope="class")
+    def artifact_setup(self):
+        from repro.learning.distill import distill, setup_for_training
+
+        config = setup_for_training("quick").configs["condition"]
+        payload = distill(
+            config,
+            stage="condition",
+            benchmarks=["mcf"],
+            training="quick",
+        )
+        return config, payload
+
+    def test_round_trip_preserves_lookups(self, artifact_setup, tmp_path):
+        from repro.learning.distill import (
+            load_artifact,
+            resolve_artifact,
+            write_artifact,
+        )
+
+        config, payload = artifact_setup
+        path = str(tmp_path / "tier0.json")
+        write_artifact(payload, path)
+        loaded = load_artifact(path)
+        assert loaded == payload
+        resolved = resolve_artifact(loaded, config.rules)
+        assert resolved.dropped == 0
+        assert not resolved.stale
+        assert len(resolved.rules) == len(payload["rules"])
+        hot = HotIndex(resolved.rules, config.rules)
+        for rule in resolved.rules:
+            assert hot.lookup(rule.guest) is rule
+            assert config.rules.lookup(rule.guest) is rule
+
+    def test_artifact_is_content_addressed(self, artifact_setup):
+        from repro.learning.distill import _body_digest
+
+        _, payload = artifact_setup
+        body = {k: v for k, v in payload.items() if k != "digest"}
+        assert payload["digest"] == _body_digest(body)
+
+    def test_coverage_meets_target(self, artifact_setup):
+        _, payload = artifact_setup
+        assert payload["total_hits"] > 0
+        assert payload["coverage"] >= payload["coverage_target"]
+
+    def test_digest_tamper_rejected(self, artifact_setup, tmp_path):
+        from repro.learning.distill import load_artifact, write_artifact
+
+        _, payload = artifact_setup
+        corrupt = dict(payload)
+        corrupt["coverage"] = 1.0  # body change without digest update
+        path = str(tmp_path / "tampered.json")
+        write_artifact(corrupt, path)
+        with pytest.raises(ReproError, match="digest mismatch"):
+            load_artifact(path)
+
+    def test_unknown_format_rejected(self, artifact_setup, tmp_path):
+        from repro.learning.distill import load_artifact
+
+        _, payload = artifact_setup
+        wrong = dict(payload, format="repro-tier0-v999")
+        path = tmp_path / "wrong.json"
+        path.write_text(json.dumps(wrong))
+        with pytest.raises(ReproError, match="unsupported tier-0 format"):
+            load_artifact(str(path))
+
+    def test_stale_artifact_degrades_not_diverges(self, artifact_setup):
+        """Resolved against a different rule set: unresolvable rules are
+        dropped and the front still answers like that serving set."""
+        from repro.learning.distill import resolve_artifact
+
+        _, payload = artifact_setup
+        other = RuleSet()
+        other.add(
+            make_rule("add r0, r1, r2", "movl %ecx, %eax\naddl %edx, %eax",
+                      {"r0": "eax", "r1": "ecx", "r2": "edx"})
+        )
+        resolved = resolve_artifact(payload, other)
+        assert resolved.stale
+        assert len(resolved.rules) + resolved.dropped == len(payload["rules"])
+        hot = HotIndex(resolved.rules, other)
+        window = arm("add r3, r4, r5")
+        assert hot.lookup(window) is other.lookup(window)
