@@ -74,10 +74,22 @@ def write_json_report(payload: Dict[str, object], path: str) -> None:
 
     The single write path for ``BENCH_dbt.json``, ``BENCH_offline.json``,
     and ``BENCH_service.json`` — every report on disk carries the same
-    machine-diffable metadata block.
+    machine-diffable metadata block.  Service reports that captured the
+    server's ``stats`` additionally get the serving ruleset's version and
+    digest stamped into the meta, so a report is attributable to the exact
+    ruleset artifact it measured (an explicit caller-supplied ``meta`` is
+    never touched).
     """
     payload = dict(payload)
-    payload.setdefault("meta", bench_metadata())
+    if "meta" not in payload:
+        meta = bench_metadata()
+        server_stats = payload.get("server_stats")
+        if isinstance(server_stats, dict):
+            ruleset = server_stats.get("ruleset")
+            if isinstance(ruleset, dict):
+                meta["ruleset_version"] = ruleset.get("version")
+                meta["ruleset_digest"] = ruleset.get("digest")
+        payload["meta"] = meta
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -471,6 +483,7 @@ def run_service_bench(
     from repro.service.loadgen import LoadgenOptions, run_sweep
 
     curves: List[Dict[str, object]] = []
+    server_stats: Optional[Dict[str, object]] = None
     with tempfile.TemporaryDirectory(prefix="repro-service-bench-") as runtime:
         for count in workers:
             if log is not None:
@@ -490,6 +503,7 @@ def run_service_bench(
                 curves.append(
                     {"workers": count, "saturation": sweep["saturation"]}
                 )
+                server_stats = sweep.get("server_stats") or server_stats
             finally:
                 if proc.poll() is None:
                     proc.send_signal(signal.SIGTERM)
@@ -511,6 +525,7 @@ def run_service_bench(
         "duration_seconds": duration,
         "clients": list(clients),
         "workers": curves,
+        "server_stats": server_stats,
         "summary": {
             "peak_rps_by_workers": peak,
             "speedup_vs_first": {

@@ -13,6 +13,7 @@ Usage::
     repro cache clear               # drop disk + in-memory caches
     repro serve [--port 9477]       # translation-as-a-service TCP server
     repro loadgen [--duration 10]   # drive a server; oracle-verified report
+    repro pipeline run              # corpus→learn→derive→verify→publish
 
 Every experiment prints the same rows the paper reports, with a note giving
 the paper's numbers for comparison.  ``--jobs N`` (0 = all CPUs) fans the
@@ -508,6 +509,8 @@ def _cmd_serve(args) -> int:
         chaining=not args.no_chaining,
         backend=args.backend,
         tier0_path=None if args.no_tier0 else args.tier0,
+        ruleset_store=args.ruleset_store,
+        watch_interval=args.watch_interval,
     )
     if args.workers > 1 or args.pool_dir:
         from repro.service import PoolConfig, serve_pool
@@ -520,6 +523,83 @@ def _cmd_serve(args) -> int:
             )
         )
     return serve(config)
+
+
+def _cmd_pipeline(args) -> int:
+    """Staged corpus→learn→derive→verify→publish with artifact skipping."""
+    import json
+
+    from repro.errors import ReproError
+    from repro.pipeline import Pipeline, PipelineConfig
+
+    benchmarks = None
+    if args.benchmarks:
+        benchmarks = tuple(
+            part for part in args.benchmarks.split(",") if part
+        )
+    pipeline = Pipeline(
+        PipelineConfig(
+            workdir=args.workdir,
+            store_dir=args.store,
+            training=args.training,
+            benchmarks=benchmarks,
+            verify_programs=args.verify_programs,
+            verify_seed=args.verify_seed,
+            backend=args.backend,
+        )
+    )
+
+    if args.action == "status":
+        payload = pipeline.status()
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        print(f"workdir : {payload['workdir']}")
+        print(f"latest  : {payload['latest'] or '(none published)'}")
+        store = payload["store"]
+        print(f"store   : {store['versions']} versions, {store['bodies']} bodies")
+        print(f"artifacts: {payload['artifacts']['entries']} entries")
+        last = payload["last_run"]
+        if last:
+            outcome = "all hits" if last["all_hits"] else "rebuilt"
+            print(f"last run: ok={last['ok']} ({outcome})")
+            for stage in last["stages"]:
+                print(
+                    f"  {stage['name']:<8} {stage['outcome']:<5}"
+                    f" [{stage['digest'][:12]}] {stage['summary']}"
+                )
+        else:
+            print("last run: (none)")
+        return 0
+
+    if args.action == "invalidate":
+        removed = pipeline.invalidate(args.stage)
+        scope = args.stage or "all stages"
+        print(f"invalidated {removed} artifact(s) ({scope})")
+        return 0
+
+    # action == "run"
+    log = None if args.quiet else (lambda message: print(f"# {message}"))
+    try:
+        report = pipeline.run(log=log)
+    except ReproError as exc:
+        print(f"pipeline failed: {exc}", file=sys.stderr)
+        return 1
+    if args.gc is not None:
+        swept = pipeline.store.gc(keep=args.gc)
+        if not args.quiet:
+            print(
+                f"# gc: kept {len(swept['kept'])},"
+                f" removed {len(swept['removed_versions'])} version(s)"
+            )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    ruleset = report["ruleset"]
+    outcome = "all stages hit" if report["all_hits"] else "stages rebuilt"
+    print(f"pipeline: ok ({outcome})")
+    print(f"ruleset : {ruleset['version']} (body {ruleset['body_sha256'][:12]})")
+    return 0
 
 
 def _cmd_loadgen(args) -> int:
@@ -786,7 +866,57 @@ def build_parser() -> argparse.ArgumentParser:
                             "across requests, so run metrics become "
                             "cache-state-dependent; disable for strictly "
                             "deterministic responses)")
+    serve.add_argument("--ruleset-store", default=None, metavar="DIR",
+                       help="versioned ruleset store (from `repro pipeline "
+                            "run`); serve its latest version and accept "
+                            "`reload` requests to hot-swap without a restart")
+    serve.add_argument("--watch-interval", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="poll the ruleset store and auto-reload when a "
+                            "new version is published (0 = reload only on "
+                            "explicit `reload` requests)")
     serve.set_defaults(fn=_cmd_serve)
+
+    pipeline = sub.add_parser(
+        "pipeline",
+        help="continuous-learning pipeline: corpus→learn→derive→verify→"
+             "publish with content-addressed stage skipping",
+    )
+    pipeline.add_argument("action", choices=("run", "status", "invalidate"),
+                          help="run the stage chain, show last-run/store "
+                               "state, or drop stage artifacts")
+    pipeline.add_argument("--workdir", default="pipeline-runtime",
+                          help="pipeline state root (stage artifacts + "
+                               "last-run report; default pipeline-runtime)")
+    pipeline.add_argument("--store", default=None, metavar="DIR",
+                          help="versioned ruleset store to publish into "
+                               "(default <workdir>/rulesets)")
+    pipeline.add_argument("--training", default="quick",
+                          choices=("quick", "full"),
+                          help="training corpus (quick = 2 benchmarks)")
+    pipeline.add_argument("--benchmarks", default=None, metavar="A,B,...",
+                          help="explicit corpus benchmark list (overrides "
+                               "--training's default corpus)")
+    pipeline.add_argument("--verify-programs", type=int, default=25,
+                          help="fuzzed programs per verify run beyond the "
+                               "corpus itself (default 25)")
+    pipeline.add_argument("--verify-seed", type=int, default=0,
+                          help="program-generator seed for the verify stage")
+    pipeline.add_argument("--backend", default="jit",
+                          choices=("jit", "trace"),
+                          help="execution backend for the verify stage")
+    pipeline.add_argument("--stage", default=None,
+                          help="with `invalidate`: drop only this stage's "
+                               "artifacts (corpus/learn/derive/verify/"
+                               "publish); default drops all")
+    pipeline.add_argument("--gc", type=int, default=None, metavar="KEEP",
+                          help="after a successful run, garbage-collect the "
+                               "store down to the latest KEEP-version chain")
+    pipeline.add_argument("--json", action="store_true",
+                          help="emit the full report/status as JSON")
+    pipeline.add_argument("--quiet", action="store_true",
+                          help="suppress per-stage progress lines")
+    pipeline.set_defaults(fn=_cmd_pipeline)
 
     loadgen = sub.add_parser(
         "loadgen", help="drive a running service; oracle-verify every run "

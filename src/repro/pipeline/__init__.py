@@ -1,0 +1,41 @@
+"""Continuous-learning pipeline: staged artifacts, versioned rulesets.
+
+``repro pipeline run`` drives corpus → learn → derive → verify → publish
+with content-addressed skip-if-unchanged artifacts per stage
+(:mod:`~repro.pipeline.stages`, :mod:`~repro.pipeline.artifacts`); the
+publish stage emits schema-versioned ruleset artifacts into a store with a
+``latest`` pointer and GC (:mod:`~repro.pipeline.store`,
+:mod:`~repro.pipeline.manifest`), which `repro serve` hot-swaps without
+dropping in-flight requests.
+"""
+
+from repro.pipeline.artifacts import ArtifactStore, artifact_digest
+from repro.pipeline.manifest import (
+    RULESET_FORMAT,
+    ServingRuleset,
+    body_digest,
+    body_from_setup,
+    build_body,
+    serving_ruleset_from_body,
+    serving_ruleset_from_setup,
+)
+from repro.pipeline.stages import STAGE_ORDER, Pipeline, PipelineConfig
+from repro.pipeline.store import MANIFEST_FORMAT, PublishResult, RulesetStore
+
+__all__ = [
+    "ArtifactStore",
+    "artifact_digest",
+    "RULESET_FORMAT",
+    "MANIFEST_FORMAT",
+    "ServingRuleset",
+    "body_digest",
+    "body_from_setup",
+    "build_body",
+    "serving_ruleset_from_body",
+    "serving_ruleset_from_setup",
+    "STAGE_ORDER",
+    "Pipeline",
+    "PipelineConfig",
+    "PublishResult",
+    "RulesetStore",
+]

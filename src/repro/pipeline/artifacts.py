@@ -1,0 +1,246 @@
+"""Content-addressed stage artifacts with single-flight build-or-wait.
+
+Every pipeline stage (:mod:`repro.pipeline.stages`) persists its output as
+one checksummed JSON artifact keyed by a digest over the stage's *inputs*
+(upstream artifact digests + parameters).  A rerun whose inputs are
+unchanged resolves to the same digest and loads the artifact instead of
+rebuilding — the bergamot-style "skip if the artifact exists" discipline —
+while any input change shifts the digest and forces a rebuild of that stage
+and everything downstream.
+
+The on-disk entry format and fault model are the ones proven by
+:mod:`repro.service.diskcode`: entries are written once via atomic rename,
+carry a sha256 over ``(format, key, payload)``, and a truncated / bit-
+flipped / hand-edited entry fails verification and is quarantined (deleted
+and rebuilt), never trusted.  Concurrent pipelines racing on one stage go
+through the shared :mod:`repro.fslock` claim-or-wait protocol: one process
+builds, the rest wait for the publication, and a dead builder's stale lock
+is broken rather than waited on forever.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro import fslock
+from repro.cache import atomic_write_text
+
+#: Entry format tag; bump on any incompatible artifact schema change.
+ARTIFACT_FORMAT = "repro-artifact-v1"
+
+#: ``get_or_build`` outcomes.
+HIT = "hit"
+BUILT = "built"
+
+
+def artifact_digest(stage: str, *parts: Any) -> str:
+    """Content digest for one stage invocation (inputs → key).
+
+    ``parts`` are the stage's inputs: upstream artifact digests plus any
+    parameters that change the output.  JSON-canonicalized so equal inputs
+    digest identically across processes.
+    """
+    canon = json.dumps(
+        [ARTIFACT_FORMAT, stage, list(parts)], sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+def _payload_checksum(key: str, payload: Any) -> str:
+    canon = json.dumps(
+        [ARTIFACT_FORMAT, key, payload], sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+class ArtifactStore:
+    """One directory of checksummed, write-once stage artifacts.
+
+    Counters are per-process; the pipeline surfaces them through
+    ``repro pipeline status`` and the run report (CI asserts a second run
+    is all hits).
+    """
+
+    def __init__(
+        self,
+        root,
+        stale_lock_seconds: float = 30.0,
+        wait_timeout: float = 600.0,
+        poll_interval: float = 0.05,
+    ) -> None:
+        # Stage builds (learning, derivation, oracle verification) run
+        # seconds-to-minutes, not milliseconds, hence the much longer
+        # stale/wait budgets than the per-block disk code cache.
+        self.root = Path(root)
+        self.stale_lock_seconds = stale_lock_seconds
+        self.wait_timeout = wait_timeout
+        self.poll_interval = poll_interval
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.writes = 0
+        self.builds = 0
+        self.claims = 0
+        self.waits = 0
+        self.wait_timeouts = 0
+        self.stale_breaks = 0
+
+    def _incr(self, name: str, delta: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + delta)
+
+    # -- paths ---------------------------------------------------------------
+
+    def entry_path(self, stage: str, digest: str) -> Path:
+        return self.root / stage / f"{digest}.json"
+
+    def lock_path(self, stage: str, digest: str) -> Path:
+        return self.root / stage / f"{digest}.lock"
+
+    # -- load/store ----------------------------------------------------------
+
+    def load(self, stage: str, digest: str) -> Optional[Any]:
+        """The stored payload for one stage invocation, or None.
+
+        A malformed, truncated, checksum-mismatched, or misfiled entry is
+        deleted (so the next builder rewrites it) and reported as a miss —
+        the pipeline must never act on a corrupt artifact.
+        """
+        path = self.entry_path(stage, digest)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            self._incr("misses")
+            return None
+        except (OSError, ValueError):
+            self._quarantine(path)
+            return None
+        try:
+            if entry["format"] != ARTIFACT_FORMAT or entry["key"] != digest:
+                raise ValueError("stale or misfiled artifact")
+            payload = entry["payload"]
+            if entry["sha256"] != _payload_checksum(digest, payload):
+                raise ValueError("checksum mismatch")
+        except (KeyError, TypeError, ValueError):
+            self._quarantine(path)
+            return None
+        self._incr("hits")
+        return payload
+
+    def _quarantine(self, path: Path) -> None:
+        self._incr("corrupt")
+        self._incr("misses")
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def store(self, stage: str, digest: str, payload: Any) -> bool:
+        """Publish a stage artifact atomically; False if already present."""
+        path = self.entry_path(stage, digest)
+        if path.exists():
+            return False
+        entry = {
+            "format": ARTIFACT_FORMAT,
+            "key": digest,
+            "stage": stage,
+            "sha256": _payload_checksum(digest, payload),
+            "payload": payload,
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(path, json.dumps(entry, sort_keys=True))
+        except OSError:
+            return False  # read-only store disables persistence only
+        self._incr("writes")
+        return True
+
+    # -- skip-or-build -------------------------------------------------------
+
+    def get_or_build(
+        self, stage: str, digest: str, build: Callable[[], Any]
+    ) -> Tuple[Any, str]:
+        """The stage's payload, building it exactly once cluster-wide.
+
+        Returns ``(payload, outcome)`` with outcome :data:`HIT` (artifact
+        existed, stage skipped — possibly after waiting on a concurrent
+        builder) or :data:`BUILT` (``build()`` ran here).  Build failures
+        propagate after the lock is released, so a crashed build never
+        wedges other pipelines.
+        """
+        cached = self.load(stage, digest)
+        if cached is not None:
+            return cached, HIT
+        def note(event: str) -> None:
+            self._incr(event + "s")
+
+        outcome, cached = fslock.claim_or_wait(
+            self.lock_path(stage, digest),
+            lambda: self.load(stage, digest),
+            stale_lock_seconds=self.stale_lock_seconds,
+            wait_timeout=self.wait_timeout,
+            poll_interval=self.poll_interval,
+            on_event=note,
+        )
+        if outcome == fslock.CACHED:
+            return cached, HIT
+        try:
+            payload = build()
+            self._incr("builds")
+            self.store(stage, digest, payload)
+        finally:
+            if outcome == fslock.CLAIMED:
+                fslock.release(self.lock_path(stage, digest))
+        return payload, BUILT
+
+    # -- maintenance / observability -----------------------------------------
+
+    def invalidate(self, stage: Optional[str] = None) -> int:
+        """Delete stored artifacts (one stage, or all); returns the count.
+
+        Digest chaining means invalidating one stage forces a rebuild of it
+        and every downstream stage on the next run.
+        """
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        roots = [self.root / stage] if stage is not None else [
+            p for p in self.root.iterdir() if p.is_dir()
+        ]
+        for stage_dir in roots:
+            if not stage_dir.is_dir():
+                continue
+            for path in stage_dir.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def entry_count(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "directory": str(self.root),
+                "entries": self.entry_count(),
+                "hits": self.hits,
+                "misses": self.misses,
+                "corrupt": self.corrupt,
+                "writes": self.writes,
+                "builds": self.builds,
+                "claims": self.claims,
+                "waits": self.waits,
+                "wait_timeouts": self.wait_timeouts,
+                "stale_breaks": self.stale_breaks,
+            }

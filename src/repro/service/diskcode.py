@@ -25,7 +25,10 @@ at any point:
   (no entry appears and the lockfile outlives ``stale_lock_seconds``) is
   broken and re-claimed, so a SIGKILL'd claimant can never deadlock the
   pool; and a waiter that exhausts ``wait_timeout`` falls back to
-  generating locally — duplicated work, never a stall.
+  generating locally — duplicated work, never a stall.  The protocol
+  itself lives in :mod:`repro.fslock` (it is shared with the pipeline
+  artifact store); this class binds it to digest-addressed paths and
+  per-process counters.
 
 Workers recompile cached source locally with
 :func:`repro.dbt.compiler.compile_block_source` — only ``compile()`` of
@@ -39,10 +42,10 @@ import hashlib
 import json
 import os
 import threading
-import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
+from repro import fslock
 from repro.cache import PIPELINE_VERSION, atomic_write_text
 from repro.dbt.compiler import BlockSource
 from repro.dbt.trace import TRACE_CODEGEN_VERSION, TraceSource
@@ -52,10 +55,11 @@ from repro.dbt.trace import TRACE_CODEGEN_VERSION, TraceSource
 #: an older build become misses instead of being executed.
 DISKCODE_VERSION = "diskcode-v1"
 
-#: Claim outcomes returned by :meth:`DiskCodeCache.claim_or_wait`.
-CLAIMED = "claimed"
-CACHED = "cached"
-TIMEOUT = "timeout"
+#: Claim outcomes returned by :meth:`DiskCodeCache.claim_or_wait`
+#: (re-exported from :mod:`repro.fslock`, where the protocol lives).
+CLAIMED = fslock.CLAIMED
+CACHED = fslock.CACHED
+TIMEOUT = fslock.TIMEOUT
 
 
 def _payload_checksum(key: str, payload: Dict[str, Any]) -> str:
@@ -228,34 +232,20 @@ class DiskCodeCache:
         self._incr("writes")
         return True
 
-    # -- cross-process single-flight -----------------------------------------
+    # -- cross-process single-flight (protocol in repro.fslock) --------------
 
     def _try_claim(self, digest: str) -> bool:
-        lock = self.lock_path(digest)
-        try:
-            lock.parent.mkdir(parents=True, exist_ok=True)
-            fd = os.open(str(lock), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-        except FileExistsError:
-            return False
-        except OSError:
-            # Unwritable cache dir: behave as if we claimed; the caller
-            # generates locally and store() will no-op the same way.
-            return True
-        with os.fdopen(fd, "w") as handle:
-            handle.write(f"{os.getpid()} {time.time():.6f}\n")
-        return True
+        return fslock.try_claim(self.lock_path(digest))
 
     def release(self, digest: str) -> None:
-        try:
-            self.lock_path(digest).unlink()
-        except OSError:
-            pass
+        fslock.release(self.lock_path(digest))
 
     def _lock_age(self, digest: str) -> Optional[float]:
-        try:
-            return time.time() - self.lock_path(digest).stat().st_mtime
-        except OSError:
-            return None  # lock released between checks
+        return fslock.lock_age(self.lock_path(digest))
+
+    def _note_claim_event(self, event: str) -> None:
+        # fslock event names map 1:1 onto this cache's counter names.
+        self._incr(event + "s")
 
     def claim_or_wait(
         self, digest: str
@@ -274,34 +264,14 @@ class DiskCodeCache:
         its lock broken (``stale_breaks``), and a wait that still
         exhausts the budget degrades to duplicated local work.
         """
-        deadline = time.monotonic() + self.wait_timeout
-        while True:
-            if self._try_claim(digest):
-                # Double-check under the lock: the previous holder may have
-                # published between our load-miss and the claim.
-                cached = self.load(digest)
-                if cached is not None:
-                    self.release(digest)
-                    return CACHED, cached
-                self._incr("claims")
-                return CLAIMED, None
-            self._incr("waits")
-            while time.monotonic() < deadline:
-                cached = self.load(digest)
-                if cached is not None:
-                    return CACHED, cached
-                age = self._lock_age(digest)
-                if age is None:
-                    break  # lock released; race for the claim again
-                if age > self.stale_lock_seconds:
-                    # Dead claimant: break the lock and race to re-claim.
-                    self._incr("stale_breaks")
-                    self.release(digest)
-                    break
-                time.sleep(self.poll_interval)
-            else:
-                self._incr("wait_timeouts")
-                return TIMEOUT, None
+        return fslock.claim_or_wait(
+            self.lock_path(digest),
+            lambda: self.load(digest),
+            stale_lock_seconds=self.stale_lock_seconds,
+            wait_timeout=self.wait_timeout,
+            poll_interval=self.poll_interval,
+            on_event=self._note_claim_event,
+        )
 
     # -- maintenance / observability -----------------------------------------
 

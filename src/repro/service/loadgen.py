@@ -480,11 +480,13 @@ async def run_sweep_async(
         step = dataclasses.replace(options, concurrency=count)
         payload = await run_loadgen_async(step, log=None)
         points.append(sweep_point(count, payload))
+    server_stats = await _final_server_stats(options)
     return {
         "harness": "repro loadgen --sweep",
         "options": asdict(options),
         "clients": list(clients),
         "saturation": points,
+        "server_stats": server_stats,
     }
 
 

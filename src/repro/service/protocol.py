@@ -35,8 +35,9 @@ PROTOCOL_VERSION = 1
 #: reader: a client streaming an unbounded line is cut off, not buffered.
 MAX_LINE_BYTES = 1 << 20
 
-#: Operations the service accepts.
-OPS = ("ping", "translate", "run", "coverage", "stats")
+#: Operations the service accepts.  ``reload`` is the admin op that
+#: hot-swaps the serving ruleset to a store version without a restart.
+OPS = ("ping", "translate", "run", "coverage", "stats", "reload")
 
 #: The closed error-code set.
 ERROR_CODES = (

@@ -24,6 +24,17 @@ Structure::
   (:mod:`repro.service.codecache`) and per-stage sharded rule indices
   (:mod:`repro.service.shards`): a hot program is translated and compiled
   once, ever, per (program, stage).
+* **Hot reload** — the serving ruleset lives in an immutable
+  :class:`_Generation` (identity + per-stage configs/indices + unit memo).
+  Every request reads ``self._generation`` exactly once and carries that
+  object through translate/compile/execute, so the ``reload`` admin op (or
+  the ``--watch-interval`` store watcher) can build a new generation's
+  index in the background and swap the attribute atomically: in-flight
+  requests finish on the generation they started with (natural drain — the
+  old generation is garbage-collected when its last request completes),
+  new requests see the new version, and no request ever mixes rules from
+  two versions.  Code-cache keys include the ruleset digest, so a swapped
+  version can never be served stale compiled blocks.
 """
 
 from __future__ import annotations
@@ -99,6 +110,14 @@ class ServiceConfig:
     #: enable the test-only ``_sleep`` op (deterministic backpressure /
     #: timeout exercises); never enable on a real deployment.
     debug_ops: bool = False
+    #: root of a :class:`repro.pipeline.store.RulesetStore`; when set and
+    #: non-empty the server boots from its ``latest`` version instead of
+    #: training at startup, and the ``reload`` op / watcher can hot-swap to
+    #: newly published versions.  None keeps the legacy train-at-boot path.
+    ruleset_store: Optional[str] = None
+    #: seconds between ``latest``-pointer polls; 0 disables the watcher
+    #: (reloads then happen only through the ``reload`` admin op).
+    watch_interval: float = 0.0
 
 
 @dataclass
@@ -126,6 +145,100 @@ def resolve_setup(config: ServiceConfig) -> SystemSetup:
     return training_setup()
 
 
+def resolve_ruleset(config: ServiceConfig, setup: Optional[SystemSetup] = None):
+    """The :class:`ServingRuleset` this server should boot with.
+
+    A configured store with a published version wins (no training at boot —
+    the configs are reconstructed from the stored body); an empty or absent
+    store falls back to the legacy train-at-boot setup, wrapped with a
+    ``builtin:`` identity so stats/bench meta always carry a version.  Like
+    :func:`resolve_setup`, this runs in the pool parent pre-fork so workers
+    share the result copy-on-write.
+    """
+    if config.ruleset_store:
+        from repro.pipeline.manifest import serving_ruleset_from_body
+        from repro.pipeline.store import RulesetStore
+
+        store = RulesetStore(config.ruleset_store)
+        latest = store.latest_version()
+        if latest is not None:
+            loaded = store.load_version(latest)
+            return serving_ruleset_from_body(
+                loaded["body"], version=latest, digest=loaded["body_sha256"]
+            )
+    from repro.pipeline.manifest import serving_ruleset_from_setup
+
+    if setup is None:
+        setup = resolve_setup(config)
+    return serving_ruleset_from_setup(setup, training=config.training)
+
+
+class _Generation:
+    """One immutable serving generation: ruleset identity + lazy indices.
+
+    All per-ruleset state lives here — stage configs wrapped in sharded
+    indices, and the unit-context memo (contexts cache per-stage
+    translators, which bind configs, so they must never outlive their
+    generation).  Requests capture one generation at dispatch and use only
+    it; the service swaps the current-generation attribute atomically.
+    """
+
+    __slots__ = ("ruleset", "shards", "tier0_payload", "units", "_configs", "_indices", "_lock")
+
+    def __init__(self, ruleset, shards: int, tier0_payload: Optional[Dict[str, Any]]) -> None:
+        self.ruleset = ruleset
+        self.shards = shards
+        self.tier0_payload = tier0_payload
+        self.units = BoundedMemo(maxsize=256, register=False)
+        self._configs: Dict[str, TranslationConfig] = {}
+        self._indices: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def config_for(self, stage: str) -> TranslationConfig:
+        """The stage's TranslationConfig, rules wrapped in a sharded index."""
+        with self._lock:
+            cfg = self._configs.get(stage)
+            if cfg is None:
+                base = self.ruleset.config_for(stage)
+                if base.rules is None:  # the rule-less qemu baseline stage
+                    cfg = base
+                else:
+                    index = self._build_index(stage, base.rules)
+                    self._indices[stage] = index
+                    cfg = dataclasses.replace(base, rules=index)
+                self._configs[stage] = cfg
+            return cfg
+
+    def _build_index(self, stage: str, rules):
+        """Sharded index for a stage, fronted by tier-0 when it applies.
+
+        The tier-0 artifact names the stage it was distilled for; other
+        stages keep the plain sharded index.  After a hot swap the artifact
+        re-resolves onto the new rules — rules it no longer matches are
+        dropped (``stale`` flagged), so a stale artifact degrades to the
+        full index instead of changing any response bytes.
+        """
+        payload = self.tier0_payload
+        if payload is None or payload.get("stage") != stage:
+            return ShardedRuleIndex(rules, self.shards)
+        from repro.learning.distill import resolve_artifact
+
+        resolved = resolve_artifact(payload, rules)
+        return Tier0Front(
+            resolved.rules,
+            rules,
+            self.shards,
+            coverage=resolved.coverage,
+            digest=resolved.digest,
+            dropped=resolved.dropped,
+            stale=resolved.stale,
+        )
+
+    def indices(self) -> Dict[str, Any]:
+        with self._lock:
+            return dict(self._indices)
+
+
 class _UnitContext:
     """Per-program serving context: unit + block map + per-stage translators."""
 
@@ -150,10 +263,18 @@ class _UnitContext:
 
 
 class TranslationService:
-    """Request handlers over one frozen SystemSetup (transport-agnostic)."""
+    """Request handlers over one serving ruleset generation (transport-agnostic).
+
+    ``setup`` keeps the legacy embedding path (tests pass a pre-built
+    SystemSetup); ``ruleset`` injects a pre-resolved
+    :class:`ServingRuleset` (the pool parent resolves once pre-fork).
+    """
 
     def __init__(
-        self, config: ServiceConfig, setup: Optional[SystemSetup] = None
+        self,
+        config: ServiceConfig,
+        setup: Optional[SystemSetup] = None,
+        ruleset=None,
     ) -> None:
         if config.stage not in STAGES:
             raise ValueError(f"unknown stage {config.stage!r}")
@@ -163,14 +284,24 @@ class TranslationService:
                 "expected 'jit' or 'trace'"
             )
         self.config = config
-        if setup is None:
-            setup = resolve_setup(config)
-        self._setup = setup
+        if ruleset is None:
+            ruleset = resolve_ruleset(config, setup=setup)
         self._tier0_payload: Optional[Dict[str, Any]] = None
         if config.tier0_path:
             from repro.learning.distill import load_artifact
 
             self._tier0_payload = load_artifact(config.tier0_path)
+        self._generation = _Generation(
+            ruleset, config.shards, self._tier0_payload
+        )
+        self.ruleset_store = None
+        if config.ruleset_store:
+            from repro.pipeline.store import RulesetStore
+
+            self.ruleset_store = RulesetStore(config.ruleset_store)
+        self._reload_lock = threading.Lock()
+        self.ruleset_swaps = 0
+        self._swap_history: list = [ruleset.version]
         self.disk_code: Optional[DiskCodeCache] = (
             DiskCodeCache(config.disk_code_dir)
             if config.disk_code_dir
@@ -182,10 +313,6 @@ class TranslationService:
         self.endpoints = EndpointStats()
         #: set by :mod:`repro.service.pool` on workers; solo servers keep None.
         self.pool_context: Optional[PoolContext] = None
-        self._configs: Dict[str, TranslationConfig] = {}
-        self._indices: Dict[str, ShardedRuleIndex] = {}
-        self._cfg_lock = threading.Lock()
-        self._units = BoundedMemo(maxsize=256, register=False)
         self._counter_lock = threading.Lock()
         self.requests_total = 0
         self.error_counts: Dict[str, int] = {}
@@ -198,6 +325,7 @@ class TranslationService:
             "run": self._op_run,
             "coverage": self._op_coverage,
             "stats": self._op_stats,
+            "reload": self._op_reload,
             "_sleep": self._op_sleep,
         }
 
@@ -206,42 +334,64 @@ class TranslationService:
     def uptime(self) -> float:
         return time.monotonic() - self.started_monotonic
 
+    @property
+    def ruleset(self):
+        """The currently served :class:`ServingRuleset`."""
+        return self._generation.ruleset
+
+    def ruleset_version(self) -> str:
+        return self._generation.ruleset.version
+
     def config_for(self, stage: str) -> TranslationConfig:
-        """The stage's TranslationConfig, rules wrapped in a sharded index."""
-        with self._cfg_lock:
-            cfg = self._configs.get(stage)
-            if cfg is None:
-                base = self._setup.configs[stage]
-                if base.rules is None:  # the rule-less qemu baseline stage
-                    cfg = base
-                else:
-                    index = self._build_index(stage, base.rules)
-                    self._indices[stage] = index
-                    cfg = dataclasses.replace(base, rules=index)
-                self._configs[stage] = cfg
-            return cfg
+        """Current generation's config for *stage* (embedders, tests)."""
+        return self._generation.config_for(stage)
 
-    def _build_index(self, stage: str, rules):
-        """Sharded index for a stage, fronted by tier-0 when it applies.
+    # -- hot reload ------------------------------------------------------------
 
-        The tier-0 artifact names the stage it was distilled for; other
-        stages keep the plain sharded index.
+    def reload_ruleset(self, version: Optional[str] = None) -> Dict[str, Any]:
+        """Swap to a store version (default: ``latest``) without a restart.
+
+        Blocking (call from an executor thread).  Builds the new
+        generation's default-stage sharded index + tier-0 front *before*
+        the swap, so the first request on the new version pays no index
+        build; the attribute assignment is atomic and in-flight requests
+        drain on the generation they captured.  Raises
+        :class:`~repro.errors.ReproError` on a missing/corrupt version —
+        the serving generation is untouched on any failure.
         """
-        payload = self._tier0_payload
-        if payload is None or payload.get("stage") != stage:
-            return ShardedRuleIndex(rules, self.config.shards)
-        from repro.learning.distill import resolve_artifact
+        if self.ruleset_store is None:
+            raise ReproError("no ruleset store configured (--ruleset-store)")
+        with self._reload_lock:
+            target = version or self.ruleset_store.latest_version()
+            if target is None:
+                raise ReproError("ruleset store has no published versions")
+            current = self._generation.ruleset
+            if target == current.version:
+                return {
+                    "swapped": False,
+                    "version": current.version,
+                    "previous": current.version,
+                    "digest": current.digest,
+                    "swaps": self.ruleset_swaps,
+                }
+            from repro.pipeline.manifest import serving_ruleset_from_body
 
-        resolved = resolve_artifact(payload, rules)
-        return Tier0Front(
-            resolved.rules,
-            rules,
-            self.config.shards,
-            coverage=resolved.coverage,
-            digest=resolved.digest,
-            dropped=resolved.dropped,
-            stale=resolved.stale,
-        )
+            loaded = self.ruleset_store.load_version(target)
+            ruleset = serving_ruleset_from_body(
+                loaded["body"], version=target, digest=loaded["body_sha256"]
+            )
+            generation = _Generation(ruleset, self.config.shards, self._tier0_payload)
+            generation.config_for(self.config.stage)  # pre-build the hot index
+            self._generation = generation  # atomic swap; old gen drains out
+            self.ruleset_swaps += 1
+            self._swap_history.append(target)
+            return {
+                "swapped": True,
+                "version": target,
+                "previous": current.version,
+                "digest": ruleset.digest,
+                "swaps": self.ruleset_swaps,
+            }
 
     def _stage_of(self, obj: Dict[str, Any]) -> str:
         stage = obj.get("stage", self.config.stage)
@@ -270,7 +420,7 @@ class TranslationService:
             ).hexdigest()
         return _UnitContext(unit, digest)
 
-    async def _context(self, obj: Dict[str, Any]) -> _UnitContext:
+    async def _context(self, gen: _Generation, obj: Dict[str, Any]) -> _UnitContext:
         benchmark = obj.get("benchmark")
         program = obj.get("program")
         if (benchmark is None) == (program is None):
@@ -295,7 +445,7 @@ class TranslationService:
                 )
             key = ("program", "\n".join(program))
             kind, value = "program", tuple(program)
-        cached = self._units.get(key, None)
+        cached = gen.units.get(key, None)
         if cached is not None:
             return cached
         # Concurrent first requests may build the same context twice; the
@@ -303,23 +453,35 @@ class TranslationService:
         # only duplicated work — block compilation stays single-flight.
         loop = asyncio.get_running_loop()
         ctx = await loop.run_in_executor(None, self._build_context, kind, value)
-        self._units.put(key, ctx)
+        gen.units.put(key, ctx)
         return ctx
 
     # -- block compilation ----------------------------------------------------
 
-    def _compile_entry(self, ctx: _UnitContext, stage: str, start: int) -> CodeCacheEntry:
-        config = self.config_for(stage)
+    def _training_key(self, gen: _Generation) -> str:
+        """Disk-code key component identifying corpus *and* ruleset version.
+
+        The ruleset digest is mixed in so blocks compiled under one version
+        can never be served after a hot swap to another — across processes
+        too (two pool workers momentarily on different versions during a
+        rolling reload must not share entries).
+        """
+        return f"{self.config.training}@{gen.ruleset.digest[:16]}"
+
+    def _compile_entry(
+        self, gen: _Generation, ctx: _UnitContext, stage: str, start: int
+    ) -> CodeCacheEntry:
+        config = gen.config_for(stage)
         translator = ctx.translator_for(stage, config)
         tb = translator.translate(ctx.blockmap.block_at(start))
         kernel = BlockKernel(tb)
         if self.disk_code is None:
             compiled = compile_block(tb, kernel.defs)
         else:
-            compiled = self._compile_via_disk(ctx, stage, start, tb, kernel)
+            compiled = self._compile_via_disk(gen, ctx, stage, start, tb, kernel)
         return CodeCacheEntry(tb=tb, kernel=kernel, compiled=compiled)
 
-    def _compile_via_disk(self, ctx, stage: str, start: int, tb, kernel):
+    def _compile_via_disk(self, gen, ctx, stage: str, start: int, tb, kernel):
         """Compile through the cross-process disk code cache.
 
         Warm path: hash-verified cached source from any pool worker is
@@ -330,7 +492,7 @@ class TranslationService:
         an executor thread, so the blocking file IO here is fine.
         """
         disk = self.disk_code
-        digest = disk.key(ctx.digest, stage, start, self.config.training)
+        digest = disk.key(ctx.digest, stage, start, self._training_key(gen))
         source = disk.load(digest)
         if source is None:
             outcome, cached = disk.claim_or_wait(digest)
@@ -348,19 +510,28 @@ class TranslationService:
         return compile_block_source(tb, source, kernel.defs)
 
     async def _ensure_blocks(
-        self, ctx: _UnitContext, stage: str
+        self, gen: _Generation, ctx: _UnitContext, stage: str
     ) -> Dict[int, CodeCacheEntry]:
-        """All of the program's blocks translated+compiled (single-flight)."""
+        """All of the program's blocks translated+compiled (single-flight).
+
+        The in-memory key carries the ruleset digest too: after a swap the
+        new generation's blocks are distinct entries, and the old entries
+        age out of the LRU instead of ever answering a new-version request.
+        """
         entries: Dict[int, CodeCacheEntry] = {}
         for block in ctx.blockmap.blocks:
-            key = (ctx.digest, stage, block.start)
+            key = (gen.ruleset.digest, ctx.digest, stage, block.start)
             entries[block.start] = await self.code_cache.get_or_compile(
-                key, partial(self._compile_entry, ctx, stage, block.start)
+                key, partial(self._compile_entry, gen, ctx, stage, block.start)
             )
         return entries
 
     def _execute(
-        self, ctx: _UnitContext, stage: str, entries: Dict[int, CodeCacheEntry]
+        self,
+        gen: _Generation,
+        ctx: _UnitContext,
+        stage: str,
+        entries: Dict[int, CodeCacheEntry],
     ):
         """Executor-side guest run over pre-seeded shared code-cache entries."""
         backend = self.config.backend
@@ -369,11 +540,11 @@ class TranslationService:
             from repro.service.diskcode import TraceSourceDiskAdapter
 
             engine_kwargs["trace_source_cache"] = TraceSourceDiskAdapter(
-                self.disk_code, ctx.digest, stage, self.config.training
+                self.disk_code, ctx.digest, stage, self._training_key(gen)
             )
         engine = DBTEngine(
             ctx.unit,
-            self.config_for(stage),
+            gen.config_for(stage),
             chaining=self.config.chaining,
             backend=backend,
             code_cache=dict(entries),
@@ -387,12 +558,13 @@ class TranslationService:
             raise ProtocolError("bad-program", f"translation failed: {exc}") from exc
 
     async def _run(self, obj: Dict[str, Any]):
+        gen = self._generation  # one read: the whole request stays on it
         stage = self._stage_of(obj)
-        ctx = await self._context(obj)
-        entries = await self._ensure_blocks(ctx, stage)
+        ctx = await self._context(gen, obj)
+        entries = await self._ensure_blocks(gen, ctx, stage)
         loop = asyncio.get_running_loop()
         result = await loop.run_in_executor(
-            None, self._execute, ctx, stage, entries
+            None, self._execute, gen, ctx, stage, entries
         )
         return ctx, stage, result
 
@@ -406,9 +578,10 @@ class TranslationService:
         }
 
     async def _op_translate(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        gen = self._generation
         stage = self._stage_of(obj)
-        ctx = await self._context(obj)
-        entries = await self._ensure_blocks(ctx, stage)
+        ctx = await self._context(gen, obj)
+        entries = await self._ensure_blocks(gen, ctx, stage)
         guest = sum(entry.tb.guest_count for entry in entries.values())
         covered = sum(entry.tb.covered_count for entry in entries.values())
         return {
@@ -464,8 +637,8 @@ class TranslationService:
         with self._counter_lock:
             errors = dict(self.error_counts)
             total = self.requests_total
-        with self._cfg_lock:
-            indices = dict(self._indices)
+        gen = self._generation
+        indices = gen.indices()
         payload: Dict[str, Any] = {
             "protocol_version": protocol.PROTOCOL_VERSION,
             "pid": os.getpid(),
@@ -473,13 +646,19 @@ class TranslationService:
             "stage_default": self.config.stage,
             "training": self.config.training,
             "backend": self.config.backend,
+            "ruleset_version": gen.ruleset.version,
+            "ruleset": {
+                **gen.ruleset.identity(),
+                "swaps": self.ruleset_swaps,
+                "history": list(self._swap_history[-5:]),
+            },
             "requests": {"total": total, "errors_by_code": errors},
             "endpoints": self.endpoints.summary(),
             "code_cache": self.code_cache.stats(),
             "rule_index": {
                 stage: index.stats() for stage, index in indices.items()
             },
-            "units_cached": len(self._units),
+            "units_cached": len(gen.units),
             "caches": stats_payload(include_disk=False),
         }
         if self.server_stats is not None:
@@ -501,6 +680,22 @@ class TranslationService:
             }
             payload["pool"] = await loop.run_in_executor(None, pool_section)
         return payload
+
+    async def _op_reload(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        """Admin op: hot-swap to a store version (default ``latest``).
+
+        The index build runs in the executor, so serving (and the event
+        loop) never blocks on it; failures leave the current generation in
+        place and report ``bad-request``.
+        """
+        version = obj.get("version")
+        if version is not None and not isinstance(version, str):
+            raise ProtocolError("bad-request", "'version' must be a string")
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(None, self.reload_ruleset, version)
+        except ReproError as exc:
+            raise ProtocolError("bad-request", f"reload failed: {exc}") from exc
 
     async def _op_sleep(self, obj: Dict[str, Any]) -> Dict[str, Any]:
         seconds = float(obj.get("seconds", 0.1))
@@ -571,6 +766,7 @@ class ServiceServer:
         self._active = 0
         self.backpressure_rejections = 0
         self.port: Optional[int] = None
+        self._watcher: Optional[asyncio.Task] = None
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -598,6 +794,39 @@ class ServiceServer:
             for _ in range(self.config.handlers)
         ]
         self.service.server_stats = self.stats
+        if self.service.ruleset_store is not None and self.config.watch_interval > 0:
+            self._watcher = asyncio.create_task(self._watch_ruleset())
+
+    async def _watch_ruleset(self) -> None:
+        """Poll the store's ``latest`` pointer and hot-swap when it moves.
+
+        Store reads and the swap's index build both run in the executor; a
+        broken store read (mid-GC, partial copy, NFS hiccup) is retried
+        next tick — the watcher must never take serving down.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.config.watch_interval)
+            try:
+                latest = await loop.run_in_executor(
+                    None, self.service.ruleset_store.latest_version
+                )
+                if latest is None or latest == self.service.ruleset_version():
+                    continue
+                result = await loop.run_in_executor(
+                    None, self.service.reload_ruleset, latest
+                )
+                if result.get("swapped"):
+                    print(
+                        f"repro serve: ruleset reloaded "
+                        f"{result['previous']} -> {result['version']} "
+                        f"(pid={os.getpid()})",
+                        flush=True,
+                    )
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                continue
 
     def install_signal_handlers(self) -> None:
         """Drain on SIGTERM/SIGINT, on every platform.
@@ -632,6 +861,10 @@ class ServiceServer:
         if self._draining:
             return
         self._draining = True
+        if self._watcher is not None:
+            self._watcher.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._watcher
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -779,9 +1012,10 @@ async def start_server(
     setup: Optional[SystemSetup] = None,
     sock=None,
     pool_context: Optional[PoolContext] = None,
+    ruleset=None,
 ) -> ServiceServer:
     """Build a service + transport and start listening (tests, embedders)."""
-    service = TranslationService(config, setup=setup)
+    service = TranslationService(config, setup=setup, ruleset=ruleset)
     service.pool_context = pool_context
     server = ServiceServer(service, config)
     await server.start(sock=sock)
@@ -794,6 +1028,7 @@ async def _amain(config: ServiceConfig) -> int:
     print(
         f"repro serve: listening on {config.host}:{server.port} "
         f"(stage={config.stage}, training={config.training}, "
+        f"ruleset={server.service.ruleset_version()}, "
         f"handlers={config.handlers}, pid={os.getpid()})",
         flush=True,
     )

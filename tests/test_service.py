@@ -508,7 +508,13 @@ class TestLoadgen:
         with open(options.out) as handle:
             on_disk = json.load(handle)
         assert on_disk["meta"]["schema_version"] == 1
-        assert set(on_disk["meta"]) == {"schema_version", "commit", "created_utc", "cpu_count"}
+        # server_stats carries the ruleset identity, so the meta writer
+        # stamps the serving version/digest the measurement is attributable to
+        assert set(on_disk["meta"]) == {
+            "schema_version", "commit", "created_utc", "cpu_count",
+            "ruleset_version", "ruleset_digest",
+        }
+        assert on_disk["meta"]["ruleset_version"] == "builtin:quick"
 
     def test_check_fails_on_errors_or_divergences(self):
         from repro.service.loadgen import check_loadgen_report
